@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one artifact of the paper (a table or a
+figure's data series) and prints it through :func:`report` so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+shows the same rows/series the paper reports while pytest-benchmark
+times the computation that produced them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, body: str) -> None:
+    """Print a titled artifact block (visible with ``-s``)."""
+    banner = "=" * max(len(title), 20)
+    print(f"\n{banner}\n{title}\n{banner}\n{body}\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the benchmarked callable exactly once.
+
+    Monte-Carlo benchmarks are too slow for pytest-benchmark's default
+    calibration; a single timed round is both faster and more honest
+    for these workloads (they are dominated by one long simulation).
+    """
+
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return run

@@ -1,0 +1,69 @@
+"""A11 — the LNT94/BD94 queue bound against the *exact* queue law.
+
+For lattice-compatible sources the stationary queue distribution can
+be solved exactly (sparse linear algebra on the (state, level) chain).
+This bench prints exact tail vs bound for the session-1 source drained
+at several rates: the bound always dominates, matches the exact decay
+rate, and — when the lattice jumps are skip-free (increments of one
+lattice step in each direction, as at drain rate 0.25) — is *exactly*
+tight at lattice points.  With multi-step jumps the martingale's
+overshoot makes the prefactor conservative by a modest factor, which
+the printed table quantifies.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.experiments.tables import format_table
+from repro.markov.effective_bandwidth import decay_rate_for_rate
+from repro.markov.exact_queue import exact_queue_distribution
+from repro.markov.lnt94 import queue_tail_bound
+from repro.markov.onoff import OnOffSource
+
+DRAIN_RATES = (0.2, 0.25, 0.3)
+BACKLOGS = (1.0, 2.0, 4.0)
+
+
+def run_experiment():
+    source = OnOffSource(0.3, 0.7, 0.5).as_mms()
+    rows = []
+    decays = []
+    for c in DRAIN_RATES:
+        exact = exact_queue_distribution(source, c, max_levels=1500)
+        bound = queue_tail_bound(source, c)
+        alpha = decay_rate_for_rate(source, c)
+        decays.append((c, exact.decay_rate(), alpha))
+        for x in BACKLOGS:
+            rows.append(
+                [c, x, exact.ccdf(x), bound.evaluate(x)]
+            )
+    return rows, decays
+
+
+def test_exact_vs_bound(once):
+    rows, decays = once(run_experiment)
+    report(
+        "A11: exact queue tail vs LNT94/BD94 bound "
+        "(session-1 source)",
+        format_table(
+            ["drain rate", "x", "exact Pr{Q>=x}", "bound"], rows
+        ),
+    )
+    report(
+        "A11: exact decay rate vs effective-bandwidth root",
+        format_table(
+            ["drain rate", "exact decay", "eb root alpha"],
+            [[c, d, a] for c, d, a in decays],
+        ),
+    )
+    for c, _, exact_val, bound_val in rows:
+        assert exact_val <= bound_val * (1.0 + 1e-3)
+        if exact_val > 1e-10:
+            if c == 0.25:
+                # skip-free lattice: the bound is exactly the tail
+                assert bound_val <= exact_val * (1.0 + 1e-3)
+            else:
+                # multi-step jumps: overshoot costs < 2x here
+                assert bound_val <= exact_val * 2.0
+    for _, measured, alpha in decays:
+        assert measured == pytest.approx(alpha, rel=0.02)

@@ -1,0 +1,50 @@
+"""A13 — the rho-selection trade-off (the paper's Set 1 vs Set 2 story).
+
+Sweeps the E.B.B. upper rate ``rho`` for the session-1 source between
+its mean and its guaranteed rate and prints the resulting
+``(alpha, Lambda, delay bound)`` triple — the quantitative version of
+the paper's observation that pushing ``rho`` toward the mean rate
+(for higher admissible load) collapses the decay rate and ruins the
+E.B.B.-based delay bounds.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments.sensitivity import rho_tradeoff_curve
+from repro.experiments.tables import format_table
+from repro.markov.onoff import OnOffSource
+
+GUARANTEED_RATE = 0.2 / 0.9  # session 1's g in the Section 6.3 example
+REFERENCE_DELAY = 20.0
+
+
+def run_sweep():
+    source = OnOffSource(0.3, 0.7, 0.5).as_mms()
+    return rho_tradeoff_curve(
+        source,
+        guaranteed_rate=GUARANTEED_RATE,
+        reference_delay=REFERENCE_DELAY,
+        num_points=8,
+    )
+
+
+def test_rho_selection(once):
+    points = once(run_sweep)
+    report(
+        "A13: rho sweep for session 1 — alpha collapses toward the "
+        f"mean rate; delay bound at d={REFERENCE_DELAY}",
+        format_table(
+            ["rho", "alpha", "Lambda", "Pr{D >= 20} bound"],
+            [
+                [p.rho, p.alpha, p.prefactor, p.delay_bound]
+                for p in points
+            ],
+        ),
+    )
+    alphas = [p.alpha for p in points]
+    # alpha increases with rho (monotone effective bandwidth)
+    assert all(a < b for a, b in zip(alphas, alphas[1:]))
+    # the paper's pathology: the smallest rho has a delay bound that is
+    # orders of magnitude worse than a moderate one
+    best = min(p.delay_bound for p in points)
+    worst = points[0].delay_bound
+    assert worst > 100.0 * best

@@ -1,0 +1,58 @@
+"""A1 — Bounds vs Monte-Carlo simulation of the Section 6.3 network.
+
+The paper lists simulation validation as future work; this bench does
+it.  It simulates the Figure 2 network with the Table 1 sources and
+compares the empirical end-to-end delay CCDFs with the Figure 3
+(Theorem 15) and Figure 4 (improved) bounds: both must dominate, and
+the printed slack (in decades) quantifies how conservative each bound
+family is.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.experiments.paper_example import (
+    SESSION_NAMES,
+    figure3_delay_bounds,
+    figure4_improved_bounds,
+    simulate_example_network,
+)
+from repro.experiments.tables import format_table
+
+NUM_SLOTS = 120_000
+WARMUP = 1_000
+DELAYS = (2.0, 4.0, 8.0)
+
+
+def run_experiment():
+    simulation = simulate_example_network(1, NUM_SLOTS, seed=9)
+    fig3 = figure3_delay_bounds(1)
+    fig4 = figure4_improved_bounds(1)
+    rows = []
+    for name in SESSION_NAMES:
+        delays = simulation.end_to_end_delays(name)[WARMUP:]
+        delays = delays[~np.isnan(delays)]
+        for d in DELAYS:
+            empirical = float(np.mean(delays >= d))
+            # slotted delays are ceilings of continuous delays
+            b3 = fig3[name].end_to_end_delay.evaluate(d - 1.0)
+            b4 = fig4[name].end_to_end_delay.evaluate(d - 1.0)
+            rows.append([name, d, empirical, b4, b3])
+    return rows
+
+
+def test_bounds_dominate_simulation(once):
+    rows = once(run_experiment)
+    report(
+        "A1: empirical Pr{D_net >= d} vs Figure 4 / Figure 3 bounds "
+        f"(Set 1, {NUM_SLOTS} slots)",
+        format_table(
+            ["session", "d", "simulated", "Fig4 bound", "Fig3 bound"],
+            rows,
+        ),
+    )
+    for _, _, empirical, improved, ebb_based in rows:
+        assert empirical <= improved * 1.05
+        assert empirical <= ebb_based * 1.05
+        # the improved bound is tighter than the E.B.B. bound
+        assert improved <= ebb_based + 1e-12

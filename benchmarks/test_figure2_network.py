@@ -1,0 +1,64 @@
+"""F2 — Figure 2: the example network.
+
+Figure 2 is the three-node tree used by the numerical example.  This
+bench constructs it, verifies its structural properties (RPPS
+assignment, feedforward tree, single-class CRST partition, the
+guaranteed rates quoted in the paper's text) and prints the per-session
+route/rate summary.
+"""
+
+from benchmarks.conftest import report
+from repro.experiments.paper_example import SESSION_NAMES, example_network
+from repro.experiments.tables import format_table
+from repro.network.crst import crst_partition, node_partition
+
+
+def build_network_report():
+    out = {}
+    for parameter_set in (1, 2):
+        network = example_network(parameter_set)
+        partition = crst_partition(network)
+        rows = []
+        for name in SESSION_NAMES:
+            session = network.session(name)
+            rows.append(
+                [
+                    name,
+                    " -> ".join(session.route),
+                    session.rho,
+                    network.network_guaranteed_rate(name),
+                    network.bottleneck_node(name),
+                ]
+            )
+        out[parameter_set] = (network, partition, rows)
+    return out
+
+
+def test_figure2_network(once):
+    results = once(build_network_report)
+    for parameter_set, (network, partition, rows) in results.items():
+        report(
+            f"Figure 2 network, Set {parameter_set} "
+            "(RPPS assignment phi = rho)",
+            format_table(
+                ["session", "route", "rho", "g_net", "bottleneck"], rows
+            ),
+        )
+        assert network.is_rpps()
+        assert network.is_feedforward()
+        # RPPS -> single CRST class, single class at every node
+        assert partition.num_classes == 1
+        for node in network.nodes:
+            assert node_partition(network, node).num_classes == 1
+        # every session's bottleneck is the shared node 3
+        for row in rows:
+            assert row[4] == "node3"
+    # the guaranteed-rate shifts discussed in Section 6.3
+    set1 = results[1][0]
+    set2 = results[2][0]
+    assert set2.network_guaranteed_rate(
+        "session1"
+    ) < set1.network_guaranteed_rate("session1")
+    assert set2.network_guaranteed_rate(
+        "session2"
+    ) > set1.network_guaranteed_rate("session2")

@@ -1,0 +1,60 @@
+"""F3 — Figure 3: bounds on the end-to-end delay distributions.
+
+Regenerates both panels: the log10 delay-bound curves of eq. (67) for
+E.B.B. Set 1 (Figure 3(a)) and Set 2 (Figure 3(b)).  The qualitative
+paper claims are asserted: all curves are straight lines in logscale
+(pure exponentials), and the Set 2 curves decay much more slowly
+because the E.B.B. alphas collapse as rho approaches the mean rate.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.experiments.paper_example import (
+    SESSION_NAMES,
+    delay_bound_curve,
+    figure3_delay_bounds,
+)
+from repro.experiments.tables import format_comparison
+
+DELAY_GRID = np.arange(0.0, 51.0, 5.0)
+
+
+def build_figure3():
+    return {
+        parameter_set: figure3_delay_bounds(parameter_set)
+        for parameter_set in (1, 2)
+    }
+
+
+def test_figure3(once):
+    results = once(build_figure3)
+    for parameter_set, label in ((1, "3(a)"), (2, "3(b)")):
+        bounds = results[parameter_set]
+        series = {
+            name: delay_bound_curve(
+                bounds[name].end_to_end_delay, DELAY_GRID
+            )
+            for name in SESSION_NAMES
+        }
+        report(
+            f"Figure {label}: log10 Pr{{D_net >= d}} bounds, "
+            f"Set {parameter_set}",
+            format_comparison("d (slots)", DELAY_GRID, series),
+        )
+    # Set 2 decays slower than Set 1 for every session.
+    for name in SESSION_NAMES:
+        assert (
+            results[2][name].end_to_end_delay.decay_rate
+            < results[1][name].end_to_end_delay.decay_rate
+        )
+    # Decay rates are alpha_i * g_i; check the paper's Set 1 values.
+    expected_decays = {
+        "session1": 1.74 * 0.2 / 0.9,
+        "session2": 1.76 * 0.25 / 0.9,
+        "session3": 2.13 * 0.2 / 0.9,
+        "session4": 1.62 * 0.25 / 0.9,
+    }
+    for name, expected in expected_decays.items():
+        actual = results[1][name].end_to_end_delay.decay_rate
+        assert abs(actual - expected) / expected < 0.01

@@ -1,0 +1,67 @@
+"""F4 — Figure 4: improved end-to-end delay bounds.
+
+Regenerates the improved curves obtained by bounding ``delta_i(t)``
+directly with the LNT94/BD94 queue bound at the bottleneck rate
+``g_i`` instead of going through the E.B.B. characterization.  Asserts
+the paper's claims: the improved decay rates exceed the Figure 3 ones
+(dramatically so for Set 2), and the improved bounds restore the
+correct qualitative ordering driven by the guaranteed rates.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import report
+from repro.experiments.paper_example import (
+    SESSION_NAMES,
+    delay_bound_curve,
+    figure3_delay_bounds,
+    figure4_improved_bounds,
+)
+from repro.experiments.tables import format_comparison, format_table
+
+DELAY_GRID = np.arange(0.0, 51.0, 5.0)
+
+
+def build_figure4():
+    return {
+        parameter_set: (
+            figure3_delay_bounds(parameter_set),
+            figure4_improved_bounds(parameter_set),
+        )
+        for parameter_set in (1, 2)
+    }
+
+
+def test_figure4(once):
+    results = once(build_figure4)
+    for parameter_set in (1, 2):
+        _, fig4 = results[parameter_set]
+        series = {
+            name: delay_bound_curve(
+                fig4[name].end_to_end_delay, DELAY_GRID
+            )
+            for name in SESSION_NAMES
+        }
+        report(
+            f"Figure 4: improved log10 Pr{{D_net >= d}} bounds, "
+            f"Set {parameter_set}",
+            format_comparison("d (slots)", DELAY_GRID, series),
+        )
+    rows = []
+    for parameter_set in (1, 2):
+        fig3, fig4 = results[parameter_set]
+        for name in SESSION_NAMES:
+            old = fig3[name].end_to_end_delay.decay_rate
+            new = fig4[name].end_to_end_delay.decay_rate
+            rows.append([f"set{parameter_set}/{name}", old, new, new / old])
+            assert new > old
+    report(
+        "Figure 4 vs Figure 3: delay-bound decay rates",
+        format_table(
+            ["session", "Fig3 decay", "Fig4 decay", "ratio"], rows
+        ),
+    )
+    # The E.B.B. pathology: Set 2's Figure 3 decays collapse, the
+    # improved decays barely move -> ratio much larger for Set 2.
+    for k in range(4):
+        assert rows[4 + k][3] > rows[k][3]

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The Section 3 marking interpretation of the decomposition.
+
+The paper reinterprets the virtual backlog ``delta_i(t)`` operationally:
+generate tokens at rate ``r_i`` with a zero-size bucket; traffic in
+excess of the instantaneous tokens is *marked* but still admitted.
+Then ``delta_i(t)`` is exactly the outstanding marked traffic and
+``eta_i(t) = Q_i(t) - delta_i(t)`` the unmarked backlog.
+
+This example runs the marker over a bursty source, verifies the
+identity against the directly computed virtual queue, and shows the
+tail of the marked traffic obeying the Lemma 5 bound — i.e., how an
+operator could use the theory to dimension marking rates.
+
+Run:  python examples/marked_traffic.py
+"""
+
+import numpy as np
+
+from repro.core import lemma5_tail_bound
+from repro.experiments.tables import format_table
+from repro.markov import OnOffSource, ebb_characterization
+from repro.sim import empirical_ccdf
+from repro.traffic import OnOffTraffic, TokenMarker
+
+NUM_SLOTS = 200_000
+
+
+def main() -> None:
+    model = OnOffSource(p=0.3, q=0.6, peak_rate=0.9)
+    print(
+        f"source: on-off, mean rate {model.mean_rate:.3f}, peak "
+        f"{model.peak_rate}"
+    )
+
+    rng = np.random.default_rng(11)
+    arrivals = OnOffTraffic(model).generate(NUM_SLOTS, rng)
+
+    rows = []
+    for token_rate in (0.5, 0.6, 0.7):
+        marker = TokenMarker(rate=token_rate)
+        marking = marker.mark(arrivals)
+        fraction_marked = marking.total_marked / arrivals.sum()
+
+        # delta(t) == outstanding marked traffic (Section 3 identity)
+        level = 0.0
+        for t in range(200):  # spot-check the identity on a prefix
+            level = max(level + arrivals[t] - token_rate, 0.0)
+            assert abs(level - marking.marked_backlog[t]) < 1e-9
+
+        # the marked backlog tail obeys Lemma 5 with the E.B.B.
+        # characterization at rho < token_rate
+        ebb = ebb_characterization(model.as_mms(), rho=0.45)
+        bound = lemma5_tail_bound(ebb, token_rate)
+        x = 2.0
+        empirical = float(
+            empirical_ccdf(
+                marking.marked_backlog[1000:], np.array([x])
+            )[0]
+        )
+        rows.append(
+            [
+                token_rate,
+                fraction_marked,
+                float(marking.marked_backlog.mean()),
+                empirical,
+                bound.evaluate(x),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "token rate",
+                "fraction marked",
+                "mean marked backlog",
+                "Pr{delta >= 2} (sim)",
+                "Lemma 5 bound",
+            ],
+            rows,
+        )
+    )
+    for row in rows:
+        assert row[3] <= row[4] * 1.05, "Lemma 5 violated"
+    print(
+        "\nMarked-traffic backlogs match the virtual queues and obey "
+        "the Lemma 5 tails."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+The project metadata lives in pyproject.toml; this file only enables
+legacy `pip install -e .` / `python setup.py develop` installs.
+"""
+from setuptools import setup
+
+setup()

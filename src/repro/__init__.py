@@ -1,0 +1,69 @@
+"""repro — Statistical analysis of the Generalized Processor Sharing
+(GPS) scheduling discipline.
+
+A complete, self-contained implementation of Zhang, Towsley & Kurose,
+"Statistical Analysis of Generalized Processor Sharing Scheduling
+Discipline" (SIGCOMM '94 / UMass CMPSCI TR 95-10):
+
+* :mod:`repro.core` — E.B.B. process model, the GPS decomposition,
+  feasible orderings and partitions, and the single-node bound
+  theorems (7, 8, 10, 11, 12).
+* :mod:`repro.markov` — effective bandwidths and LNT94/BD94 bounds for
+  Markov-modulated sources (Table 2 / Figure 4 machinery).
+* :mod:`repro.network` — CRST networks, the Theorem 13 recursion, and
+  RPPS closed forms (Theorem 15).
+* :mod:`repro.traffic` — traffic generators, leaky buckets, the
+  Section 3 marking scheme, deterministic envelopes and empirical
+  E.B.B. estimation.
+* :mod:`repro.deterministic` — the Parekh-Gallager worst-case baseline.
+* :mod:`repro.sim` — fluid GPS, packetized WFQ (PGPS), baseline
+  schedulers and network simulators with measurement utilities.
+* :mod:`repro.experiments` — the paper's Section 6.3 numerical example.
+"""
+
+from repro.core import (
+    EBB,
+    ExponentialTailBound,
+    GPSConfig,
+    Session,
+    best_partition_family,
+    feasible_partition,
+    find_feasible_ordering,
+    rpps_config,
+    theorem7_family,
+    theorem10_bounds,
+    theorem11_family,
+    theorem12_family,
+)
+from repro.network import (
+    Network,
+    NetworkNode,
+    NetworkSession,
+    analyze_crst_network,
+    crst_partition,
+    rpps_network_bounds,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EBB",
+    "ExponentialTailBound",
+    "GPSConfig",
+    "Session",
+    "best_partition_family",
+    "feasible_partition",
+    "find_feasible_ordering",
+    "rpps_config",
+    "theorem7_family",
+    "theorem10_bounds",
+    "theorem11_family",
+    "theorem12_family",
+    "Network",
+    "NetworkNode",
+    "NetworkSession",
+    "analyze_crst_network",
+    "crst_partition",
+    "rpps_network_bounds",
+    "__version__",
+]

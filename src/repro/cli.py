@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table1`` / ``table2`` / ``figure3`` / ``figure4``
+    Print the corresponding paper artifact.
+``simulate``
+    Monte-Carlo validation of the Section 6.3 bounds.
+``all``
+    Render every artifact, optionally into ``--output-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.experiments.runner import (
+    render_figure3,
+    render_figure4,
+    render_simulation_check,
+    render_table1,
+    render_table2,
+    run_all,
+)
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce the artifacts of 'Statistical Analysis of "
+            "Generalized Processor Sharing' (Zhang/Towsley/Kurose)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, help_text in (
+        ("table1", "print Table 1 (source parameters)"),
+        ("table2", "print Table 2 (E.B.B. characterizations)"),
+        ("figure3", "print the Figure 3 delay-bound series"),
+        ("figure4", "print the Figure 4 improved series"),
+    ):
+        sub.add_parser(name, help=help_text)
+    simulate = sub.add_parser(
+        "simulate", help="Monte-Carlo check of the bounds"
+    )
+    simulate.add_argument(
+        "--slots", type=int, default=60_000, help="simulated slots"
+    )
+    simulate.add_argument(
+        "--seed", type=int, default=0, help="random seed"
+    )
+    everything = sub.add_parser(
+        "all", help="render every artifact"
+    )
+    everything.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write artifacts as text files here",
+    )
+    analyze = sub.add_parser(
+        "analyze",
+        help="analyze a user network described in a JSON file",
+    )
+    analyze.add_argument("network", help="path to the network JSON")
+    analyze.add_argument(
+        "--theta-shrink",
+        type=float,
+        default=0.7,
+        help="per-hop Chernoff fraction for the CRST recursion",
+    )
+    return parser
+
+
+def _run_analyze(args) -> int:
+    from repro.experiments.tables import format_table
+    from repro.network.analysis import analyze_crst_network
+    from repro.network.render import render_topology
+    from repro.network.rpps_network import rpps_network_report
+    from repro.network.serialization import load_network
+
+    network = load_network(args.network)
+    print(render_topology(network))
+    print()
+    if network.is_rpps():
+        print("assignment: RPPS — Theorem 15 closed forms")
+        reports = rpps_network_report(network, discrete=True)
+        rows = [
+            [
+                name,
+                report.guaranteed_rate,
+                report.network_backlog.prefactor,
+                report.network_backlog.decay_rate,
+                report.end_to_end_delay.decay_rate,
+            ]
+            for name, report in reports.items()
+        ]
+        print(
+            format_table(
+                [
+                    "session",
+                    "g_net",
+                    "backlog prefactor",
+                    "backlog decay",
+                    "delay decay",
+                ],
+                rows,
+            )
+        )
+    else:
+        print("assignment: general CRST — Theorem 13 recursion")
+        reports = analyze_crst_network(
+            network, theta_shrink=args.theta_shrink, discrete=True
+        )
+        rows = [
+            [
+                name,
+                report.end_to_end_delay.prefactor,
+                report.end_to_end_delay.decay_rate,
+                report.network_backlog.decay_rate,
+            ]
+            for name, report in reports.items()
+        ]
+        print(
+            format_table(
+                [
+                    "session",
+                    "delay prefactor",
+                    "delay decay",
+                    "backlog decay",
+                ],
+                rows,
+            )
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(render_table1())
+    elif args.command == "table2":
+        print(render_table2())
+    elif args.command == "figure3":
+        print(render_figure3())
+    elif args.command == "figure4":
+        print(render_figure4())
+    elif args.command == "simulate":
+        print(
+            render_simulation_check(
+                num_slots=args.slots, seed=args.seed
+            )
+        )
+    elif args.command == "all":
+        artifacts = run_all(args.output_dir)
+        for name, text in artifacts.items():
+            print(f"\n### {name}\n{text}")
+    elif args.command == "analyze":
+        return _run_analyze(args)
+    return 0

@@ -1,0 +1,119 @@
+"""Core analytical machinery: E.B.B. processes, the GPS decomposition,
+feasible orderings/partitions and the single-node bound theorems."""
+
+from repro.core.admission import (
+    QoSTarget,
+    admissible,
+    max_admissible_copies,
+    meets_target,
+    required_rate_for_delay,
+)
+from repro.core.bounds import (
+    ExponentialTailBound,
+    MinTailBound,
+    best_bound,
+    sum_of_tail_bounds,
+)
+from repro.core.pgps import (
+    PacketizationPenalty,
+    pgps_backlog_bound,
+    pgps_delay_bound,
+    pgps_session_bounds,
+    shift_bound,
+)
+from repro.core.decomposition import (
+    Decomposition,
+    decompose,
+    phi_proportional_epsilons,
+    rho_proportional_epsilons,
+    uniform_epsilons,
+)
+from repro.core.ebb import EB, EBB, aggregate_independent, aggregate_union
+from repro.core.feasible import (
+    FeasibleOrderingError,
+    FeasiblePartition,
+    all_feasible_orderings,
+    feasible_partition,
+    find_feasible_ordering,
+    is_feasible_ordering,
+)
+from repro.core.gps import GPSConfig, Session, rpps_config
+from repro.core.holder import HolderSplit, HolderTerm, optimal_holder_split
+from repro.core.mgf import (
+    VirtualQueue,
+    bucket_delta_tail_bound,
+    discrete_delta_tail_bound,
+    lemma5_tail_bound,
+    lemma6_log_mgf_bound,
+    lemma6_optimal_xi,
+)
+from repro.core.rpps import (
+    guaranteed_rate_bounds,
+    rpps_all_bounds,
+    rpps_session_bounds,
+)
+from repro.core.single_node import (
+    SessionBoundFamily,
+    SessionBounds,
+    best_partition_family,
+    theorem7_family,
+    theorem8_family,
+    theorem10_bounds,
+    theorem11_family,
+    theorem12_family,
+)
+
+__all__ = [
+    "QoSTarget",
+    "admissible",
+    "max_admissible_copies",
+    "meets_target",
+    "required_rate_for_delay",
+    "PacketizationPenalty",
+    "pgps_backlog_bound",
+    "pgps_delay_bound",
+    "pgps_session_bounds",
+    "shift_bound",
+    "EB",
+    "EBB",
+    "aggregate_independent",
+    "aggregate_union",
+    "ExponentialTailBound",
+    "MinTailBound",
+    "best_bound",
+    "sum_of_tail_bounds",
+    "Decomposition",
+    "decompose",
+    "uniform_epsilons",
+    "rho_proportional_epsilons",
+    "phi_proportional_epsilons",
+    "FeasibleOrderingError",
+    "FeasiblePartition",
+    "all_feasible_orderings",
+    "feasible_partition",
+    "find_feasible_ordering",
+    "is_feasible_ordering",
+    "GPSConfig",
+    "Session",
+    "rpps_config",
+    "HolderSplit",
+    "HolderTerm",
+    "optimal_holder_split",
+    "VirtualQueue",
+    "bucket_delta_tail_bound",
+    "discrete_delta_tail_bound",
+    "lemma5_tail_bound",
+    "lemma6_log_mgf_bound",
+    "lemma6_optimal_xi",
+    "guaranteed_rate_bounds",
+    "rpps_all_bounds",
+    "rpps_session_bounds",
+    "SessionBoundFamily",
+    "SessionBounds",
+    "best_partition_family",
+    "theorem7_family",
+    "theorem8_family",
+    "theorem10_bounds",
+    "theorem11_family",
+    "theorem12_family",
+]

@@ -1,0 +1,211 @@
+"""Exponential tail bounds and their algebra.
+
+Every statistical result in the paper has the shape
+
+    Pr{X >= x} <= Lambda * exp(-theta * x)
+
+for a *prefactor* ``Lambda`` and a *decay rate* ``theta``.  This module
+provides a small algebra over such bounds:
+
+* :class:`ExponentialTailBound` — an immutable ``(Lambda, theta)`` pair
+  with evaluation, quantiles and rescaling;
+* :func:`sum_of_tail_bounds` — a tail bound on a sum ``X_1 + ... + X_n``
+  of individually bounded quantities (no independence needed), used to
+  convolve per-node delay bounds into end-to-end bounds in CRST
+  networks (Section 6.1);
+* :class:`MinTailBound` — the pointwise minimum of several bounds, used
+  when more than one theorem applies to the same session.
+
+Bounds are *probability* bounds, so evaluation clamps at 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "TailBound",
+    "ExponentialTailBound",
+    "MinTailBound",
+    "sum_of_tail_bounds",
+    "best_bound",
+]
+
+
+@runtime_checkable
+class TailBound(Protocol):
+    """Protocol for anything that bounds ``Pr{X >= x}`` from above."""
+
+    def evaluate(self, x: float) -> float:
+        """Return an upper bound on ``Pr{X >= x}``."""
+        ...
+
+    def evaluate_array(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`evaluate`."""
+        ...
+
+
+@dataclass(frozen=True)
+class ExponentialTailBound:
+    """The bound ``Pr{X >= x} <= min(1, prefactor * exp(-decay_rate * x))``.
+
+    Attributes
+    ----------
+    prefactor:
+        The constant ``Lambda`` in front of the exponential.  May exceed 1
+        (the bound is then vacuous for small ``x``).
+    decay_rate:
+        The exponential decay rate ``theta > 0``.
+    """
+
+    prefactor: float
+    decay_rate: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("prefactor", self.prefactor)
+        check_positive("decay_rate", self.decay_rate)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def log_evaluate(self, x: float) -> float:
+        """Return ``log`` of the (unclamped) bound at ``x``."""
+        if self.prefactor == 0.0:
+            return -math.inf
+        return math.log(self.prefactor) - self.decay_rate * x
+
+    def evaluate(self, x: float) -> float:
+        """Return ``min(1, Lambda * exp(-theta * x))``."""
+        return _exp_clamped(self.log_evaluate(x))
+
+    def evaluate_array(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorized :meth:`evaluate` over ``xs``."""
+        xs_arr = np.asarray(xs, dtype=float)
+        if self.prefactor == 0.0:
+            return np.zeros_like(xs_arr)
+        log_vals = math.log(self.prefactor) - self.decay_rate * xs_arr
+        return np.minimum(1.0, np.exp(np.minimum(log_vals, 0.0)))
+
+    def quantile(self, epsilon: float) -> float:
+        """Smallest ``x`` at which the bound drops to ``epsilon``.
+
+        This is the admission-control view of the bound: the backlog (or
+        delay) that is exceeded with probability at most ``epsilon``.
+        """
+        check_positive("epsilon", epsilon)
+        if epsilon >= 1.0:
+            return 0.0
+        if self.prefactor == 0.0:
+            return 0.0
+        x = (math.log(self.prefactor) - math.log(epsilon)) / self.decay_rate
+        return max(0.0, x)
+
+    # ------------------------------------------------------------------
+    # transformations
+    # ------------------------------------------------------------------
+    def scaled_argument(self, rate: float) -> "ExponentialTailBound":
+        """Bound on ``X / rate`` given this bound on ``X``.
+
+        If ``Pr{Q >= q} <= L e^{-theta q}`` and a session is guaranteed a
+        backlog-clearing rate ``g``, then its delay ``D = Q / g`` obeys
+        ``Pr{D >= d} <= L e^{-theta g d}``; that conversion is
+        ``bound.scaled_argument(g)``.
+        """
+        check_positive("rate", rate)
+        return ExponentialTailBound(self.prefactor, self.decay_rate * rate)
+
+    def weakened(self, factor: float) -> "ExponentialTailBound":
+        """Return the same bound with the prefactor inflated by ``factor``."""
+        check_positive("factor", factor)
+        return ExponentialTailBound(self.prefactor * factor, self.decay_rate)
+
+    def dominates(self, other: "ExponentialTailBound") -> bool:
+        """True if this bound is at least as tight as ``other`` for all x >= 0.
+
+        That requires a decay rate at least as large *and* a prefactor no
+        larger.  (Bounds that cross are incomparable.)
+        """
+        return (
+            self.decay_rate >= other.decay_rate
+            and self.prefactor <= other.prefactor
+        )
+
+
+def _exp_clamped(log_value: float) -> float:
+    """``exp`` that returns 1.0 for any ``log_value >= 0``."""
+    if log_value >= 0.0:
+        return 1.0
+    return math.exp(log_value)
+
+
+@dataclass(frozen=True)
+class MinTailBound:
+    """Pointwise minimum of several tail bounds on the same quantity.
+
+    When several theorems each yield a valid bound (e.g. Theorem 7 with
+    different feasible orderings, or Theorem 7 vs Theorem 11), the
+    pointwise minimum is also a valid bound.
+    """
+
+    components: tuple[ExponentialTailBound, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.components) == 0:
+            raise ValueError("MinTailBound requires at least one component")
+
+    def evaluate(self, x: float) -> float:
+        return min(component.evaluate(x) for component in self.components)
+
+    def evaluate_array(self, xs: Sequence[float]) -> np.ndarray:
+        stacked = np.vstack(
+            [component.evaluate_array(xs) for component in self.components]
+        )
+        return stacked.min(axis=0)
+
+    def quantile(self, epsilon: float) -> float:
+        return min(component.quantile(epsilon) for component in self.components)
+
+
+def sum_of_tail_bounds(
+    bounds: Iterable[ExponentialTailBound],
+) -> ExponentialTailBound:
+    """Tail bound on ``X_1 + ... + X_n`` from bounds on each ``X_k``.
+
+    No independence is assumed: we use the union bound over the split
+    ``x = sum_k (theta / theta_k) x`` with ``theta`` the harmonic sum
+    ``(sum_k 1/theta_k)^{-1}``, which gives
+
+        Pr{sum X_k >= x} <= (sum_k Lambda_k) * exp(-theta x).
+
+    This is how per-node delay bounds are convolved into an end-to-end
+    delay bound along a route in a CRST network.
+    """
+    bound_list = list(bounds)
+    if not bound_list:
+        raise ValueError("need at least one bound to sum")
+    if len(bound_list) == 1:
+        return bound_list[0]
+    inverse_decay = sum(1.0 / b.decay_rate for b in bound_list)
+    prefactor = sum(b.prefactor for b in bound_list)
+    return ExponentialTailBound(prefactor, 1.0 / inverse_decay)
+
+
+def best_bound(
+    bounds: Iterable[ExponentialTailBound], at: float
+) -> ExponentialTailBound:
+    """Return the component bound that is tightest at the point ``at``.
+
+    Useful to pick a single ``(Lambda, theta)`` representative when a
+    downstream computation (e.g. an output E.B.B. characterization)
+    needs one exponential rather than a pointwise minimum.
+    """
+    bound_list = list(bounds)
+    if not bound_list:
+        raise ValueError("need at least one bound")
+    return min(bound_list, key=lambda b: b.log_evaluate(at))

@@ -1,0 +1,166 @@
+"""The GPS decomposition: virtual rates ``r_i`` and their allocation.
+
+Section 3 replaces the coupled GPS system with ``N`` fictitious
+dedicated-rate servers.  The virtual rates must satisfy
+``sum_i r_i <= rate``, ``r_i > rho_i`` and form a feasible ordering
+(eq. 5).  How the slack ``rate - sum_i rho_i`` is split into the
+``eps_i = r_i - rho_i`` is a free design choice that trades prefactor
+against decay across sessions; this module provides the standard
+allocation strategies and the :class:`Decomposition` object the
+single-node theorems consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.feasible import find_feasible_ordering
+from repro.core.gps import GPSConfig
+from repro.core.mgf import VirtualQueue
+from repro.utils.validation import check_in_open_interval, check_positive
+
+__all__ = [
+    "Decomposition",
+    "uniform_epsilons",
+    "rho_proportional_epsilons",
+    "phi_proportional_epsilons",
+    "decompose",
+]
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """Virtual rates plus a feasible ordering for a GPS configuration.
+
+    Attributes
+    ----------
+    config:
+        The underlying GPS server model.
+    rates:
+        Virtual rate ``r_i`` per session, in session order.
+    ordering:
+        A feasible ordering with respect to ``rates`` (eq. 5):
+        ``ordering[k]`` is the session index at position ``k``.
+    """
+
+    config: GPSConfig
+    rates: tuple[float, ...]
+    ordering: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.rates) != len(self.config):
+            raise ValueError("one virtual rate per session required")
+        for i, (session, rate) in enumerate(
+            zip(self.config.sessions, self.rates)
+        ):
+            if rate <= session.rho:
+                raise ValueError(
+                    f"virtual rate r[{i}]={rate} must exceed "
+                    f"rho[{i}]={session.rho}"
+                )
+        if sum(self.rates) > self.config.rate * (1.0 + 1e-12):
+            raise ValueError(
+                f"virtual rates sum to {sum(self.rates)} > server rate "
+                f"{self.config.rate}"
+            )
+
+    # ------------------------------------------------------------------
+    def position(self, session_index: int) -> int:
+        """Position of a session in the feasible ordering."""
+        return self.ordering.index(session_index)
+
+    def predecessors(self, session_index: int) -> list[int]:
+        """Sessions strictly before ``session_index`` in the ordering.
+
+        These are the only sessions that influence its bound
+        (Theorem 7)."""
+        return list(self.ordering[: self.position(session_index)])
+
+    def psi(self, session_index: int) -> float:
+        """``psi_i = phi_i / sum_{j at position >= pos(i)} phi_j``."""
+        pos = self.position(session_index)
+        tail_phi = sum(
+            self.config.sessions[j].phi for j in self.ordering[pos:]
+        )
+        return self.config.sessions[session_index].phi / tail_phi
+
+    def epsilon(self, session_index: int) -> float:
+        """Stability margin ``eps_i = r_i - rho_i`` of the virtual queue."""
+        return (
+            self.rates[session_index]
+            - self.config.sessions[session_index].rho
+        )
+
+    def virtual_queue(self, session_index: int) -> VirtualQueue:
+        """The fictitious dedicated-rate queue for one session."""
+        return VirtualQueue(
+            arrival=self.config.sessions[session_index].arrival,
+            rate=self.rates[session_index],
+        )
+
+
+def uniform_epsilons(config: GPSConfig, *, share: float = 1.0) -> list[float]:
+    """Split ``share`` of the server slack equally across sessions."""
+    check_in_open_interval("share", share, 0.0, 1.0 + 1e-12)
+    return [share * config.slack / len(config)] * len(config)
+
+
+def rho_proportional_epsilons(
+    config: GPSConfig, *, share: float = 1.0
+) -> list[float]:
+    """Split the slack proportionally to each session's upper rate.
+
+    Equalizes the *relative* stability margin ``eps_i / rho_i`` across
+    sessions, which tends to balance the per-session prefactors.
+    """
+    check_in_open_interval("share", share, 0.0, 1.0 + 1e-12)
+    total_rho = sum(config.rhos)
+    return [share * config.slack * rho / total_rho for rho in config.rhos]
+
+
+def phi_proportional_epsilons(
+    config: GPSConfig, *, share: float = 1.0
+) -> list[float]:
+    """Split the slack proportionally to the GPS weights ``phi_i``."""
+    check_in_open_interval("share", share, 0.0, 1.0 + 1e-12)
+    return [
+        share * config.slack * phi / config.total_phi for phi in config.phis
+    ]
+
+
+def decompose(
+    config: GPSConfig,
+    epsilons: Sequence[float] | None = None,
+) -> Decomposition:
+    """Build a :class:`Decomposition` for ``config``.
+
+    Parameters
+    ----------
+    epsilons:
+        Per-session slack ``eps_i > 0`` with ``sum_i eps_i`` at most the
+        server slack.  Defaults to :func:`rho_proportional_epsilons`,
+        which always yields a valid decomposition.
+
+    Raises
+    ------
+    FeasibleOrderingError
+        If no feasible ordering exists for the implied virtual rates
+        (cannot happen when ``sum_i r_i <= rate``, but a caller passing
+        inconsistent epsilons will be told so).
+    """
+    if epsilons is None:
+        epsilons = rho_proportional_epsilons(config)
+    if len(epsilons) != len(config):
+        raise ValueError("one epsilon per session required")
+    for k, eps in enumerate(epsilons):
+        check_positive(f"epsilons[{k}]", eps)
+    rates = tuple(
+        session.rho + eps for session, eps in zip(config.sessions, epsilons)
+    )
+    ordering = tuple(
+        find_feasible_ordering(
+            rates, config.phis, server_rate=config.rate, strict=False
+        )
+    )
+    return Decomposition(config=config, rates=rates, ordering=ordering)

@@ -1,0 +1,208 @@
+"""Exponentially Bounded Burstiness (E.B.B.) and E.B. process models.
+
+The paper characterizes each session's source traffic as an E.B.B.
+process (Yaron & Sidi [YaSi93]): an arrival process ``A`` is
+``(rho, Lambda, alpha)``-E.B.B. if for all ``tau <= t`` and ``x >= 0``
+
+    Pr{A(tau, t) >= rho * (t - tau) + x} <= Lambda * exp(-alpha * x).
+
+``rho`` is the long-term *upper rate*, ``Lambda`` the prefactor and
+``alpha`` the decay rate.  The companion notion of an *exponentially
+bounded* (E.B.) process bounds a time-indexed quantity directly:
+``Pr{X(t) >= x} <= Lambda * exp(-alpha * x)``.
+
+This module provides both characterizations, the moment-generating-
+function envelope of eq. (19) (the ``sigma_hat`` burstiness constant),
+and aggregation of several E.B.B. sessions into one (used for the
+aggregate sessions of the feasible partition, Section 5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.bounds import ExponentialTailBound
+from repro.utils.validation import (
+    check_in_open_interval,
+    check_nonnegative,
+    check_positive,
+)
+
+__all__ = [
+    "EBB",
+    "EB",
+    "aggregate_independent",
+    "aggregate_union",
+]
+
+
+@dataclass(frozen=True)
+class EBB:
+    """A ``(rho, Lambda, alpha)``-E.B.B. arrival-process characterization.
+
+    Attributes
+    ----------
+    rho:
+        Long-term upper rate of the arrival process (traffic units per
+        unit time).  Must be positive.
+    prefactor:
+        The multiplicative constant ``Lambda >= 0``.
+    decay_rate:
+        The exponential decay rate ``alpha > 0`` of the burstiness tail.
+    """
+
+    rho: float
+    prefactor: float
+    decay_rate: float
+
+    def __post_init__(self) -> None:
+        check_positive("rho", self.rho)
+        check_nonnegative("prefactor", self.prefactor)
+        check_positive("decay_rate", self.decay_rate)
+
+    # ------------------------------------------------------------------
+    # direct evaluation
+    # ------------------------------------------------------------------
+    def burstiness_tail(self) -> ExponentialTailBound:
+        """The tail bound on ``A(tau, t) - rho (t - tau)``, any interval."""
+        return ExponentialTailBound(self.prefactor, self.decay_rate)
+
+    def interval_tail(self, duration: float) -> ExponentialTailBound:
+        """Tail bound on the *total* arrivals ``A(t, t + duration)``.
+
+        ``Pr{A >= a}`` is bounded by evaluating the burstiness tail at
+        ``a - rho * duration``; expressed as an exponential bound in the
+        total amount ``a`` it has prefactor ``Lambda * exp(alpha * rho *
+        duration)``.
+        """
+        check_nonnegative("duration", duration)
+        return ExponentialTailBound(
+            self.prefactor * math.exp(self.decay_rate * self.rho * duration),
+            self.decay_rate,
+        )
+
+    # ------------------------------------------------------------------
+    # MGF envelope (eq. 19)
+    # ------------------------------------------------------------------
+    def sigma_hat(self, theta: float) -> float:
+        """The burstiness constant ``sigma_hat(theta)`` of eq. (19).
+
+        For ``0 < theta < alpha``,
+
+            E[exp(theta A(tau, t))]
+                <= exp(theta * (rho (t - tau) + sigma_hat(theta)))
+
+        with ``sigma_hat(theta) = (1/theta) ln(1 + theta Lambda /
+        (alpha - theta))``.
+        """
+        check_in_open_interval("theta", theta, 0.0, self.decay_rate)
+        return (
+            math.log1p(theta * self.prefactor / (self.decay_rate - theta))
+            / theta
+        )
+
+    def log_mgf_envelope(self, theta: float, duration: float) -> float:
+        """Upper bound on ``ln E[exp(theta A(t, t + duration))]``."""
+        check_nonnegative("duration", duration)
+        return theta * (self.rho * duration + self.sigma_hat(theta))
+
+    # ------------------------------------------------------------------
+    # sample-path verification
+    # ------------------------------------------------------------------
+    def empirical_violation_rate(
+        self,
+        increments: Sequence[float],
+        *,
+        window: int,
+        excess: float,
+    ) -> float:
+        """Fraction of length-``window`` intervals violating the bound.
+
+        Given a discrete-time sample path of per-slot arrival
+        ``increments``, returns the empirical probability that
+        ``A(t, t + window) >= rho * window + excess``; the E.B.B.
+        property promises this is at most
+        ``Lambda * exp(-alpha * excess)`` in expectation over sample
+        paths.  Used by tests and by the estimation module.
+        """
+        arr = np.asarray(increments, dtype=float)
+        if window <= 0 or window > arr.size:
+            raise ValueError(
+                f"window must be in [1, {arr.size}], got {window}"
+            )
+        cumulative = np.concatenate(([0.0], np.cumsum(arr)))
+        window_sums = cumulative[window:] - cumulative[:-window]
+        threshold = self.rho * window + excess
+        return float(np.mean(window_sums >= threshold))
+
+    def as_eb(self) -> "EB":
+        """View the burstiness tail as an E.B. characterization."""
+        return EB(self.prefactor, self.decay_rate)
+
+
+@dataclass(frozen=True)
+class EB:
+    """An ``(alpha, Lambda)``-exponentially-bounded (E.B.) process.
+
+    ``Pr{X(t) >= x} <= Lambda * exp(-alpha * x)`` for every ``t``.
+    Backlog and delay processes produced by the theorems are E.B.
+    """
+
+    prefactor: float
+    decay_rate: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("prefactor", self.prefactor)
+        check_positive("decay_rate", self.decay_rate)
+
+    def tail(self) -> ExponentialTailBound:
+        """The tail bound ``Pr{X(t) >= x} <= Lambda e^{-alpha x}``."""
+        return ExponentialTailBound(self.prefactor, self.decay_rate)
+
+    def evaluate(self, x: float) -> float:
+        """Evaluate the tail bound at ``x``."""
+        return self.tail().evaluate(x)
+
+
+def aggregate_independent(
+    sessions: Iterable[EBB], theta: float
+) -> EBB:
+    """Aggregate independent E.B.B. sessions into one E.B.B. session.
+
+    Following Section 5: for ``0 < theta < min_i alpha_i`` the sum of the
+    arrival processes is a ``(sum_i rho_i, exp(theta * sum_i
+    sigma_hat_i(theta)), theta)``-E.B.B. process.  This is how a feasible
+    partition class becomes a single *aggregate session*.
+    """
+    session_list = list(sessions)
+    if not session_list:
+        raise ValueError("need at least one session to aggregate")
+    alpha_min = min(s.decay_rate for s in session_list)
+    check_in_open_interval("theta", theta, 0.0, alpha_min)
+    total_rho = sum(s.rho for s in session_list)
+    total_sigma = sum(s.sigma_hat(theta) for s in session_list)
+    return EBB(total_rho, math.exp(theta * total_sigma), theta)
+
+
+def aggregate_union(sessions: Iterable[EBB]) -> EBB:
+    """Aggregate E.B.B. sessions without any independence assumption.
+
+    Uses the union bound with the burst split ``x_i = (alpha / alpha_i)
+    x`` where ``alpha = (sum_i 1/alpha_i)^{-1}``: the aggregate is a
+    ``(sum_i rho_i, sum_i Lambda_i, alpha)``-E.B.B. process.  Weaker
+    than :func:`aggregate_independent` (smaller decay rate) but valid
+    for arbitrarily correlated sessions.
+    """
+    session_list = list(sessions)
+    if not session_list:
+        raise ValueError("need at least one session to aggregate")
+    if len(session_list) == 1:
+        return session_list[0]
+    total_rho = sum(s.rho for s in session_list)
+    total_prefactor = sum(s.prefactor for s in session_list)
+    decay = 1.0 / sum(1.0 / s.decay_rate for s in session_list)
+    return EBB(total_rho, total_prefactor, decay)

@@ -1,0 +1,25 @@
+"""Deterministic (worst-case) GPS bounds for leaky-bucket sources —
+the Parekh-Gallager baseline that the paper's statistical analysis
+extends."""
+
+from repro.deterministic.all_greedy import AllGreedyResult, all_greedy_analysis
+from repro.deterministic.network import PGNetworkBounds, pg_rpps_network_bounds
+from repro.deterministic.parekh_gallager import (
+    DeterministicBounds,
+    DeterministicGPSConfig,
+    DeterministicSession,
+    pg_all_bounds,
+    pg_session_bounds,
+)
+
+__all__ = [
+    "AllGreedyResult",
+    "all_greedy_analysis",
+    "PGNetworkBounds",
+    "pg_rpps_network_bounds",
+    "DeterministicBounds",
+    "DeterministicGPSConfig",
+    "DeterministicSession",
+    "pg_all_bounds",
+    "pg_session_bounds",
+]

@@ -1,0 +1,149 @@
+"""The Parekh-Gallager all-greedy system: exact worst-case dynamics.
+
+Parekh & Gallager showed that for leaky-bucket sources the worst-case
+per-session backlogs and delays in a GPS system are attained (for
+locally stable sessions) by the *all-greedy* regime: at time zero every
+session dumps its full burst ``sigma_i`` and thereafter sends at its
+token rate ``rho_i``.  Because that input is a burst plus constant
+rates, the exact fluid GPS engine (:mod:`repro.sim.fluid_exact`)
+resolves the resulting trajectories in closed form — giving *exact*
+worst-case figures to compare against the decomposition-based bounds
+of :mod:`repro.deterministic.parekh_gallager` (which are upper bounds
+on these) and against the statistical bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.deterministic.parekh_gallager import DeterministicGPSConfig
+from repro.sim.fluid_exact import (
+    FluidTrajectory,
+    RateSegment,
+    simulate_exact_gps,
+)
+
+__all__ = ["AllGreedyResult", "all_greedy_analysis"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class AllGreedyResult:
+    """Exact all-greedy worst-case figures per session.
+
+    Attributes
+    ----------
+    trajectory:
+        The exact piecewise-linear backlog curves.
+    max_backlogs:
+        Peak backlog per session over the all-greedy busy period.
+    clear_times:
+        Time at which each session's backlog first returns to zero.
+    max_delays:
+        Worst clearing delay per session: the maximum over ``t`` of the
+        time until the backlog present at ``t`` is served.  For the
+        all-greedy trajectory this is evaluated on the exact curves.
+    """
+
+    trajectory: FluidTrajectory
+    max_backlogs: tuple[float, ...]
+    clear_times: tuple[float, ...]
+    max_delays: tuple[float, ...]
+
+
+def _session_max_delay(
+    trajectory: FluidTrajectory,
+    session: int,
+    sigma: float,
+    rho: float,
+) -> float:
+    """Exact worst clearing delay for one all-greedy session.
+
+    The cumulative arrivals are ``A(t) = sigma + rho t`` and the
+    cumulative service ``S(t) = A(t) - Q(t)`` is piecewise linear with
+    breakpoints at the trajectory's event times; the delay of the
+    traffic present at time ``t`` is ``inf{d : S(t+d) >= A(t)}``.  The
+    maximum over ``t`` is attained at an event time (both curves are
+    piecewise linear), so scanning event times is exact.
+    """
+    times = trajectory.times
+    backlog = trajectory.backlog[:, session]
+    arrivals = sigma + rho * (times - times[0])
+    service = arrivals - backlog
+    worst = 0.0
+    for k in range(times.size):
+        target = arrivals[k]
+        if backlog[k] <= _EPS:
+            continue
+        # find the first time service reaches the target
+        j = int(np.searchsorted(service, target - _EPS))
+        if j >= times.size:
+            # not cleared within the computed horizon; signal with inf
+            return float("inf")
+        if j == 0:
+            clear_time = times[0]
+        else:
+            s0, s1 = service[j - 1], service[j]
+            t0, t1 = times[j - 1], times[j]
+            if s1 <= s0 + _EPS:
+                clear_time = t1
+            else:
+                clear_time = t0 + (target - s0) / (s1 - s0) * (t1 - t0)
+        worst = max(worst, clear_time - times[k])
+    return worst
+
+
+def all_greedy_analysis(
+    config: DeterministicGPSConfig,
+    *,
+    horizon: float | None = None,
+) -> AllGreedyResult:
+    """Run the all-greedy system for a deterministic GPS configuration.
+
+    The horizon defaults to a safe multiple of the system busy period
+    ``sum sigma / (rate - sum rho)`` (all backlogs are provably zero
+    afterwards).
+    """
+    sigmas = [s.sigma for s in config.sessions]
+    rhos = [s.rho for s in config.sessions]
+    slack = config.rate - sum(rhos)
+    if horizon is None:
+        busy_period = sum(sigmas) / slack if sum(sigmas) > 0 else 1.0
+        horizon = 2.0 * busy_period + 1.0
+    trajectory = simulate_exact_gps(
+        config.rate,
+        [s.phi for s in config.sessions],
+        [
+            RateSegment(
+                start_time=0.0,
+                rates=tuple(rhos),
+                bursts=tuple(sigmas),
+            )
+        ],
+        horizon=horizon,
+    )
+    num = len(config.sessions)
+    max_backlogs = tuple(
+        trajectory.max_backlog(i) for i in range(num)
+    )
+    clear_times = []
+    for i in range(num):
+        cleared = trajectory.times[
+            trajectory.backlog[:, i] <= _EPS
+        ]
+        clear_times.append(
+            float(cleared[0]) if cleared.size else float("inf")
+        )
+    max_delays = tuple(
+        _session_max_delay(trajectory, i, sigmas[i], rhos[i])
+        for i in range(num)
+    )
+    return AllGreedyResult(
+        trajectory=trajectory,
+        max_backlogs=max_backlogs,
+        clear_times=tuple(clear_times),
+        max_delays=max_delays,
+    )

@@ -1,0 +1,69 @@
+"""Deterministic RPPS network bounds (Parekh & Gallager, multi-node).
+
+Parekh & Gallager's celebrated multiple-node result: in an RPPS GPS
+network where every session is leaky-bucket constrained and every node
+satisfies ``sum rho < r``, the end-to-end worst-case delay of session
+``i`` depends only on its burst parameter and its bottleneck guaranteed
+rate,
+
+    D_i^net <= sigma_i / g_i^net,
+    Q_i^net <= sigma_i,
+
+independent of route length and topology — the deterministic
+counterpart of Theorem 15 (and the template for it: Lemma 14 is a
+restatement of their Lemma 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.topology import Network
+from repro.traffic.envelope import LBAPEnvelope
+
+__all__ = ["PGNetworkBounds", "pg_rpps_network_bounds"]
+
+
+@dataclass(frozen=True)
+class PGNetworkBounds:
+    """Worst-case end-to-end bounds for one session."""
+
+    session: str
+    bottleneck_node: str
+    guaranteed_rate: float
+    max_network_backlog: float
+    max_end_to_end_delay: float
+
+
+def pg_rpps_network_bounds(
+    network: Network,
+    session_name: str,
+    envelope: LBAPEnvelope,
+) -> PGNetworkBounds:
+    """Deterministic Theorem-15 analogue for one session.
+
+    ``envelope`` is the session's leaky-bucket constraint; its rate
+    must match the session's declared upper rate (the RPPS weights are
+    ``phi_i^m = rho_i``).
+    """
+    if not network.is_rpps():
+        raise ValueError("network is not RPPS")
+    session = network.session(session_name)
+    if abs(envelope.rho - session.rho) > 1e-9 * session.rho:
+        raise ValueError(
+            f"envelope rate {envelope.rho} does not match the session "
+            f"upper rate {session.rho}"
+        )
+    g_net = network.network_guaranteed_rate(session_name)
+    if g_net <= envelope.rho:
+        raise ValueError(
+            f"bottleneck guaranteed rate {g_net} must exceed the "
+            f"session rate {envelope.rho}"
+        )
+    return PGNetworkBounds(
+        session=session_name,
+        bottleneck_node=network.bottleneck_node(session_name),
+        guaranteed_rate=g_net,
+        max_network_backlog=envelope.sigma,
+        max_end_to_end_delay=envelope.sigma / g_net,
+    )

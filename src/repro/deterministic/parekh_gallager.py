@@ -1,0 +1,178 @@
+"""Deterministic GPS bounds for leaky-bucket sources (the baseline).
+
+Parekh & Gallager's analysis [PG93a] — the study this paper extends —
+assumes each session conforms to a Cruz ``(sigma, rho)`` envelope and
+derives *worst-case* backlog and delay bounds.  We implement the
+deterministic counterparts of the statistical machinery using the same
+decomposition:
+
+* For an LBAP source drained at a constant rate ``r >= rho``, the
+  virtual backlog never exceeds the burst parameter:
+  ``delta_i(t) <= sigma_i``.
+* Lemma 3 then gives the deterministic analogue of Theorem 7,
+
+      Q_i <= sigma_i + psi_i sum_{j < i} sigma_j,
+      D_i <= Q_i / g_i,
+
+  for a feasible ordering, and the feasible-partition version where
+  the sum runs over the strictly lower classes.
+* A session in H_1 (in particular *every* session under RPPS) gets the
+  Parekh-Gallager closed forms ``Q_i* <= sigma_i`` and
+  ``D_i* <= sigma_i / g_i``.
+
+These bounds are what the paper calls "very conservative" for bursty
+stochastic sources — quantifying that conservatism is one of the
+ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.feasible import FeasiblePartition, feasible_partition
+from repro.traffic.envelope import LBAPEnvelope
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "DeterministicSession",
+    "DeterministicGPSConfig",
+    "DeterministicBounds",
+    "pg_session_bounds",
+    "pg_all_bounds",
+]
+
+
+@dataclass(frozen=True)
+class DeterministicSession:
+    """A leaky-bucket-constrained session at a GPS server."""
+
+    name: str
+    envelope: LBAPEnvelope
+    phi: float
+
+    def __post_init__(self) -> None:
+        check_positive("phi", self.phi)
+        if not self.name:
+            raise ValueError("session name must be non-empty")
+
+    @property
+    def sigma(self) -> float:
+        """Burst parameter."""
+        return self.envelope.sigma
+
+    @property
+    def rho(self) -> float:
+        """Token (long-term) rate."""
+        return self.envelope.rho
+
+
+@dataclass(frozen=True)
+class DeterministicGPSConfig:
+    """A GPS server shared by leaky-bucket sessions."""
+
+    rate: float
+    sessions: tuple[DeterministicSession, ...]
+
+    def __init__(
+        self, rate: float, sessions: Sequence[DeterministicSession]
+    ) -> None:
+        check_positive("rate", rate)
+        session_tuple = tuple(sessions)
+        if not session_tuple:
+            raise ValueError("need at least one session")
+        total_rho = sum(s.rho for s in session_tuple)
+        if total_rho >= rate:
+            raise ValueError(
+                f"sum of token rates {total_rho} must be below the "
+                f"server rate {rate}"
+            )
+        object.__setattr__(self, "rate", float(rate))
+        object.__setattr__(self, "sessions", session_tuple)
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+    @property
+    def total_phi(self) -> float:
+        """Sum of GPS weights."""
+        return sum(s.phi for s in self.sessions)
+
+    def guaranteed_rate(self, session_index: int) -> float:
+        """``g_i = phi_i / sum phi * rate``."""
+        return (
+            self.sessions[session_index].phi / self.total_phi * self.rate
+        )
+
+    def partition(self) -> FeasiblePartition:
+        """Feasible partition from token rates and weights."""
+        return feasible_partition(
+            [s.rho for s in self.sessions],
+            [s.phi for s in self.sessions],
+            server_rate=self.rate,
+        )
+
+    def is_rpps(self, *, rel_tol: float = 1e-9) -> bool:
+        """True when weights are proportional to token rates."""
+        ratios = [s.phi / s.rho for s in self.sessions]
+        lo, hi = min(ratios), max(ratios)
+        return hi - lo <= rel_tol * hi
+
+
+@dataclass(frozen=True)
+class DeterministicBounds:
+    """Worst-case bounds for one session (hard guarantees)."""
+
+    session_name: str
+    max_backlog: float
+    max_delay: float
+    output_envelope: LBAPEnvelope
+
+
+def pg_session_bounds(
+    config: DeterministicGPSConfig,
+    session_index: int,
+    *,
+    partition: FeasiblePartition | None = None,
+) -> DeterministicBounds:
+    """Deterministic partition-based bounds for one session.
+
+    For a session in partition class ``H_{k+1}`` (0-based ``k``),
+
+        Q_i <= sigma_i + psi_i * sum_{j in lower classes} sigma_j,
+
+    with ``psi_i`` the partition weight share, and ``D_i <= Q_i / g_i``.
+    For ``k = 0`` this is the Parekh-Gallager closed form
+    ``Q_i <= sigma_i``.  The output conforms to
+    ``(Q_i_max + sigma_i... )`` — more precisely the departure envelope
+    ``(sigma_i + psi_i sum sigma_j, rho_i)`` from the deterministic
+    analogue of Lemma 4.
+    """
+    if partition is None:
+        partition = config.partition()
+    session = config.sessions[session_index]
+    level = partition.level(session_index)
+    psi = partition.psi(session_index)
+    lower_sigma = sum(
+        config.sessions[j].sigma
+        for j in partition.prefix_sessions(level)
+    )
+    max_backlog = session.sigma + psi * lower_sigma
+    g = config.guaranteed_rate(session_index)
+    return DeterministicBounds(
+        session_name=session.name,
+        max_backlog=max_backlog,
+        max_delay=max_backlog / g,
+        output_envelope=LBAPEnvelope(max_backlog, session.rho),
+    )
+
+
+def pg_all_bounds(
+    config: DeterministicGPSConfig,
+) -> list[DeterministicBounds]:
+    """Deterministic bounds for every session."""
+    partition = config.partition()
+    return [
+        pg_session_bounds(config, i, partition=partition)
+        for i in range(len(config))
+    ]

@@ -1,0 +1,59 @@
+"""Paper experiment configurations (Section 6.3) and report formatting."""
+
+from repro.experiments.paper_example import (
+    PAPER_TABLE2,
+    SESSION_NAMES,
+    SET1_RHOS,
+    SET2_RHOS,
+    TABLE1_PARAMETERS,
+    delay_bound_curve,
+    example_network,
+    figure3_delay_bounds,
+    figure4_improved_bounds,
+    simulate_example_network,
+    table1_sources,
+    table2_characterizations,
+)
+from repro.experiments.sensitivity import (
+    RhoTradeoffPoint,
+    rho_tradeoff_curve,
+)
+from repro.experiments.runner import (
+    render_figure3,
+    render_figure4,
+    render_simulation_check,
+    render_table1,
+    render_table2,
+    run_all,
+)
+from repro.experiments.tables import (
+    format_comparison,
+    format_series,
+    format_table,
+)
+
+__all__ = [
+    "PAPER_TABLE2",
+    "SESSION_NAMES",
+    "SET1_RHOS",
+    "SET2_RHOS",
+    "TABLE1_PARAMETERS",
+    "delay_bound_curve",
+    "example_network",
+    "figure3_delay_bounds",
+    "figure4_improved_bounds",
+    "simulate_example_network",
+    "table1_sources",
+    "table2_characterizations",
+    "format_comparison",
+    "format_series",
+    "format_table",
+    "render_figure3",
+    "render_figure4",
+    "render_simulation_check",
+    "render_table1",
+    "render_table2",
+    "run_all",
+    "RhoTradeoffPoint",
+    "rho_tradeoff_curve",
+]

@@ -1,0 +1,70 @@
+"""Plain-text table and series formatting for benches and examples.
+
+The benchmark harness regenerates each paper artifact as text: tables
+as aligned ASCII, figure curves as (x, log10 value) series — the same
+rows/series the paper reports, without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_comparison"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table.
+
+    Floats are shown with 4 significant digits; everything else via
+    ``str``.
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    rendered = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        for k, cell in enumerate(row):
+            widths[k] = max(widths[k], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    out = [line(list(headers)), separator]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def format_series(
+    label: str, xs: Sequence[float], ys: Sequence[float]
+) -> str:
+    """Render a named (x, y) series, one point per line."""
+    lines = [label]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x:10.4g}  {y:12.6g}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    label: str,
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+) -> str:
+    """Render several aligned series over a common grid."""
+    names = list(series)
+    headers = ["x"] + names
+    rows = []
+    columns = [np.asarray(series[name], dtype=float) for name in names]
+    for k, x in enumerate(xs):
+        rows.append([float(x)] + [float(col[k]) for col in columns])
+    return f"{label}\n" + format_table(headers, rows)

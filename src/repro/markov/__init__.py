@@ -1,0 +1,46 @@
+"""Markov-modulated source analysis: effective bandwidths and
+LNT94/BD94 exponential bounds used in the Section 6.3 example."""
+
+from repro.markov.chain import DTMC, perron_pair
+from repro.markov.effective_bandwidth import (
+    decay_rate_for_rate,
+    eb_admissible,
+    effective_bandwidth,
+    spectral_radius,
+    total_effective_bandwidth,
+)
+from repro.markov.exact_queue import (
+    ExactQueueDistribution,
+    exact_queue_distribution,
+)
+from repro.markov.fitting import MMSFit, OnOffFit, fit_mms, fit_onoff
+from repro.markov.lnt94 import (
+    delay_tail_bound,
+    ebb_characterization,
+    ebb_prefactor,
+    queue_tail_bound,
+)
+from repro.markov.mmpp import MarkovModulatedSource
+from repro.markov.onoff import OnOffSource
+
+__all__ = [
+    "ExactQueueDistribution",
+    "exact_queue_distribution",
+    "MMSFit",
+    "OnOffFit",
+    "fit_mms",
+    "fit_onoff",
+    "DTMC",
+    "perron_pair",
+    "decay_rate_for_rate",
+    "eb_admissible",
+    "effective_bandwidth",
+    "total_effective_bandwidth",
+    "spectral_radius",
+    "delay_tail_bound",
+    "ebb_characterization",
+    "ebb_prefactor",
+    "queue_tail_bound",
+    "MarkovModulatedSource",
+    "OnOffSource",
+]

@@ -1,0 +1,127 @@
+"""Discrete-time Markov chain utilities.
+
+The Section 6.3 example models each source as a discrete-time two-state
+on-off Markov process; the LNT94-style bounds it cites apply to general
+finite Markov-modulated sources.  This module supplies the chain-level
+machinery those bounds need: validation, stationary distributions,
+time reversal and Perron (largest-eigenvalue) pairs of non-negative
+matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+__all__ = ["DTMC", "perron_pair"]
+
+_TOL = 1e-10
+
+
+@dataclass(frozen=True)
+class DTMC:
+    """A finite, irreducible discrete-time Markov chain.
+
+    Attributes
+    ----------
+    transition:
+        Row-stochastic transition matrix ``P`` with ``P[x, y] =
+        Pr{X_{t+1} = y | X_t = x}``.
+    """
+
+    transition: np.ndarray
+
+    def __init__(self, transition: np.ndarray) -> None:
+        matrix = np.asarray(transition, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(
+                f"transition matrix must be square, got shape {matrix.shape}"
+            )
+        if np.any(matrix < -_TOL):
+            raise ValueError("transition probabilities must be non-negative")
+        row_sums = matrix.sum(axis=1)
+        if np.any(np.abs(row_sums - 1.0) > 1e-8):
+            raise ValueError(
+                f"transition matrix rows must sum to 1, got {row_sums}"
+            )
+        matrix = np.clip(matrix, 0.0, None)
+        matrix = matrix / matrix.sum(axis=1, keepdims=True)
+        matrix.setflags(write=False)
+        object.__setattr__(self, "transition", matrix)
+        if not self._is_irreducible():
+            raise ValueError("transition matrix must be irreducible")
+
+    def _is_irreducible(self) -> bool:
+        graph = nx.DiGraph()
+        n = self.num_states
+        graph.add_nodes_from(range(n))
+        rows, cols = np.nonzero(self.transition > 0.0)
+        graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+        return nx.is_strongly_connected(graph)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        """Number of states."""
+        return self.transition.shape[0]
+
+    def stationary_distribution(self) -> np.ndarray:
+        """The unique stationary distribution ``pi`` with ``pi P = pi``.
+
+        Solved as a linear system (replace one balance equation by the
+        normalization constraint), which is robust for the small chains
+        used here.
+        """
+        n = self.num_states
+        system = np.vstack(
+            [self.transition.T - np.eye(n), np.ones((1, n))]
+        )
+        rhs = np.zeros(n + 1)
+        rhs[-1] = 1.0
+        pi, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+        pi = np.clip(pi, 0.0, None)
+        return pi / pi.sum()
+
+    def reversed_chain(self) -> "DTMC":
+        """The time-reversed chain ``P~[x, y] = pi_y P[y, x] / pi_x``.
+
+        Stationary queue-length distributions are suprema over the
+        *reversed* arrival process; for reversible chains (all two-state
+        chains are) the reversal is the chain itself.
+        """
+        pi = self.stationary_distribution()
+        reversed_matrix = (self.transition.T * pi[None, :]) / pi[:, None]
+        return DTMC(reversed_matrix)
+
+    def is_reversible(self, *, tol: float = 1e-9) -> bool:
+        """Detailed-balance check ``pi_x P[x,y] = pi_y P[y,x]``."""
+        pi = self.stationary_distribution()
+        flux = pi[:, None] * self.transition
+        return bool(np.allclose(flux, flux.T, atol=tol))
+
+
+def perron_pair(matrix: np.ndarray) -> tuple[float, np.ndarray]:
+    """Largest eigenvalue and positive right eigenvector of a
+    non-negative irreducible matrix.
+
+    Returns ``(z, h)`` with ``M h = z h``, ``h > 0`` normalized to
+    ``max(h) = 1``.  Uses dense eigendecomposition (the chains here are
+    tiny) with a sign fix-up for the eigenvector.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if np.any(m < 0.0):
+        raise ValueError("Perron theory requires a non-negative matrix")
+    eigenvalues, eigenvectors = np.linalg.eig(m)
+    index = int(np.argmax(eigenvalues.real))
+    z = float(eigenvalues[index].real)
+    h = eigenvectors[:, index].real
+    # The Perron vector has constant sign; flip if needed.
+    if h.sum() < 0.0:
+        h = -h
+    if np.any(h <= 0.0):
+        # Numerical noise can produce tiny negatives for near-reducible
+        # matrices; clamp and renormalize.
+        h = np.clip(h, 1e-300, None)
+    return z, h / h.max()

@@ -1,0 +1,130 @@
+"""Effective bandwidth of Markov-modulated sources and its inversion.
+
+The effective bandwidth of a stationary source at tilt ``theta`` is
+
+    eb(theta) = ln z(theta) / theta,
+
+where ``z(theta)`` is the spectral radius of the MGF kernel
+``P D(theta)``.  It increases from the mean rate (``theta -> 0``) to
+the peak rate (``theta -> oo``).  Inverting ``eb(alpha) = c`` for a
+drain/envelope rate ``c`` strictly between mean and peak yields the
+exponential decay rate ``alpha`` of both
+
+* the E.B.B. characterization with upper rate ``rho = c`` (Table 2), and
+* the queue tail when the source is served at constant rate ``c``
+  (the LNT94 bound used for the improved Figure 4 curves).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.markov.chain import perron_pair
+from repro.markov.mmpp import MarkovModulatedSource
+from repro.utils.numeric import bisect_root
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "spectral_radius",
+    "effective_bandwidth",
+    "decay_rate_for_rate",
+    "total_effective_bandwidth",
+    "eb_admissible",
+]
+
+
+def spectral_radius(source: MarkovModulatedSource, theta: float) -> float:
+    """Largest eigenvalue of the MGF kernel ``P D(theta)``."""
+    z, _ = perron_pair(source.mgf_kernel(theta))
+    return z
+
+
+def effective_bandwidth(
+    source: MarkovModulatedSource, theta: float
+) -> float:
+    """``eb(theta) = ln z(theta) / theta`` for ``theta > 0``."""
+    check_positive("theta", theta)
+    return math.log(spectral_radius(source, theta)) / theta
+
+
+def decay_rate_for_rate(
+    source: MarkovModulatedSource,
+    rate: float,
+    *,
+    tol: float = 1e-12,
+) -> float:
+    """Solve ``eb(alpha) = rate`` for the decay rate ``alpha``.
+
+    Requires ``mean_rate < rate < peak_rate``: below the mean the
+    source is unstable at that drain rate (no positive root); at or
+    above the peak the tail is degenerate (the root is ``+oo``).
+    """
+    mean = source.mean_rate
+    peak = source.peak_rate
+    if rate <= mean:
+        raise ValueError(
+            f"rate {rate} must exceed the source mean rate {mean}"
+        )
+    if rate >= peak:
+        raise ValueError(
+            f"rate {rate} must be below the source peak rate {peak}; "
+            "at or above the peak the burstiness tail is identically 0"
+        )
+
+    def gap(theta: float) -> float:
+        return math.log(spectral_radius(source, theta)) - theta * rate
+
+    return _solve_decay(gap, tol)
+
+
+def _solve_decay(gap, tol: float) -> float:
+    """Bracket and bisect the positive root of a gap function with
+    ``gap(0+) < 0`` and ``gap -> +oo``."""
+    # gap(0+) = 0 with negative slope (eb < rate near 0); gap grows
+    # positive again beyond the root since eb -> peak > rate.  Bracket
+    # by doubling.
+    lo = 1e-8
+    while gap(lo) >= 0.0:
+        lo /= 2.0
+        if lo < 1e-300:
+            raise RuntimeError(
+                "failed to bracket the effective-bandwidth root from below"
+            )
+    hi = 1.0
+    while gap(hi) <= 0.0:
+        hi *= 2.0
+        if hi > 1e6:
+            raise RuntimeError(
+                "failed to bracket the effective-bandwidth root from above"
+            )
+    return bisect_root(gap, lo, hi, tol=tol)
+
+
+def total_effective_bandwidth(
+    sources: "list[MarkovModulatedSource]", theta: float
+) -> float:
+    """``sum_i eb_i(theta)`` — the additive effective bandwidth of
+    independently multiplexed sources.
+
+    The classic FCFS admission criterion ([EM93], [KWC93]; the paper's
+    Section 7 points to it for within-class multiplexing): if
+    ``sum_i eb_i(theta) <= c`` the aggregate queue drained at ``c``
+    has tail decay at least ``theta``.
+    """
+    if not sources:
+        raise ValueError("need at least one source")
+    return sum(effective_bandwidth(s, theta) for s in sources)
+
+
+def eb_admissible(
+    sources: "list[MarkovModulatedSource]",
+    service_rate: float,
+    theta: float,
+) -> bool:
+    """Effective-bandwidth admission test for an FCFS multiplexer.
+
+    True when ``sum_i eb_i(theta) <= service_rate``, which guarantees
+    the aggregate backlog tail decays at rate at least ``theta``.
+    """
+    check_positive("service_rate", service_rate)
+    return total_effective_bandwidth(sources, theta) <= service_rate

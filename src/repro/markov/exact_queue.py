@@ -1,0 +1,191 @@
+"""Exact stationary queue distribution for lattice-compatible sources.
+
+For a discrete-time Markov-modulated source drained at a constant rate
+``c``, the queue follows the Lindley recursion
+
+    Q_{t+1} = max(Q_t + rate(X_{t+1}) - c, 0).
+
+When every per-slot increment ``rate(s) - c`` is an integer multiple of
+a common lattice step, the pair ``(X_t, Q_t)`` is a Markov chain on a
+countable lattice; truncating at a high level and solving for the
+stationary distribution gives the queue law *exactly* (up to the
+truncation tail, which decays geometrically).  This provides ground
+truth against which the LNT94/BD94 exponential bounds are verified:
+the bound must dominate the exact tail everywhere, and its decay rate
+must match the exact geometric decay.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.mmpp import MarkovModulatedSource
+from repro.utils.validation import check_positive
+
+__all__ = ["ExactQueueDistribution", "exact_queue_distribution"]
+
+
+@dataclass(frozen=True)
+class ExactQueueDistribution:
+    """The stationary queue law on a lattice.
+
+    Attributes
+    ----------
+    step:
+        Lattice step: the queue lives on ``{0, step, 2 step, ...}``.
+    probabilities:
+        ``probabilities[k] = Pr{Q = k * step}`` (marginalized over the
+        modulating state).
+    truncation_mass:
+        Stationary probability assigned to the truncation boundary —
+        must be tiny for the solution to be trusted.
+    """
+
+    step: float
+    probabilities: np.ndarray
+    truncation_mass: float
+
+    #: Probabilities below this level are double-precision solver
+    #: noise and must not be trusted.
+    RELIABLE_FLOOR = 1e-12
+
+    def ccdf(self, x: float) -> float:
+        """Exact ``Pr{Q >= x}`` (reliable down to
+        :attr:`RELIABLE_FLOOR`)."""
+        if x <= 0.0:
+            return 1.0
+        k = int(math.ceil(x / self.step - 1e-9))
+        if k >= self.probabilities.size:
+            return 0.0
+        return float(self.probabilities[k:].sum())
+
+    def mean(self) -> float:
+        """Exact mean queue length."""
+        levels = np.arange(self.probabilities.size) * self.step
+        return float(levels @ self.probabilities)
+
+    def decay_rate(self) -> float:
+        """Exact asymptotic decay rate of the queue tail.
+
+        Measured on the CCDF (point masses can oscillate with lattice
+        parity) over the probability window (1e-10, 1e-4): geometric
+        regime reached, yet comfortably above the ~1e-13 numerical
+        floor of the sparse direct solve.
+        """
+        tail = np.cumsum(self.probabilities[::-1])[::-1]
+        usable = np.flatnonzero((tail < 1e-4) & (tail > 1e-10))
+        if usable.size < 4:
+            raise ValueError(
+                "tail window too short to measure a decay rate; "
+                "increase max_levels"
+            )
+        k0, k1 = usable[0], usable[-1]
+        slope = (math.log(tail[k1]) - math.log(tail[k0])) / (
+            (k1 - k0) * self.step
+        )
+        return -slope
+
+
+def _lattice_step(values: list[float], *, tol: float = 1e-9) -> float:
+    """Greatest common lattice step of a set of reals (via rational
+    approximation), or raise if they are incommensurable."""
+    nonzero = [abs(v) for v in values if abs(v) > tol]
+    if not nonzero:
+        raise ValueError("all increments are zero; queue is trivial")
+    # Rational approximation with a bounded denominator.
+    from fractions import Fraction
+
+    fractions = [
+        Fraction(v).limit_denominator(10_000) for v in nonzero
+    ]
+    for fraction, value in zip(fractions, nonzero):
+        if abs(float(fraction) - value) > tol:
+            raise ValueError(
+                f"increment {value} is not commensurable with a "
+                "reasonable lattice; exact solution unavailable"
+            )
+    common = fractions[0]
+    for fraction in fractions[1:]:
+        common = Fraction(
+            math.gcd(common.numerator * fraction.denominator,
+                     fraction.numerator * common.denominator),
+            common.denominator * fraction.denominator,
+        )
+    step = float(common)
+    if step <= tol:
+        raise ValueError("degenerate lattice step")
+    return step
+
+
+def exact_queue_distribution(
+    source: MarkovModulatedSource,
+    service_rate: float,
+    *,
+    max_levels: int = 4000,
+) -> ExactQueueDistribution:
+    """Solve the stationary (state, queue) chain exactly.
+
+    Requires stability (``mean rate < service_rate``) and lattice
+    compatibility of the increments ``rate(s) - c``.  The chain is
+    truncated at ``max_levels`` lattice points with a reflecting
+    boundary; the reported ``truncation_mass`` quantifies the error.
+    """
+    check_positive("service_rate", service_rate)
+    if source.mean_rate >= service_rate:
+        raise ValueError(
+            f"unstable queue: mean rate {source.mean_rate} >= service "
+            f"rate {service_rate}"
+        )
+    increments = [float(r) - service_rate for r in source.rates]
+    step = _lattice_step(increments)
+    jumps = [int(round(inc / step)) for inc in increments]
+    num_states = source.num_states
+    transition = source.chain.transition
+
+    size = num_states * max_levels
+
+    def index(state: int, level: int) -> int:
+        return state * max_levels + level
+
+    # Build the sparse transition structure column-wise via lists.
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for state in range(num_states):
+        for level in range(max_levels):
+            for next_state in range(num_states):
+                p = transition[state, next_state]
+                if p <= 0.0:
+                    continue
+                next_level = level + jumps[next_state]
+                next_level = min(max(next_level, 0), max_levels - 1)
+                rows.append(index(state, level))
+                cols.append(index(next_state, next_level))
+                vals.append(float(p))
+    from scipy import sparse
+    from scipy.sparse.linalg import spsolve
+
+    matrix = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(size, size)
+    )
+    # Direct sparse solve of pi (M - I) = 0 with a normalization row:
+    # power iteration converges far too slowly in the deep tail (the
+    # components at 1e-30 keep their initial values long after the
+    # bulk has converged), and it is exactly the deep tail we need.
+    system = (matrix.T - sparse.identity(size)).tolil()
+    system[-1, :] = 1.0
+    rhs = np.zeros(size)
+    rhs[-1] = 1.0
+    pi = spsolve(system.tocsc(), rhs)
+    pi = np.clip(pi, 0.0, None)
+    pi /= pi.sum()
+    queue_marginal = pi.reshape(num_states, max_levels).sum(axis=0)
+    truncation_mass = float(queue_marginal[-1])
+    return ExactQueueDistribution(
+        step=step,
+        probabilities=queue_marginal,
+        truncation_mass=truncation_mass,
+    )

@@ -1,0 +1,195 @@
+"""Fit Markov source models to discrete-time traces.
+
+The analysis pipeline starts from a source *model* (Section 6.3 assumes
+the on-off parameters are known).  In practice one has measurements;
+this module closes the gap by estimating the on-off parameters from a
+trace, so that traces can be pushed through the same LNT94 machinery
+(effective bandwidth -> Table 2-style characterization -> bounds).
+
+The estimator is the maximum-likelihood estimator for a two-state
+chain observed directly: the peak rate is the maximum positive slot
+value, a slot is "on" when it carries traffic, and the transition
+probabilities are the empirical transition frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.markov.chain import DTMC
+from repro.markov.mmpp import MarkovModulatedSource
+from repro.markov.onoff import OnOffSource
+
+__all__ = ["OnOffFit", "fit_onoff", "MMSFit", "fit_mms"]
+
+
+@dataclass(frozen=True)
+class OnOffFit:
+    """Result of :func:`fit_onoff`.
+
+    Attributes
+    ----------
+    model:
+        The fitted on-off source.
+    on_fraction:
+        Empirical fraction of on slots (compare with
+        ``model.on_probability``).
+    num_transitions:
+        Number of observed state transitions (a quality signal: few
+        transitions mean poorly determined p, q).
+    """
+
+    model: OnOffSource
+    on_fraction: float
+    num_transitions: int
+
+
+def fit_onoff(increments: np.ndarray, *, tol: float = 1e-9) -> OnOffFit:
+    """Maximum-likelihood on-off fit of a discrete-time trace.
+
+    Raises
+    ------
+    ValueError
+        If the trace is shorter than 2 slots, never turns on, never
+        turns off, or carries more than one distinct positive rate
+        (plus ``tol`` noise) — in that case it is not an on-off sample
+        path and a general Markov-modulated fit should be used.
+    """
+    arr = np.asarray(increments, dtype=float)
+    if arr.size < 2:
+        raise ValueError("need at least 2 slots to fit transitions")
+    if np.any(arr < -tol):
+        raise ValueError("arrivals must be non-negative")
+    on = arr > tol
+    if not on.any():
+        raise ValueError("trace never turns on; no on-off model fits")
+    if on.all():
+        raise ValueError(
+            "trace never turns off; use a CBR model instead"
+        )
+    positive = arr[on]
+    peak = float(positive.max())
+    if float(positive.min()) < peak * (1.0 - 1e-6):
+        raise ValueError(
+            "trace carries multiple positive rates; it is not a "
+            "two-state on-off sample path"
+        )
+    # Transition counts.
+    prev_on = on[:-1]
+    next_on = on[1:]
+    off_slots = int((~prev_on).sum())
+    on_slots = int(prev_on.sum())
+    off_to_on = int((~prev_on & next_on).sum())
+    on_to_off = int((prev_on & ~next_on).sum())
+    if off_slots == 0 or on_slots == 0:
+        raise ValueError("degenerate trace: a state is never revisited")
+    p = off_to_on / off_slots
+    q = on_to_off / on_slots
+    # Clamp away from the degenerate boundary (a finite trace can
+    # produce an exact 0/1 frequency).
+    n = arr.size
+    p = min(max(p, 1.0 / (2 * n)), 1.0 - 1.0 / (2 * n))
+    q = min(max(q, 1.0 / (2 * n)), 1.0 - 1.0 / (2 * n))
+    return OnOffFit(
+        model=OnOffSource(p, q, peak),
+        on_fraction=float(on.mean()),
+        num_transitions=off_to_on + on_to_off,
+    )
+
+
+@dataclass(frozen=True)
+class MMSFit:
+    """Result of :func:`fit_mms`.
+
+    Attributes
+    ----------
+    model:
+        The fitted Markov-modulated source.
+    level_edges:
+        Rate-quantization bin edges used to define the states.
+    occupancy:
+        Empirical fraction of slots spent in each state.
+    """
+
+    model: MarkovModulatedSource
+    level_edges: np.ndarray
+    occupancy: np.ndarray = field(default_factory=lambda: np.array([]))
+
+
+def fit_mms(
+    increments: np.ndarray,
+    num_states: int,
+    *,
+    smoothing: float = 0.5,
+) -> MMSFit:
+    """Fit a ``num_states``-state Markov-modulated model to a trace.
+
+    The per-slot rates are quantized into ``num_states`` equal-count
+    bins (quantile edges); each bin becomes a state whose emission rate
+    is the bin's empirical mean, and the transition matrix is the
+    (Laplace-smoothed) empirical transition-frequency matrix of the
+    state sequence.  This is the standard histogram/quantile MMP fit —
+    crude but effective for feeding the effective-bandwidth machinery
+    with measured traffic.
+    """
+    arr = np.asarray(increments, dtype=float)
+    if arr.size < 10 * num_states:
+        raise ValueError(
+            f"need at least {10 * num_states} slots to fit "
+            f"{num_states} states"
+        )
+    if num_states < 2:
+        raise ValueError(f"num_states must be >= 2, got {num_states}")
+    if smoothing <= 0.0:
+        raise ValueError(
+            f"smoothing must be positive (irreducibility), got "
+            f"{smoothing}"
+        )
+    if float(arr.max()) - float(arr.min()) <= 1e-12:
+        raise ValueError(
+            "trace has too little rate variation to define multiple "
+            "states; use fit_onoff or a CBR model"
+        )
+    quantiles = np.linspace(0.0, 1.0, num_states + 1)[1:-1]
+    inner_edges = np.quantile(arr, quantiles)
+    edges = np.concatenate(
+        ([-np.inf], np.unique(inner_edges), [np.inf])
+    )
+    actual_states = edges.size - 1
+    if actual_states < 2:
+        raise ValueError(
+            "trace has too little rate variation to define multiple "
+            "states; use fit_onoff or a CBR model"
+        )
+    states = np.clip(
+        np.searchsorted(edges, arr, side="right") - 1,
+        0,
+        actual_states - 1,
+    )
+    rates = np.array(
+        [
+            float(arr[states == s].mean())
+            if (states == s).any()
+            else 0.0
+            for s in range(actual_states)
+        ]
+    )
+    counts = np.full((actual_states, actual_states), smoothing)
+    np.add.at(counts, (states[:-1], states[1:]), 1.0)
+    transition = counts / counts.sum(axis=1, keepdims=True)
+    occupancy = np.array(
+        [float((states == s).mean()) for s in range(actual_states)]
+    )
+    # Guard against duplicate emission rates (constant sub-bins):
+    # nudge ties apart by a negligible epsilon so the MMS accepts them.
+    for s in range(1, actual_states):
+        if rates[s] <= rates[s - 1]:
+            rates[s] = rates[s - 1] + 1e-12
+    model = MarkovModulatedSource(DTMC(transition), rates)
+    return MMSFit(
+        model=model,
+        level_edges=edges,
+        occupancy=occupancy,
+    )

@@ -1,0 +1,66 @@
+"""Networks of GPS servers: topology, CRST partitions, recursive bound
+propagation (Theorem 13) and RPPS closed forms (Theorem 15)."""
+
+from repro.network.analysis import (
+    SessionHopReport,
+    SessionNetworkReport,
+    analyze_crst_network,
+)
+from repro.network.builders import (
+    ring_network,
+    tandem_network,
+    tree_network,
+)
+from repro.network.design import (
+    WeightDesign,
+    rpps_weights,
+    weights_for_delay_targets,
+)
+from repro.network.crst import (
+    CRSTPartition,
+    NotCRSTError,
+    crst_partition,
+    node_partition,
+)
+from repro.network.render import render_topology
+from repro.network.serialization import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.network.rpps_network import (
+    RPPSSessionReport,
+    rpps_network_bounds,
+    rpps_network_bounds_markov,
+    rpps_network_report,
+)
+from repro.network.topology import Network, NetworkNode, NetworkSession
+
+__all__ = [
+    "SessionHopReport",
+    "SessionNetworkReport",
+    "analyze_crst_network",
+    "CRSTPartition",
+    "NotCRSTError",
+    "crst_partition",
+    "node_partition",
+    "RPPSSessionReport",
+    "rpps_network_bounds",
+    "rpps_network_bounds_markov",
+    "rpps_network_report",
+    "Network",
+    "NetworkNode",
+    "NetworkSession",
+    "WeightDesign",
+    "rpps_weights",
+    "weights_for_delay_targets",
+    "ring_network",
+    "tandem_network",
+    "tree_network",
+    "render_topology",
+    "load_network",
+    "network_from_dict",
+    "network_to_dict",
+    "save_network",
+]

@@ -1,0 +1,118 @@
+"""Topology builders: parametric RPPS network families.
+
+Factories for the network shapes used throughout the GPS literature —
+tandems (chains), trees like the paper's Figure 2, and rings (cyclic
+route graphs, exercising the arbitrary-topology side of Theorem 13).
+All builders produce RPPS assignments (``phi = rho`` everywhere) so the
+closed-form Theorem 15 bounds apply, and are used by the
+route-independence bench and property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ebb import EBB
+from repro.network.topology import Network, NetworkNode, NetworkSession
+
+__all__ = ["tandem_network", "tree_network", "ring_network"]
+
+
+def tandem_network(
+    num_hops: int,
+    through: EBB,
+    cross: EBB,
+    *,
+    node_rate: float = 1.0,
+) -> Network:
+    """A chain of ``num_hops`` nodes.
+
+    One *through* session traverses the whole chain; at every node an
+    independent *cross* session (same characterization, distinct name)
+    enters and leaves.  The through session's bottleneck is identical at
+    every hop, making this the canonical testbed for Theorem 15's
+    route-length independence.
+    """
+    if num_hops < 1:
+        raise ValueError(f"num_hops must be >= 1, got {num_hops}")
+    nodes = [
+        NetworkNode(f"n{k}", node_rate) for k in range(num_hops)
+    ]
+    sessions = [
+        NetworkSession(
+            "through",
+            through,
+            tuple(f"n{k}" for k in range(num_hops)),
+            through.rho,
+        )
+    ]
+    for k in range(num_hops):
+        sessions.append(
+            NetworkSession(
+                f"cross{k}", cross, (f"n{k}",), cross.rho
+            )
+        )
+    return Network(nodes, sessions)
+
+
+def tree_network(
+    leaf_sessions: Sequence[Sequence[EBB]],
+    *,
+    node_rate: float = 1.0,
+) -> Network:
+    """A two-level tree: one leaf node per entry, all feeding a root.
+
+    ``leaf_sessions[k]`` lists the arrivals entering at leaf ``k``;
+    every session's route is (leaf_k, root).  The paper's Figure 2 is
+    ``tree_network([[s1, s2], [s3, s4]])``.
+    """
+    if not leaf_sessions:
+        raise ValueError("need at least one leaf")
+    nodes = [NetworkNode("root", node_rate)]
+    sessions = []
+    for k, arrivals in enumerate(leaf_sessions):
+        if not arrivals:
+            raise ValueError(f"leaf {k} has no sessions")
+        nodes.append(NetworkNode(f"leaf{k}", node_rate))
+        for j, ebb in enumerate(arrivals):
+            sessions.append(
+                NetworkSession(
+                    f"s{k}_{j}", ebb, (f"leaf{k}", "root"), ebb.rho
+                )
+            )
+    return Network(nodes, sessions)
+
+
+def ring_network(
+    num_nodes: int,
+    arrival: EBB,
+    *,
+    hops_per_session: int = 2,
+    node_rate: float = 1.0,
+) -> Network:
+    """A ring: session ``k`` enters at node ``k`` and traverses the
+    next ``hops_per_session`` nodes clockwise.
+
+    For ``hops_per_session >= 2`` the route graph is cyclic — the case
+    where stability genuinely needs Theorem 13 rather than feedforward
+    induction.
+    """
+    if num_nodes < 2:
+        raise ValueError(f"num_nodes must be >= 2, got {num_nodes}")
+    if not 1 <= hops_per_session <= num_nodes:
+        raise ValueError(
+            f"hops_per_session must be in [1, {num_nodes}], got "
+            f"{hops_per_session}"
+        )
+    nodes = [
+        NetworkNode(f"n{k}", node_rate) for k in range(num_nodes)
+    ]
+    sessions = []
+    for k in range(num_nodes):
+        route = tuple(
+            f"n{(k + h) % num_nodes}" for h in range(hops_per_session)
+        )
+        sessions.append(
+            NetworkSession(f"s{k}", arrival, route, arrival.rho)
+        )
+    return Network(nodes, sessions)

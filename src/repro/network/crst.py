@@ -1,0 +1,133 @@
+"""Consistent Relative Session Treatment (CRST) assignments (Sec. 6.1).
+
+At each node ``m`` the local GPS assignment induces a feasible
+partition ``H^m`` of the sessions present.  A *CRST partition* is a
+global ordered partition ``H_1, ..., H_L`` of all sessions that is
+consistent with every node's partition; operationally (this is what
+Theorem 13's recursive argument uses) consistency means:
+
+    at every node m, if session j sits in a strictly lower node class
+    than session i, then j sits in a strictly lower *global* class.
+
+This guarantees that the bound computation for a session of global
+class ``l`` at any node only references sessions of global class
+``< l``, whose characterizations are already known — so the recursion
+over classes is well-founded for *arbitrary* (even cyclic) topologies.
+
+Existence check: build a directed graph with an edge ``j -> i``
+whenever some node places ``j`` strictly below ``i``; a CRST partition
+exists iff this graph is acyclic, and the global classes are the
+longest-path layers.  Sessions that share a class at every common node
+may share a global class, which realizes the paper's remark that this
+definition is weaker (admits more assignments) than Parekh & Gallager's
+"impede"-based one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.feasible import FeasiblePartition, feasible_partition
+from repro.network.topology import Network
+
+__all__ = [
+    "NotCRSTError",
+    "node_partition",
+    "CRSTPartition",
+    "crst_partition",
+]
+
+
+class NotCRSTError(ValueError):
+    """Raised when the network's GPS assignment is not CRST."""
+
+
+def node_partition(network: Network, node_name: str) -> FeasiblePartition:
+    """The feasible partition ``H^m`` induced at one node.
+
+    Built from the *source* upper rates ``rho_i`` (which every GPS hop
+    preserves) and the local weights ``phi_i^m``.
+    """
+    local = network.sessions_at(node_name)
+    if not local:
+        raise ValueError(f"no sessions traverse node {node_name!r}")
+    return feasible_partition(
+        [s.rho for s in local],
+        [s.phi_at(node_name) for s in local],
+        server_rate=network.nodes[node_name].rate,
+    )
+
+
+@dataclass(frozen=True)
+class CRSTPartition:
+    """A global CRST partition: ordered classes of session names."""
+
+    classes: tuple[tuple[str, ...], ...]
+
+    def level(self, session_name: str) -> int:
+        """0-based global class of a session."""
+        for k, members in enumerate(self.classes):
+            if session_name in members:
+                return k
+        raise KeyError(f"no session named {session_name!r}")
+
+    @property
+    def num_classes(self) -> int:
+        """Number of global classes ``L``."""
+        return len(self.classes)
+
+    def ordered_sessions(self) -> list[str]:
+        """All sessions, lowest class first."""
+        out: list[str] = []
+        for members in self.classes:
+            out.extend(members)
+        return out
+
+
+def crst_partition(network: Network) -> CRSTPartition:
+    """Compute a CRST partition for the network, or raise.
+
+    Raises
+    ------
+    NotCRSTError
+        When two sessions are treated inconsistently — ``i`` strictly
+        above ``j`` at one node and strictly below at another — so no
+        consistent global partition exists.
+    """
+    precedence = nx.DiGraph()
+    precedence.add_nodes_from(s.name for s in network.sessions)
+    for node_name in network.nodes:
+        local = network.sessions_at(node_name)
+        if not local:
+            continue
+        local_partition = node_partition(network, node_name)
+        for a_index, a in enumerate(local):
+            for b_index, b in enumerate(local):
+                if local_partition.level(a_index) < local_partition.level(
+                    b_index
+                ):
+                    precedence.add_edge(a.name, b.name)
+    if not nx.is_directed_acyclic_graph(precedence):
+        cycle = nx.find_cycle(precedence)
+        raise NotCRSTError(
+            "GPS assignment is not CRST: sessions are treated "
+            f"inconsistently along the cycle {cycle}"
+        )
+    # Longest-path layering: a session's global class is one more than
+    # the largest class of any session that must precede it.
+    layer: dict[str, int] = {}
+    for name in nx.topological_sort(precedence):
+        preds = list(precedence.predecessors(name))
+        layer[name] = (
+            0 if not preds else 1 + max(layer[p] for p in preds)
+        )
+    num_layers = max(layer.values(), default=0) + 1
+    classes = tuple(
+        tuple(
+            sorted(name for name, lvl in layer.items() if lvl == k)
+        )
+        for k in range(num_layers)
+    )
+    return CRSTPartition(classes=classes)

@@ -1,0 +1,61 @@
+"""Plain-text rendering of network topologies and session routes.
+
+A tiny presentation helper so examples, benches and the CLI can show
+the Figure 2 style topology without a plotting dependency: nodes with
+their rates, link edges from the route graph, and a per-session route
+table with weights and guaranteed rates.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import format_table
+from repro.network.topology import Network
+
+__all__ = ["render_topology"]
+
+
+def render_topology(network: Network) -> str:
+    """Render nodes, links and session routes as aligned text."""
+    node_rows = []
+    for name, node in sorted(network.nodes.items()):
+        local = network.sessions_at(name)
+        node_rows.append(
+            [
+                name,
+                node.rate,
+                len(local),
+                sum(s.rho for s in local),
+            ]
+        )
+    link_rows = sorted(network.route_graph().edges())
+    session_rows = []
+    for session in network.sessions:
+        session_rows.append(
+            [
+                session.name,
+                " -> ".join(session.route),
+                session.rho,
+                network.network_guaranteed_rate(session.name),
+                network.bottleneck_node(session.name),
+            ]
+        )
+    parts = [
+        "nodes:",
+        format_table(
+            ["node", "rate", "sessions", "load (sum rho)"], node_rows
+        ),
+        "",
+        "links: "
+        + (
+            ", ".join(f"{a} -> {b}" for a, b in link_rows)
+            if link_rows
+            else "(none)"
+        ),
+        "",
+        "sessions:",
+        format_table(
+            ["session", "route", "rho", "g_net", "bottleneck"],
+            session_rows,
+        ),
+    ]
+    return "\n".join(parts)

@@ -1,0 +1,131 @@
+"""RPPS GPS networks: closed-form end-to-end bounds (Theorem 15).
+
+In a Rate Proportional Processor Sharing network (``phi_i^m = rho_i``
+at every node) each session is guaranteed its bottleneck clearing rate
+``g_i^net = min_m g_i^m`` everywhere along its route, and Lemma 14
+shows the *network* egress serves at least ``g_i^net`` per unit time
+during any session-``i`` network busy period.  Consequently the total
+session backlog in the network satisfies ``Q_i^net(t) <= delta_i(t)``
+for the virtual queue drained at ``g_i^net`` — the network collapses to
+a single bottleneck queue, independent of route length and topology:
+
+    Pr{Q_i^net(t) >= q} <= Lambda_i^net e^{-alpha_i q},
+    Pr{D_i^net(t) >= d} <= Lambda_i^net e^{-alpha_i g_i^net d}.
+
+Two refinements from Section 6.3 are also provided:
+
+* the discrete-time prefactor (eqs. 66-67) used in the numerical
+  example, and
+* the *improved* bounds (Figure 4): when the source is a known
+  Markov-modulated process, ``delta_i(t)`` is bounded directly by the
+  LNT94/BD94 queue bound at rate ``g_i^net``, giving a much larger
+  decay rate than the E.B.B. route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.bounds import ExponentialTailBound
+from repro.core.rpps import guaranteed_rate_bounds
+from repro.markov.lnt94 import queue_tail_bound
+from repro.markov.mmpp import MarkovModulatedSource
+from repro.network.topology import Network
+
+__all__ = [
+    "RPPSSessionReport",
+    "rpps_network_bounds",
+    "rpps_network_bounds_markov",
+    "rpps_network_report",
+]
+
+
+@dataclass(frozen=True)
+class RPPSSessionReport:
+    """Theorem 15 bounds for one session of an RPPS network."""
+
+    session: str
+    bottleneck_node: str
+    guaranteed_rate: float
+    network_backlog: ExponentialTailBound
+    end_to_end_delay: ExponentialTailBound
+
+
+def _check_rpps(network: Network) -> None:
+    if not network.is_rpps():
+        raise ValueError(
+            "network is not RPPS: phi_i^m must be proportional to rho_i "
+            "at every node (Theorem 15 also applies to any session with "
+            "a guaranteed rate everywhere; use "
+            "repro.core.rpps.guaranteed_rate_bounds directly for that)"
+        )
+
+
+def rpps_network_bounds(
+    network: Network,
+    session_name: str,
+    *,
+    xi: float | None = None,
+    discrete: bool = False,
+) -> RPPSSessionReport:
+    """Theorem 15 bounds from the session's E.B.B. characterization.
+
+    ``discrete=True`` uses the discrete-time prefactor
+    ``Lambda_i / (1 - e^{-alpha_i (g_i - rho_i)})`` of eq. (66), as in
+    the Section 6.3 numerical example.
+    """
+    _check_rpps(network)
+    session = network.session(session_name)
+    g_net = network.network_guaranteed_rate(session_name)
+    bounds = guaranteed_rate_bounds(
+        session_name, session.arrival, g_net, xi=xi, discrete=discrete
+    )
+    return RPPSSessionReport(
+        session=session_name,
+        bottleneck_node=network.bottleneck_node(session_name),
+        guaranteed_rate=g_net,
+        network_backlog=bounds.backlog,
+        end_to_end_delay=bounds.delay,
+    )
+
+
+def rpps_network_bounds_markov(
+    network: Network,
+    session_name: str,
+    source: MarkovModulatedSource,
+) -> RPPSSessionReport:
+    """Improved Theorem 15 bounds for a Markov-modulated source.
+
+    Bypasses the E.B.B. characterization: ``delta_i(t)`` at rate
+    ``g_i^net`` is bounded directly with the LNT94/BD94 martingale
+    bound, whose decay rate solves ``eb(alpha) = g_i^net`` (instead of
+    being capped at the E.B.B. decay ``alpha_i``).  This reproduces the
+    Figure 4 "improved bounds" construction.
+    """
+    _check_rpps(network)
+    g_net = network.network_guaranteed_rate(session_name)
+    queue = queue_tail_bound(source, g_net)
+    backlog = queue.tail()
+    return RPPSSessionReport(
+        session=session_name,
+        bottleneck_node=network.bottleneck_node(session_name),
+        guaranteed_rate=g_net,
+        network_backlog=backlog,
+        end_to_end_delay=backlog.scaled_argument(g_net),
+    )
+
+
+def rpps_network_report(
+    network: Network,
+    *,
+    xi: float | None = None,
+    discrete: bool = False,
+) -> dict[str, RPPSSessionReport]:
+    """Theorem 15 bounds for every session of an RPPS network."""
+    _check_rpps(network)
+    return {
+        session.name: rpps_network_bounds(
+            network, session.name, xi=xi, discrete=discrete
+        )
+        for session in network.sessions
+    }

@@ -1,0 +1,106 @@
+"""JSON (de)serialization of network models.
+
+Lets users describe a GPS network in a plain JSON document and analyze
+it from the command line (``python -m repro analyze network.json``)
+or programmatically, without writing Python for the topology.
+
+Schema::
+
+    {
+      "nodes":    [{"name": "a", "rate": 1.0}, ...],
+      "sessions": [{"name": "s1",
+                    "rho": 0.2, "prefactor": 1.0, "alpha": 1.7,
+                    "route": ["a", "b"],
+                    "phis": 0.2            # scalar or per-hop list
+                   }, ...]
+    }
+
+``phis`` may be omitted entirely for an RPPS assignment
+(``phi = rho`` at every hop).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.ebb import EBB
+from repro.network.topology import Network, NetworkNode, NetworkSession
+
+__all__ = ["network_from_dict", "network_to_dict", "load_network", "save_network"]
+
+
+def _require(mapping: Mapping[str, Any], key: str, context: str):
+    if key not in mapping:
+        raise ValueError(f"{context}: missing required key {key!r}")
+    return mapping[key]
+
+
+def network_from_dict(document: Mapping[str, Any]) -> Network:
+    """Build a :class:`Network` from a schema-conforming mapping."""
+    nodes = []
+    for entry in _require(document, "nodes", "network document"):
+        nodes.append(
+            NetworkNode(
+                name=str(_require(entry, "name", "node entry")),
+                rate=float(_require(entry, "rate", "node entry")),
+            )
+        )
+    sessions = []
+    for entry in _require(document, "sessions", "network document"):
+        name = str(_require(entry, "name", "session entry"))
+        context = f"session {name!r}"
+        rho = float(_require(entry, "rho", context))
+        arrival = EBB(
+            rho,
+            float(_require(entry, "prefactor", context)),
+            float(_require(entry, "alpha", context)),
+        )
+        route = [str(n) for n in _require(entry, "route", context)]
+        phis = entry.get("phis", rho)
+        if isinstance(phis, list):
+            phis = [float(p) for p in phis]
+        else:
+            phis = float(phis)
+        sessions.append(
+            NetworkSession(
+                name=name, arrival=arrival, route=route, phis=phis
+            )
+        )
+    return Network(nodes, sessions)
+
+
+def network_to_dict(network: Network) -> dict[str, Any]:
+    """Serialize a :class:`Network` to the JSON schema."""
+    return {
+        "nodes": [
+            {"name": name, "rate": node.rate}
+            for name, node in sorted(network.nodes.items())
+        ],
+        "sessions": [
+            {
+                "name": session.name,
+                "rho": session.arrival.rho,
+                "prefactor": session.arrival.prefactor,
+                "alpha": session.arrival.decay_rate,
+                "route": list(session.route),
+                "phis": list(session.phis),
+            }
+            for session in network.sessions
+        ],
+    }
+
+
+def load_network(path: str | Path) -> Network:
+    """Load a network from a JSON file."""
+    with open(path) as handle:
+        document = json.load(handle)
+    return network_from_dict(document)
+
+
+def save_network(network: Network, path: str | Path) -> None:
+    """Write a network to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(network_to_dict(network), handle, indent=2)
+        handle.write("\n")

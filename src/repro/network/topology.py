@@ -1,0 +1,233 @@
+"""Network model: GPS nodes, sessions and routes (Section 6 setting).
+
+A :class:`Network` is a set of named GPS nodes, each with its own
+service rate, and a set of sessions; session ``i`` enters the network
+at the first node of its route ``P(i)``, traverses the route in order,
+and carries a per-node GPS weight ``phi_i^m``.  The session's source is
+an E.B.B. process; since the long-term upper rate ``rho_i`` is
+preserved by every GPS hop (Theorems 7/11 give output E.B.B.
+characterizations with the same ``rho_i``), per-node stability is the
+local condition ``sum_{i in I(m)} rho_i < r^m`` of Theorem 13.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import networkx as nx
+
+from repro.core.ebb import EBB
+from repro.utils.validation import check_positive
+
+__all__ = ["NetworkNode", "NetworkSession", "Network"]
+
+
+@dataclass(frozen=True)
+class NetworkNode:
+    """A GPS server in the network."""
+
+    name: str
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+        check_positive("rate", self.rate)
+
+
+@dataclass(frozen=True)
+class NetworkSession:
+    """A session: source characterization, route and per-node weights.
+
+    Attributes
+    ----------
+    name:
+        Unique session label.
+    arrival:
+        E.B.B. characterization of the traffic *entering the network*.
+    route:
+        Node names in traversal order (``P(i)`` in the paper).
+    phis:
+        GPS weight at each node of the route, aligned with ``route``.
+    """
+
+    name: str
+    arrival: EBB
+    route: tuple[str, ...]
+    phis: tuple[float, ...]
+
+    def __init__(
+        self,
+        name: str,
+        arrival: EBB,
+        route: Iterable[str],
+        phis: Iterable[float] | float,
+    ) -> None:
+        route_tuple = tuple(route)
+        if not route_tuple:
+            raise ValueError(f"session {name!r} needs a non-empty route")
+        if len(set(route_tuple)) != len(route_tuple):
+            raise ValueError(
+                f"session {name!r} visits a node twice: {route_tuple}"
+            )
+        if isinstance(phis, (int, float)):
+            phi_tuple = tuple([float(phis)] * len(route_tuple))
+        else:
+            phi_tuple = tuple(float(p) for p in phis)
+        if len(phi_tuple) != len(route_tuple):
+            raise ValueError(
+                f"session {name!r}: got {len(phi_tuple)} weights for "
+                f"{len(route_tuple)} hops"
+            )
+        for k, phi in enumerate(phi_tuple):
+            check_positive(f"phis[{k}]", phi)
+        if not name:
+            raise ValueError("session name must be non-empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "arrival", arrival)
+        object.__setattr__(self, "route", route_tuple)
+        object.__setattr__(self, "phis", phi_tuple)
+
+    @property
+    def rho(self) -> float:
+        """The session's long-term upper rate (route-invariant)."""
+        return self.arrival.rho
+
+    @property
+    def num_hops(self) -> int:
+        """Route length ``K_i``."""
+        return len(self.route)
+
+    def phi_at(self, node_name: str) -> float:
+        """The session's GPS weight at one of its nodes."""
+        return self.phis[self.route.index(node_name)]
+
+    def hop_index(self, node_name: str) -> int:
+        """0-based position of a node in the route."""
+        return self.route.index(node_name)
+
+
+class Network:
+    """A network of GPS servers with validated routes and stability."""
+
+    def __init__(
+        self,
+        nodes: Iterable[NetworkNode],
+        sessions: Iterable[NetworkSession],
+    ) -> None:
+        node_list = list(nodes)
+        names = [n.name for n in node_list]
+        if len(set(names)) != len(names):
+            raise ValueError(f"node names must be unique, got {names}")
+        self._nodes: Mapping[str, NetworkNode] = {
+            n.name: n for n in node_list
+        }
+        session_list = list(sessions)
+        session_names = [s.name for s in session_list]
+        if len(set(session_names)) != len(session_names):
+            raise ValueError(
+                f"session names must be unique, got {session_names}"
+            )
+        for session in session_list:
+            for node_name in session.route:
+                if node_name not in self._nodes:
+                    raise ValueError(
+                        f"session {session.name!r} routes through unknown "
+                        f"node {node_name!r}"
+                    )
+        self._sessions = tuple(session_list)
+        self._check_stability()
+
+    def _check_stability(self) -> None:
+        for node in self._nodes.values():
+            load = sum(
+                s.rho for s in self._sessions if node.name in s.route
+            )
+            if load >= node.rate:
+                raise ValueError(
+                    f"node {node.name!r} is overloaded: total upper rate "
+                    f"{load} >= service rate {node.rate} (Theorem 13 "
+                    "requires strict inequality at every node)"
+                )
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> dict[str, NetworkNode]:
+        """Nodes by name."""
+        return dict(self._nodes)
+
+    @property
+    def sessions(self) -> tuple[NetworkSession, ...]:
+        """All sessions."""
+        return self._sessions
+
+    def session(self, name: str) -> NetworkSession:
+        """Look up a session by name."""
+        for s in self._sessions:
+            if s.name == name:
+                return s
+        raise KeyError(f"no session named {name!r}")
+
+    def sessions_at(self, node_name: str) -> list[NetworkSession]:
+        """``I(m)``: the sessions traversing a node."""
+        if node_name not in self._nodes:
+            raise KeyError(f"no node named {node_name!r}")
+        return [s for s in self._sessions if node_name in s.route]
+
+    # ------------------------------------------------------------------
+    def guaranteed_rate(self, session_name: str, node_name: str) -> float:
+        """``g_i^m = phi_i^m / sum_{j in I(m)} phi_j^m * r^m`` (eq. 60)."""
+        session = self.session(session_name)
+        total_phi = sum(
+            s.phi_at(node_name) for s in self.sessions_at(node_name)
+        )
+        return (
+            session.phi_at(node_name)
+            / total_phi
+            * self._nodes[node_name].rate
+        )
+
+    def network_guaranteed_rate(self, session_name: str) -> float:
+        """``g_i^net = min_{m in P(i)} g_i^m`` — the bottleneck rate."""
+        session = self.session(session_name)
+        return min(
+            self.guaranteed_rate(session_name, node) for node in session.route
+        )
+
+    def bottleneck_node(self, session_name: str) -> str:
+        """The route node attaining ``g_i^net``."""
+        session = self.session(session_name)
+        return min(
+            session.route,
+            key=lambda node: self.guaranteed_rate(session_name, node),
+        )
+
+    # ------------------------------------------------------------------
+    def route_graph(self) -> nx.DiGraph:
+        """Directed graph with an edge per consecutive route pair."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._nodes)
+        for session in self._sessions:
+            for upstream, downstream in zip(
+                session.route, session.route[1:]
+            ):
+                graph.add_edge(upstream, downstream)
+        return graph
+
+    def is_feedforward(self) -> bool:
+        """True when the route graph is acyclic."""
+        return nx.is_directed_acyclic_graph(self.route_graph())
+
+    def is_rpps(self, *, rel_tol: float = 1e-9) -> bool:
+        """True when ``phi_i^m = rho_i`` (up to a common factor) at
+        every node — the RPPS GPS assignment of Section 6.2."""
+        for node_name in self._nodes:
+            local = self.sessions_at(node_name)
+            if not local:
+                continue
+            ratios = [s.phi_at(node_name) / s.rho for s in local]
+            lo, hi = min(ratios), max(ratios)
+            if hi - lo > rel_tol * hi:
+                return False
+        return True

@@ -1,0 +1,86 @@
+"""Simulators: fluid GPS, packetized WFQ (PGPS), baseline schedulers,
+multi-node networks and measurement utilities."""
+
+from repro.sim.baselines import (
+    FCFSServer,
+    StaticPriorityServer,
+    WeightedRoundRobinServer,
+)
+from repro.sim.class_based import ClassBasedGPSServer
+from repro.sim.decay import DecayFit, estimate_decay_rate
+from repro.sim.fluid_exact import (
+    FluidTrajectory,
+    RateSegment,
+    gps_rate_allocation as gps_rate_allocation_exact,
+    simulate_exact_gps,
+)
+from repro.sim.fluid import (
+    FluidGPSServer,
+    GPSSimResult,
+    clearing_delays,
+    gps_slot_allocation,
+)
+from repro.sim.measurements import (
+    BoundComparison,
+    busy_periods,
+    compare_bound_to_samples,
+    empirical_ccdf,
+    tail_quantile,
+)
+from repro.sim.network_sim import FluidNetworkSimulator, NetworkSimResult
+from repro.sim.packet import Packet, ScheduledPacket, WFQResult, WFQServer
+from repro.sim.packet_network import (
+    PacketNetworkResult,
+    PacketNetworkSimulator,
+)
+from repro.sim.packet_baselines import (
+    SCFQServer,
+    TaggedPacket,
+    TaggedResult,
+    VirtualClockServer,
+)
+from repro.sim.packetize import packetize_trace, packetize_traces
+from repro.sim.statistics import (
+    BatchMeansEstimate,
+    batch_means_tail,
+    dominance_check,
+)
+
+__all__ = [
+    "FCFSServer",
+    "StaticPriorityServer",
+    "WeightedRoundRobinServer",
+    "FluidGPSServer",
+    "GPSSimResult",
+    "clearing_delays",
+    "gps_slot_allocation",
+    "BoundComparison",
+    "busy_periods",
+    "compare_bound_to_samples",
+    "empirical_ccdf",
+    "tail_quantile",
+    "FluidNetworkSimulator",
+    "NetworkSimResult",
+    "Packet",
+    "ScheduledPacket",
+    "WFQResult",
+    "WFQServer",
+    "packetize_trace",
+    "packetize_traces",
+    "SCFQServer",
+    "TaggedPacket",
+    "TaggedResult",
+    "VirtualClockServer",
+    "BatchMeansEstimate",
+    "batch_means_tail",
+    "dominance_check",
+    "FluidTrajectory",
+    "RateSegment",
+    "gps_rate_allocation_exact",
+    "simulate_exact_gps",
+    "DecayFit",
+    "estimate_decay_rate",
+    "ClassBasedGPSServer",
+    "PacketNetworkResult",
+    "PacketNetworkSimulator",
+]

@@ -1,0 +1,192 @@
+"""Two-level scheduling: GPS between classes, FCFS within a class.
+
+The paper's Section 7 proposes exactly this hybrid: group sessions
+with similar characteristics into classes, isolate the *classes* from
+each other with GPS, and let sessions inside a class share their
+aggregate allocation FCFS to harvest multiplexing gain.  The
+feasible-partition theory then bounds each class aggregate, and the
+aggregate bound is a worst-case bound for every member.
+
+:class:`ClassBasedGPSServer` implements the discipline at fluid-slot
+granularity: the slot capacity is split across classes by GPS
+water-filling on the class backlogs, and each class's share is drained
+through a FIFO of per-slot batches, so traffic of different sessions
+inside a class is served strictly in arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.fluid import GPSSimResult, gps_slot_allocation
+from repro.utils.validation import check_positive, check_weights
+
+__all__ = ["ClassBasedGPSServer"]
+
+_EPS = 1e-12
+
+
+@dataclass
+class _ClassQueue:
+    """FIFO of per-slot batches for one class.
+
+    Each batch stores the per-member amounts so service can be
+    attributed back to sessions proportionally within a batch.
+    """
+
+    members: list[int]
+    batches: list[np.ndarray]
+
+    def backlog(self) -> float:
+        return float(sum(b.sum() for b in self.batches))
+
+    def member_backlog(self, num_sessions: int) -> np.ndarray:
+        out = np.zeros(num_sessions)
+        for batch in self.batches:
+            out[self.members] += batch
+        return out
+
+    def push(self, amounts: np.ndarray) -> None:
+        if float(amounts.sum()) > _EPS:
+            self.batches.append(amounts.copy())
+
+    def drain(self, capacity: float, num_sessions: int) -> np.ndarray:
+        served = np.zeros(num_sessions)
+        remaining = capacity
+        while self.batches and remaining > _EPS:
+            batch = self.batches[0]
+            total = float(batch.sum())
+            if total <= remaining + _EPS:
+                served[self.members] += batch
+                remaining -= total
+                self.batches.pop(0)
+            else:
+                fraction = remaining / total
+                grant = batch * fraction
+                served[self.members] += grant
+                self.batches[0] = batch - grant
+                remaining = 0.0
+        return served
+
+
+class ClassBasedGPSServer:
+    """GPS across classes, FCFS within each class.
+
+    Parameters
+    ----------
+    rate:
+        Server capacity per slot.
+    class_members:
+        ``class_members[k]`` lists the session indices of class ``k``;
+        together they must partition ``0..N-1``.
+    class_phis:
+        GPS weight per class.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        class_members: list[list[int]],
+        class_phis,
+    ) -> None:
+        check_positive("rate", rate)
+        phis = check_weights("class_phis", list(class_phis))
+        if len(phis) != len(class_members):
+            raise ValueError(
+                "one weight per class required, got "
+                f"{len(phis)} weights for {len(class_members)} classes"
+            )
+        flat = [i for members in class_members for i in members]
+        if not flat:
+            raise ValueError("need at least one session")
+        if sorted(flat) != list(range(len(flat))):
+            raise ValueError(
+                "class_members must partition the session indices "
+                f"0..{len(flat) - 1}, got {class_members}"
+            )
+        self._rate = float(rate)
+        self._phis = np.asarray(phis)
+        self._num_sessions = len(flat)
+        self._class_members = [list(m) for m in class_members]
+        self._queues = [
+            _ClassQueue(members=list(m), batches=[])
+            for m in class_members
+        ]
+
+    @property
+    def rate(self) -> float:
+        """Server capacity per slot."""
+        return self._rate
+
+    @property
+    def num_sessions(self) -> int:
+        """Total session count across classes."""
+        return self._num_sessions
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes."""
+        return len(self._queues)
+
+    def reset(self) -> None:
+        """Empty all class queues."""
+        for queue in self._queues:
+            queue.batches = []
+
+    def step(self, arrivals) -> np.ndarray:
+        """Advance one slot; returns per-session service amounts."""
+        arr = np.asarray(arrivals, dtype=float)
+        if arr.shape != (self._num_sessions,):
+            raise ValueError(
+                f"expected {self._num_sessions} arrival entries, got "
+                f"shape {arr.shape}"
+            )
+        if np.any(arr < 0.0):
+            raise ValueError("arrivals must be non-negative")
+        for queue in self._queues:
+            queue.push(arr[queue.members])
+        class_work = np.array(
+            [queue.backlog() for queue in self._queues]
+        )
+        class_service = gps_slot_allocation(
+            class_work, self._phis, self._rate
+        )
+        served = np.zeros(self._num_sessions)
+        for queue, capacity in zip(self._queues, class_service):
+            served += queue.drain(float(capacity), self._num_sessions)
+        return served
+
+    def run(self, arrivals: np.ndarray) -> GPSSimResult:
+        """Simulate a whole arrival matrix; see FluidGPSServer.run."""
+        arr = np.asarray(arrivals, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] != self._num_sessions:
+            raise ValueError(
+                f"arrivals must have shape ({self._num_sessions}, T), "
+                f"got {arr.shape}"
+            )
+        self.reset()
+        served = np.zeros_like(arr)
+        backlog = np.zeros_like(arr)
+        for t in range(arr.shape[1]):
+            served[:, t] = self.step(arr[:, t])
+            snapshot = np.zeros(self._num_sessions)
+            for queue in self._queues:
+                snapshot += queue.member_backlog(self._num_sessions)
+            backlog[:, t] = snapshot
+        # record per-session weights as the class weight share
+        weights = np.zeros(self._num_sessions)
+        for queue, phi in zip(self._queues, self._phis):
+            weights[queue.members] = phi / max(len(queue.members), 1)
+        return GPSSimResult(
+            arrivals=arr,
+            served=served,
+            backlog=backlog,
+            rate=self._rate,
+            phis=tuple(weights.tolist()),
+        )
+
+    def class_backlogs(self) -> np.ndarray:
+        """Current per-class backlog totals."""
+        return np.array([queue.backlog() for queue in self._queues])

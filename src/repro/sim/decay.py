@@ -1,0 +1,112 @@
+"""Empirical tail decay-rate estimation.
+
+The paper's conclusions call for a *lower* bound on the per-session
+backlog decay rate to complement the upper bounds it proves (an
+effective-bandwidth theory for GPS).  While the theory is future work,
+simulation gives the empirical counterpart: fit the exponential decay
+of the measured tail and compare it with the analytic decay.  A valid
+upper bound's decay rate never exceeds the true one, so
+
+    fitted_decay  >=  bound.decay_rate   (up to estimation noise)
+
+is an end-to-end consistency check used by the validation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.measurements import empirical_ccdf
+
+__all__ = ["DecayFit", "estimate_decay_rate"]
+
+
+@dataclass(frozen=True)
+class DecayFit:
+    """An exponential fit ``Pr{X >= x} ~ C e^{-decay x}`` of a tail.
+
+    Attributes
+    ----------
+    decay_rate:
+        The fitted exponential decay rate.
+    log_prefactor:
+        The fitted intercept ``ln C``.
+    xs, log_ccdf:
+        The points the regression used.
+    residual:
+        Root-mean-square residual of the fit in log space (a large
+        value signals a non-exponential tail).
+    """
+
+    decay_rate: float
+    log_prefactor: float
+    xs: np.ndarray
+    log_ccdf: np.ndarray
+    residual: float
+
+    def evaluate(self, x: float) -> float:
+        """The fitted tail value at ``x``."""
+        return float(
+            np.exp(self.log_prefactor - self.decay_rate * x)
+        )
+
+
+def estimate_decay_rate(
+    samples: np.ndarray,
+    *,
+    lower_quantile: float = 0.90,
+    upper_probability: float = 1e-4,
+    num_points: int = 30,
+) -> DecayFit:
+    """Fit the exponential decay of a sample tail by least squares.
+
+    The regression runs over the tail region from the
+    ``lower_quantile`` of the data down to empirical probabilities of
+    ``upper_probability`` (deeper points are Monte-Carlo noise).
+
+    Raises
+    ------
+    ValueError
+        If the usable tail region contains fewer than 3 grid points
+        with positive empirical mass (trace too short or tail too
+        light to fit).
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size < 100:
+        raise ValueError(
+            f"need at least 100 samples to fit a tail, got {arr.size}"
+        )
+    if not 0.0 < lower_quantile < 1.0:
+        raise ValueError(
+            f"lower_quantile must be in (0, 1), got {lower_quantile}"
+        )
+    start = float(np.quantile(arr, lower_quantile))
+    stop = float(arr.max())
+    if stop <= start:
+        raise ValueError(
+            "degenerate tail: the quantile equals the maximum"
+        )
+    xs = np.linspace(start, stop, num_points)
+    ccdf = empirical_ccdf(arr, xs)
+    usable = ccdf >= upper_probability
+    if usable.sum() < 3:
+        raise ValueError(
+            "not enough tail mass to fit; lower upper_probability or "
+            "use a longer trace"
+        )
+    xs_fit = xs[usable]
+    ys_fit = np.log(ccdf[usable])
+    slope, intercept = np.polyfit(xs_fit, ys_fit, deg=1)
+    predictions = intercept + slope * xs_fit
+    residual = float(
+        np.sqrt(np.mean((ys_fit - predictions) ** 2))
+    )
+    return DecayFit(
+        decay_rate=float(-slope),
+        log_prefactor=float(intercept),
+        xs=xs_fit,
+        log_ccdf=ys_fit,
+        residual=residual,
+    )

@@ -1,0 +1,113 @@
+"""Measurement utilities: empirical CCDFs and bound-vs-simulation
+comparisons.
+
+The paper closes by noting that "simulation needs to be conducted to
+verify how good the theoretical bounds are" — these helpers make that
+comparison a one-liner: an analytic :class:`ExponentialTailBound` and a
+vector of simulated samples produce a :class:`BoundComparison` whose
+``max_violation_ratio`` should not exceed 1 (up to Monte-Carlo noise in
+the deep tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bounds import TailBound
+
+__all__ = [
+    "empirical_ccdf",
+    "tail_quantile",
+    "BoundComparison",
+    "compare_bound_to_samples",
+    "busy_periods",
+]
+
+
+def empirical_ccdf(samples: np.ndarray, xs: np.ndarray) -> np.ndarray:
+    """``Pr{X >= x}`` estimated from samples, over the grid ``xs``."""
+    data = np.sort(np.asarray(samples, dtype=float))
+    grid = np.asarray(xs, dtype=float)
+    # count of samples >= x via searchsorted on the sorted data
+    counts = data.size - np.searchsorted(data, grid, side="left")
+    return counts / data.size
+
+
+def tail_quantile(samples: np.ndarray, epsilon: float) -> float:
+    """Smallest ``x`` with empirical ``Pr{X >= x} <= epsilon``."""
+    if not 0.0 < epsilon <= 1.0:
+        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+    data = np.sort(np.asarray(samples, dtype=float))
+    # Pr{X >= data[k]} = (n - k) / n; find the first k with
+    # (n - k) / n <= epsilon.
+    n = data.size
+    k = int(np.ceil(n * (1.0 - epsilon)))
+    if k >= n:
+        return float(data[-1])
+    return float(data[k])
+
+
+@dataclass(frozen=True)
+class BoundComparison:
+    """Empirical CCDF vs analytic bound over a common grid."""
+
+    xs: np.ndarray
+    empirical: np.ndarray
+    bound: np.ndarray
+
+    def max_violation_ratio(self, *, min_probability: float = 0.0) -> float:
+        """Largest ``empirical / bound`` over grid points where the
+        empirical tail exceeds ``min_probability``.
+
+        A value ``<= 1`` means the bound dominates the simulation
+        everywhere considered; ``min_probability`` excludes the deep
+        tail where the empirical estimate itself is noise.
+        """
+        mask = self.empirical > max(min_probability, 0.0)
+        if not mask.any():
+            return 0.0
+        return float(np.max(self.empirical[mask] / self.bound[mask]))
+
+    def mean_slack_decades(self) -> float:
+        """Average ``log10(bound / empirical)`` where both are positive
+        — how conservative the bound is, in orders of magnitude."""
+        mask = (self.empirical > 0.0) & (self.bound > 0.0)
+        if not mask.any():
+            return 0.0
+        return float(
+            np.mean(np.log10(self.bound[mask] / self.empirical[mask]))
+        )
+
+
+def compare_bound_to_samples(
+    bound: TailBound, samples: np.ndarray, xs: np.ndarray
+) -> BoundComparison:
+    """Evaluate a bound and the empirical CCDF on a common grid."""
+    grid = np.asarray(xs, dtype=float)
+    return BoundComparison(
+        xs=grid,
+        empirical=empirical_ccdf(samples, grid),
+        bound=bound.evaluate_array(grid),
+    )
+
+
+def busy_periods(backlog: np.ndarray, *, tol: float = 1e-12) -> list[tuple[int, int]]:
+    """Maximal intervals (start, end inclusive) of positive backlog.
+
+    Matches the paper's definition of a busy period as a maximal
+    interval throughout which the session is backlogged.
+    """
+    positive = np.asarray(backlog, dtype=float) > tol
+    periods: list[tuple[int, int]] = []
+    start = None
+    for t, busy in enumerate(positive):
+        if busy and start is None:
+            start = t
+        elif not busy and start is not None:
+            periods.append((start, t - 1))
+            start = None
+    if start is not None:
+        periods.append((start, positive.size - 1))
+    return periods

@@ -1,0 +1,217 @@
+"""Slot-stepped simulation of a network of fluid GPS servers.
+
+Each node of a :class:`repro.network.topology.Network` runs a
+:class:`repro.sim.fluid.FluidGPSServer` over the sessions traversing
+it; a session's departures at one hop become its arrivals at the next.
+
+Two propagation modes:
+
+* ``link_delay=0`` (default for feedforward networks): nodes are
+  stepped in topological order so traffic can traverse the whole route
+  within one slot — matching the paper's zero-propagation fluid model.
+* ``link_delay>=1``: departures reach the next hop ``link_delay`` slots
+  later; required for (and valid on) cyclic route graphs.
+
+The result object exposes per-session network backlog ``Q_i^net`` and
+end-to-end clearing delays ``D_i^net`` — the quantities bounded by
+Theorem 15 — plus per-node traces for node-level checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.network.topology import Network
+from repro.sim.fluid import FluidGPSServer, clearing_delays
+
+__all__ = ["NetworkSimResult", "FluidNetworkSimulator"]
+
+
+@dataclass(frozen=True)
+class NetworkSimResult:
+    """Traces from a network simulation.
+
+    Attributes
+    ----------
+    external_arrivals:
+        ``{session: per-slot ingress arrivals}``.
+    egress:
+        ``{session: per-slot departures from the last hop}``.
+    node_backlog:
+        ``{(session, node): per-slot backlog at that node}``.
+    node_served:
+        ``{(session, node): per-slot service at that node}``.
+    """
+
+    external_arrivals: dict[str, np.ndarray]
+    egress: dict[str, np.ndarray]
+    node_backlog: dict[tuple[str, str], np.ndarray]
+    node_served: dict[tuple[str, str], np.ndarray]
+
+    @property
+    def num_slots(self) -> int:
+        """Simulated horizon."""
+        return next(iter(self.external_arrivals.values())).size
+
+    def network_backlog(self, session_name: str) -> np.ndarray:
+        """``Q_i^net(t)``: session traffic queued anywhere (including
+        in flight on links), per slot — ingress minus egress."""
+        in_cum = np.cumsum(self.external_arrivals[session_name])
+        out_cum = np.cumsum(self.egress[session_name])
+        return in_cum - out_cum
+
+    def end_to_end_delays(self, session_name: str) -> np.ndarray:
+        """``D_i^net(t)``: slots until the network backlog at ``t``
+        clears (nan when the horizon ends first)."""
+        in_cum = np.cumsum(self.external_arrivals[session_name])
+        out_cum = np.cumsum(self.egress[session_name])
+        return clearing_delays(in_cum, out_cum)
+
+    def session_node_backlog(
+        self, session_name: str, node_name: str
+    ) -> np.ndarray:
+        """Per-slot backlog of one session at one node."""
+        return self.node_backlog[(session_name, node_name)]
+
+
+class FluidNetworkSimulator:
+    """Simulate a network of fluid GPS servers slot by slot."""
+
+    def __init__(self, network: Network, *, link_delay: int | None = None):
+        self._network = network
+        if link_delay is None:
+            link_delay = 0 if network.is_feedforward() else 1
+        if link_delay < 0:
+            raise ValueError(f"link_delay must be >= 0, got {link_delay}")
+        if link_delay == 0 and not network.is_feedforward():
+            raise ValueError(
+                "link_delay=0 needs a feedforward (acyclic) network; "
+                "use link_delay >= 1 for cyclic route graphs"
+            )
+        self._link_delay = link_delay
+        # Per-node session order (fixed) and servers.
+        self._node_sessions = {
+            name: [s.name for s in network.sessions_at(name)]
+            for name in network.nodes
+        }
+        self._node_order = self._processing_order()
+
+    def _processing_order(self) -> list[str]:
+        names = [
+            name
+            for name in self._network.nodes
+            if self._node_sessions[name]
+        ]
+        if self._link_delay > 0:
+            return names
+        graph = self._network.route_graph()
+        order = list(nx.topological_sort(graph))
+        return [name for name in order if name in names]
+
+    # ------------------------------------------------------------------
+    def run(
+        self, external_arrivals: dict[str, np.ndarray]
+    ) -> NetworkSimResult:
+        """Simulate; ``external_arrivals`` maps every session name to a
+        per-slot ingress array (all the same length)."""
+        network = self._network
+        sessions = {s.name: s for s in network.sessions}
+        if set(external_arrivals) != set(sessions):
+            raise ValueError(
+                "external_arrivals must cover exactly the network "
+                f"sessions {sorted(sessions)}, got "
+                f"{sorted(external_arrivals)}"
+            )
+        lengths = {arr.shape[0] for arr in external_arrivals.values()}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"all arrival arrays must share a length, got {lengths}"
+            )
+        (num_slots,) = lengths
+
+        servers = {
+            name: FluidGPSServer(
+                network.nodes[name].rate,
+                [
+                    sessions[s].phi_at(name)
+                    for s in self._node_sessions[name]
+                ],
+            )
+            for name in self._node_order
+        }
+        # in_transit[(session, node)]: FIFO of (due_slot, amount)
+        # for link_delay >= 1; for link_delay == 0 a same-slot buffer.
+        pending: dict[tuple[str, str], list[tuple[int, float]]] = {}
+        node_backlog = {
+            (s, n): np.zeros(num_slots)
+            for n in self._node_order
+            for s in self._node_sessions[n]
+        }
+        node_served = {
+            key: np.zeros(num_slots) for key in node_backlog
+        }
+        egress = {name: np.zeros(num_slots) for name in sessions}
+
+        for t in range(num_slots):
+            same_slot: dict[tuple[str, str], float] = {}
+            for node_name in self._node_order:
+                local = self._node_sessions[node_name]
+                slot_arrivals = np.zeros(len(local))
+                for k, session_name in enumerate(local):
+                    session = sessions[session_name]
+                    if session.route[0] == node_name:
+                        slot_arrivals[k] += external_arrivals[
+                            session_name
+                        ][t]
+                    if self._link_delay == 0:
+                        slot_arrivals[k] += same_slot.pop(
+                            (session_name, node_name), 0.0
+                        )
+                    else:
+                        queue = pending.get((session_name, node_name), [])
+                        while queue and queue[0][0] <= t:
+                            slot_arrivals[k] += queue.pop(0)[1]
+                served = servers[node_name].step(slot_arrivals)
+                backlog = servers[node_name].backlog
+                for k, session_name in enumerate(local):
+                    node_served[(session_name, node_name)][t] = served[k]
+                    node_backlog[(session_name, node_name)][t] = backlog[k]
+                    session = sessions[session_name]
+                    hop = session.hop_index(node_name)
+                    amount = float(served[k])
+                    if amount <= 0.0:
+                        continue
+                    if hop + 1 == session.num_hops:
+                        egress[session_name][t] += amount
+                    else:
+                        next_node = session.route[hop + 1]
+                        if self._link_delay == 0:
+                            same_slot[(session_name, next_node)] = (
+                                same_slot.get(
+                                    (session_name, next_node), 0.0
+                                )
+                                + amount
+                            )
+                        else:
+                            pending.setdefault(
+                                (session_name, next_node), []
+                            ).append((t + self._link_delay, amount))
+            if self._link_delay == 0 and same_slot:
+                leftovers = {k: v for k, v in same_slot.items() if v > 0}
+                if leftovers:
+                    raise RuntimeError(
+                        "same-slot traffic was not consumed; processing "
+                        f"order is inconsistent: {leftovers}"
+                    )
+        return NetworkSimResult(
+            external_arrivals={
+                name: np.asarray(arr, dtype=float)
+                for name, arr in external_arrivals.items()
+            },
+            egress=egress,
+            node_backlog=node_backlog,
+            node_served=node_served,
+        )

@@ -1,0 +1,115 @@
+"""Output analysis for the simulators: batch means and tail-probability
+confidence intervals.
+
+Comparing an analytic bound against one long correlated sample path
+needs more care than a raw frequency: backlog processes are strongly
+autocorrelated, so naive binomial confidence intervals are far too
+optimistic.  The standard remedy is the method of batch means — split
+the (post-warm-up) path into ``k`` long batches, treat the per-batch
+tail frequencies as approximately i.i.d., and build a t-interval from
+their spread.  The validation benches use this to decide whether an
+apparent bound violation is statistically meaningful.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["BatchMeansEstimate", "batch_means_tail", "dominance_check"]
+
+
+@dataclass(frozen=True)
+class BatchMeansEstimate:
+    """A tail-probability estimate with a confidence interval.
+
+    Attributes
+    ----------
+    probability:
+        The point estimate (overall frequency).
+    lower, upper:
+        The two-sided confidence interval from the batch means.
+    num_batches:
+        Batches used.
+    """
+
+    probability: float
+    lower: float
+    upper: float
+    num_batches: int
+
+    def contains(self, value: float) -> bool:
+        """True if ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+
+def batch_means_tail(
+    samples: np.ndarray,
+    threshold: float,
+    *,
+    num_batches: int = 20,
+    confidence: float = 0.95,
+) -> BatchMeansEstimate:
+    """Estimate ``Pr{X >= threshold}`` with a batch-means interval.
+
+    The samples are split into ``num_batches`` contiguous batches
+    (dropping any remainder); the per-batch exceedance frequencies give
+    the variance estimate for a Student-t interval.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if num_batches < 2:
+        raise ValueError(
+            f"need at least 2 batches, got {num_batches}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(
+            f"confidence must be in (0, 1), got {confidence}"
+        )
+    batch_size = arr.size // num_batches
+    if batch_size < 1:
+        raise ValueError(
+            f"too few samples ({arr.size}) for {num_batches} batches"
+        )
+    usable = arr[: batch_size * num_batches]
+    batches = usable.reshape(num_batches, batch_size)
+    frequencies = (batches >= threshold).mean(axis=1)
+    mean = float(frequencies.mean())
+    spread = float(frequencies.std(ddof=1)) / math.sqrt(num_batches)
+    t_value = float(
+        stats.t.ppf(0.5 + confidence / 2.0, df=num_batches - 1)
+    )
+    half_width = t_value * spread
+    return BatchMeansEstimate(
+        probability=mean,
+        lower=max(0.0, mean - half_width),
+        upper=min(1.0, mean + half_width),
+        num_batches=num_batches,
+    )
+
+
+def dominance_check(
+    samples: np.ndarray,
+    bound_value: float,
+    threshold: float,
+    *,
+    num_batches: int = 20,
+    confidence: float = 0.95,
+) -> bool:
+    """Is the bound statistically consistent with the simulation?
+
+    Returns True when the bound value is at least the *lower* end of
+    the confidence interval of the empirical tail probability — i.e.
+    the data does not reject the bound at the given confidence.  (A
+    valid bound may of course exceed the upper end; that just means it
+    is conservative.)
+    """
+    estimate = batch_means_tail(
+        samples,
+        threshold,
+        num_batches=num_batches,
+        confidence=confidence,
+    )
+    return bound_value >= estimate.lower

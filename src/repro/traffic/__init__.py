@@ -1,0 +1,64 @@
+"""Traffic models: sample-path generators, token-control devices,
+deterministic envelopes and empirical E.B.B. estimation."""
+
+from repro.traffic.envelope import (
+    LBAPEnvelope,
+    empirical_envelope_curve,
+    tightest_sigma,
+)
+from repro.traffic.estimation import (
+    EBBFit,
+    fit_ebb,
+    interval_excess_tail,
+    pooled_excess_tail,
+)
+from repro.traffic.leaky_bucket import (
+    LeakyBucketPolicer,
+    LeakyBucketShaper,
+    MarkingResult,
+    TokenMarker,
+    conforms_to_envelope,
+)
+from repro.traffic.presets import (
+    data_traffic,
+    video_model,
+    video_traffic,
+    voice_model,
+    voice_traffic,
+)
+from repro.traffic.sources import (
+    BernoulliBurstTraffic,
+    CompoundTraffic,
+    ConstantBitRateTraffic,
+    MarkovModulatedTraffic,
+    OnOffTraffic,
+    TrafficSource,
+    UniformNoiseTraffic,
+)
+
+__all__ = [
+    "LBAPEnvelope",
+    "empirical_envelope_curve",
+    "tightest_sigma",
+    "EBBFit",
+    "fit_ebb",
+    "interval_excess_tail",
+    "pooled_excess_tail",
+    "LeakyBucketPolicer",
+    "LeakyBucketShaper",
+    "MarkingResult",
+    "TokenMarker",
+    "conforms_to_envelope",
+    "BernoulliBurstTraffic",
+    "CompoundTraffic",
+    "ConstantBitRateTraffic",
+    "MarkovModulatedTraffic",
+    "OnOffTraffic",
+    "TrafficSource",
+    "UniformNoiseTraffic",
+    "data_traffic",
+    "video_model",
+    "video_traffic",
+    "voice_model",
+    "voice_traffic",
+]

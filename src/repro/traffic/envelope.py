@@ -1,0 +1,90 @@
+"""Deterministic (sigma, rho) traffic envelopes (Cruz's LBAP model).
+
+A process conforms to the Linear Bounded Arrival Process envelope
+``(sigma, rho)`` if ``A(s, t] <= sigma + rho (t - s)`` for all
+intervals.  This is the source model of Parekh & Gallager's
+deterministic GPS analysis, which the paper generalizes; we implement
+it both as the baseline theory (:mod:`repro.deterministic`) and to
+measure how conservative deterministic envelopes are for stochastic
+sources (one of the paper's motivating observations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = ["LBAPEnvelope", "tightest_sigma", "empirical_envelope_curve"]
+
+
+@dataclass(frozen=True)
+class LBAPEnvelope:
+    """The deterministic envelope ``A(s, t] <= sigma + rho (t-s)``.
+
+    Attributes
+    ----------
+    sigma:
+        Maximum burst size (bucket depth).
+    rho:
+        Long-term bounding rate.
+    """
+
+    sigma: float
+    rho: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("sigma", self.sigma)
+        check_positive("rho", self.rho)
+
+    def bound(self, duration: float) -> float:
+        """Maximum traffic the envelope admits over ``duration``."""
+        check_nonnegative("duration", duration)
+        return self.sigma + self.rho * duration
+
+    def conforms(self, increments: np.ndarray, *, tol: float = 1e-9) -> bool:
+        """Check every interval of a discrete sample path."""
+        level = 0.0
+        for amount in np.asarray(increments, dtype=float):
+            level = max(level + float(amount) - self.rho, 0.0)
+            if level > self.sigma + tol:
+                return False
+        return True
+
+    def __add__(self, other: "LBAPEnvelope") -> "LBAPEnvelope":
+        """Envelope of the superposition of two conforming flows."""
+        return LBAPEnvelope(self.sigma + other.sigma, self.rho + other.rho)
+
+
+def tightest_sigma(increments: np.ndarray, rho: float) -> float:
+    """Smallest ``sigma`` such that the path conforms to
+    ``(sigma, rho)``.
+
+    Equal to the maximum over time of the virtual queue drained at
+    ``rho``; linear time.
+    """
+    check_positive("rho", rho)
+    level = 0.0
+    worst = 0.0
+    for amount in np.asarray(increments, dtype=float):
+        level = max(level + float(amount) - rho, 0.0)
+        worst = max(worst, level)
+    return worst
+
+
+def empirical_envelope_curve(
+    increments: np.ndarray, rhos: np.ndarray
+) -> list[LBAPEnvelope]:
+    """The family of tightest envelopes over a grid of rates.
+
+    For each candidate rate the minimal burst parameter is computed;
+    the resulting (rate, burst) trade-off curve is the empirical
+    deterministic counterpart of choosing ``(rho, Lambda, alpha)`` in
+    the E.B.B. model.
+    """
+    return [
+        LBAPEnvelope(tightest_sigma(increments, float(rho)), float(rho))
+        for rho in np.asarray(rhos, dtype=float)
+    ]

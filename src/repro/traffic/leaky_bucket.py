@@ -1,0 +1,176 @@
+"""Leaky-bucket token control and the zero-bucket marking scheme.
+
+Two token-control devices appear in the GPS literature:
+
+* the classical **leaky bucket** of Parekh & Gallager / Cruz: tokens
+  accumulate at rate ``r`` into a bucket of depth ``sigma``; conforming
+  traffic never exceeds ``sigma + r * duration`` over any interval
+  (the LBAP envelope).  :class:`LeakyBucketShaper` delays excess
+  traffic, :class:`LeakyBucketPolicer` drops it.
+
+* the **zero-bucket marker** described at the end of Section 3 of the
+  paper: tokens are generated at rate ``r`` with *no* accumulation;
+  arrivals beyond the instantaneous token rate are *marked* but still
+  admitted.  On a sample path the amount of marked traffic queued at
+  time ``t`` is exactly the virtual backlog ``delta(t) = sup_s {A(s,t)
+  - r (t-s)}``, giving the paper's operational interpretation of the
+  decomposition.  :class:`TokenMarker` implements it.
+
+All devices operate on discrete-time per-slot arrival arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "LeakyBucketShaper",
+    "LeakyBucketPolicer",
+    "TokenMarker",
+    "MarkingResult",
+    "conforms_to_envelope",
+]
+
+
+@dataclass(frozen=True)
+class LeakyBucketShaper:
+    """Shape traffic to the ``(sigma, rho)`` envelope by buffering.
+
+    Attributes
+    ----------
+    rate:
+        Token generation rate ``rho`` (units per slot).
+    bucket_size:
+        Bucket depth ``sigma``; ``0`` shapes to a pure CBR envelope.
+    """
+
+    rate: float
+    bucket_size: float
+
+    def __post_init__(self) -> None:
+        check_positive("rate", self.rate)
+        check_nonnegative("bucket_size", self.bucket_size)
+
+    def shape(self, arrivals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(released, backlog)`` arrays, one entry per slot.
+
+        ``released[t]`` is the conforming traffic let out in slot ``t``
+        (at most ``tokens available``); ``backlog[t]`` is the shaper
+        queue *after* slot ``t``.  Tokens available in a slot are the
+        bucket content plus the slot's fresh ``rate`` tokens; the bucket
+        starts full.
+        """
+        arr = np.asarray(arrivals, dtype=float)
+        released = np.empty_like(arr)
+        backlog = np.empty_like(arr)
+        tokens = self.bucket_size
+        queued = 0.0
+        for t, amount in enumerate(arr):
+            queued += float(amount)
+            tokens = min(tokens + self.rate, self.bucket_size + self.rate)
+            out = min(queued, tokens)
+            released[t] = out
+            queued -= out
+            tokens -= out
+            backlog[t] = queued
+        return released, backlog
+
+
+@dataclass(frozen=True)
+class LeakyBucketPolicer:
+    """Police traffic to the ``(sigma, rho)`` envelope by dropping."""
+
+    rate: float
+    bucket_size: float
+
+    def __post_init__(self) -> None:
+        check_positive("rate", self.rate)
+        check_nonnegative("bucket_size", self.bucket_size)
+
+    def police(self, arrivals: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(admitted, dropped)`` arrays, one entry per slot."""
+        arr = np.asarray(arrivals, dtype=float)
+        admitted = np.empty_like(arr)
+        dropped = np.empty_like(arr)
+        tokens = self.bucket_size
+        for t, amount in enumerate(arr):
+            tokens = min(tokens + self.rate, self.bucket_size + self.rate)
+            take = min(float(amount), tokens)
+            admitted[t] = take
+            dropped[t] = float(amount) - take
+            tokens -= take
+        return admitted, dropped
+
+
+@dataclass(frozen=True)
+class MarkingResult:
+    """Output of the zero-bucket marker over a sample path."""
+
+    marked: np.ndarray
+    unmarked: np.ndarray
+    marked_backlog: np.ndarray
+
+    @property
+    def total_marked(self) -> float:
+        """Total marked traffic over the path."""
+        return float(self.marked.sum())
+
+
+@dataclass(frozen=True)
+class TokenMarker:
+    """The Section 3 zero-bucket marking scheme.
+
+    Tokens arrive as a continuous flow at rate ``rate`` and are consumed
+    immediately; unconsumed tokens are discarded (bucket size zero).
+    Arrivals beyond the slot's tokens are *marked* and admitted anyway.
+    ``marked_backlog[t]`` tracks the outstanding marked traffic, which
+    equals the virtual backlog ``delta(t)`` of the decomposition —
+    tests assert this identity against a direct computation of the
+    supremum.
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        check_positive("rate", self.rate)
+
+    def mark(self, arrivals: np.ndarray) -> MarkingResult:
+        """Split each slot's arrivals into unmarked and marked parts."""
+        arr = np.asarray(arrivals, dtype=float)
+        marked = np.clip(arr - self.rate, 0.0, None)
+        unmarked = arr - marked
+        # delta(t) = max(delta(t-1) + a_t - rate, 0) — the Lindley
+        # recursion of the rate-`rate` virtual queue.  The slack
+        # rate - a_t in underloaded slots drains earlier marks.
+        deficit = self.rate - arr
+        backlog = np.empty_like(arr)
+        level = 0.0
+        for t in range(arr.size):
+            level = max(level - deficit[t], 0.0)
+            backlog[t] = level
+        return MarkingResult(
+            marked=marked, unmarked=unmarked, marked_backlog=backlog
+        )
+
+
+def conforms_to_envelope(
+    arrivals: np.ndarray, rate: float, bucket_size: float
+) -> bool:
+    """Check the LBAP property ``A(s, t] <= sigma + rho (t - s)`` for
+    every interval of the sample path.
+
+    Runs in linear time via the equivalent condition that the virtual
+    queue drained at ``rate`` never exceeds ``bucket_size``.
+    """
+    check_positive("rate", rate)
+    check_nonnegative("bucket_size", bucket_size)
+    level = 0.0
+    for amount in np.asarray(arrivals, dtype=float):
+        level = max(level + float(amount) - rate, 0.0)
+        if level > bucket_size + 1e-9:
+            return False
+    return True

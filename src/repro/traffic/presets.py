@@ -1,0 +1,117 @@
+"""Named source presets for the traffic classes of the paper's Sec. 7.
+
+The paper's concluding discussion groups traffic into classes — voice,
+video at several resolutions, data — with similar in-class
+characteristics.  These factories provide calibrated members of each
+class so examples, benches and tests can speak the same language:
+
+* **voice**: the classic packetized-voice on-off model (talk spurts of
+  ~350 ms, silences ~650 ms at an 8 kb/s-like normalized peak) — a
+  two-state chain, as in the Section 6.3 example.
+* **video**: a multi-state Markov-modulated model in the style of
+  Maglaris et al.: several quantized activity levels with neighbor
+  transitions, mimicking VBR scene changes.
+* **data**: bursty but memoryless — an i.i.d. Bernoulli batch model.
+
+Rates are normalized to a unit-rate server; scale per deployment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.markov.chain import DTMC
+from repro.markov.mmpp import MarkovModulatedSource
+from repro.markov.onoff import OnOffSource
+from repro.traffic.sources import (
+    BernoulliBurstTraffic,
+    MarkovModulatedTraffic,
+    OnOffTraffic,
+    TrafficSource,
+)
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "voice_model",
+    "voice_traffic",
+    "video_model",
+    "video_traffic",
+    "data_traffic",
+]
+
+
+def voice_model(
+    *, peak_rate: float = 0.4, activity: float = 0.35,
+    mean_talk_spurt: float = 35.0,
+) -> OnOffSource:
+    """A packetized-voice on-off model.
+
+    ``activity`` is the stationary on-probability and
+    ``mean_talk_spurt`` the mean on-sojourn in slots; together they
+    pin down (p, q).
+    """
+    check_positive("peak_rate", peak_rate)
+    if not 0.0 < activity < 1.0:
+        raise ValueError(
+            f"activity must be in (0, 1), got {activity}"
+        )
+    check_positive("mean_talk_spurt", mean_talk_spurt)
+    q = 1.0 / mean_talk_spurt
+    # activity = p / (p + q)  =>  p = q * activity / (1 - activity)
+    p = q * activity / (1.0 - activity)
+    if p >= 1.0:
+        raise ValueError(
+            "inconsistent parameters: implied off->on probability "
+            f"{p} >= 1; lengthen the talk spurt or lower activity"
+        )
+    return OnOffSource(p, q, peak_rate)
+
+
+def voice_traffic(**kwargs) -> OnOffTraffic:
+    """Sample-path generator for :func:`voice_model`."""
+    return OnOffTraffic(voice_model(**kwargs))
+
+
+def video_model(
+    *,
+    num_levels: int = 5,
+    peak_rate: float = 0.6,
+    level_change_probability: float = 0.1,
+) -> MarkovModulatedSource:
+    """A Maglaris-style VBR video model.
+
+    ``num_levels`` activity levels with rates spaced uniformly from
+    ``peak_rate / num_levels`` to ``peak_rate``; the activity level
+    performs a lazy random walk (up/down with probability
+    ``level_change_probability`` each).
+    """
+    if num_levels < 2:
+        raise ValueError(f"num_levels must be >= 2, got {num_levels}")
+    check_positive("peak_rate", peak_rate)
+    if not 0.0 < level_change_probability <= 0.5:
+        raise ValueError(
+            "level_change_probability must be in (0, 0.5], got "
+            f"{level_change_probability}"
+        )
+    p = level_change_probability
+    transition = np.zeros((num_levels, num_levels))
+    for level in range(num_levels):
+        if level > 0:
+            transition[level, level - 1] = p
+        if level < num_levels - 1:
+            transition[level, level + 1] = p
+        transition[level, level] = 1.0 - transition[level].sum()
+    rates = peak_rate * np.arange(1, num_levels + 1) / num_levels
+    return MarkovModulatedSource(DTMC(transition), rates)
+
+
+def video_traffic(**kwargs) -> MarkovModulatedTraffic:
+    """Sample-path generator for :func:`video_model`."""
+    return MarkovModulatedTraffic(video_model(**kwargs))
+
+
+def data_traffic(
+    *, burst_probability: float = 0.15, burst_size: float = 1.0
+) -> TrafficSource:
+    """A memoryless bursty data source (i.i.d. Bernoulli batches)."""
+    return BernoulliBurstTraffic(burst_probability, burst_size)

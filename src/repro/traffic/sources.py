@@ -1,0 +1,248 @@
+"""Discrete-time traffic generators for the simulators.
+
+Each generator produces a numpy array of per-slot arrival amounts
+(fluid units per slot).  Generators are deterministic given a seed, so
+simulations are exactly reproducible; every generator also exposes its
+analytical counterparts (mean rate, and where available the E.B.B. /
+Markov-modulated model) so simulation and analysis stay in sync.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.mmpp import MarkovModulatedSource
+from repro.markov.onoff import OnOffSource
+from repro.utils.validation import (
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "TrafficSource",
+    "OnOffTraffic",
+    "MarkovModulatedTraffic",
+    "ConstantBitRateTraffic",
+    "BernoulliBurstTraffic",
+    "UniformNoiseTraffic",
+    "CompoundTraffic",
+]
+
+
+class TrafficSource(ABC):
+    """A stationary discrete-time traffic source."""
+
+    @abstractmethod
+    def generate(
+        self, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return ``num_slots`` per-slot arrival amounts."""
+
+    @property
+    @abstractmethod
+    def mean_rate(self) -> float:
+        """Long-run average arrival rate (units per slot)."""
+
+    @property
+    @abstractmethod
+    def peak_rate(self) -> float:
+        """Maximum possible arrival in a single slot."""
+
+
+@dataclass(frozen=True)
+class OnOffTraffic(TrafficSource):
+    """Sample-path generator for the two-state on-off Markov source.
+
+    The stationary chain is sampled directly: the initial state comes
+    from the stationary distribution, and transitions use the (p, q)
+    probabilities of the analytical :class:`OnOffSource` model.
+    """
+
+    model: OnOffSource
+
+    def generate(
+        self, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if num_slots <= 0:
+            raise ValueError(f"num_slots must be positive, got {num_slots}")
+        p, q = self.model.p, self.model.q
+        uniforms = rng.random(num_slots)
+        states = np.empty(num_slots, dtype=bool)
+        state = bool(rng.random() < self.model.on_probability)
+        for t in range(num_slots):
+            if state:
+                state = uniforms[t] >= q  # stay on with prob 1 - q
+            else:
+                state = uniforms[t] < p  # turn on with prob p
+            states[t] = state
+        return np.where(states, self.model.peak_rate, 0.0)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.model.mean_rate
+
+    @property
+    def peak_rate(self) -> float:
+        return self.model.peak_rate
+
+
+@dataclass(frozen=True)
+class MarkovModulatedTraffic(TrafficSource):
+    """Sample-path generator for a general Markov-modulated source."""
+
+    model: MarkovModulatedSource
+
+    def generate(
+        self, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if num_slots <= 0:
+            raise ValueError(f"num_slots must be positive, got {num_slots}")
+        transition = self.model.chain.transition
+        pi = self.model.chain.stationary_distribution()
+        num_states = self.model.num_states
+        # Pre-draw uniforms; walk the chain with cumulative rows.
+        cumulative = np.cumsum(transition, axis=1)
+        state = int(rng.choice(num_states, p=pi))
+        uniforms = rng.random(num_slots)
+        states = np.empty(num_slots, dtype=np.int64)
+        for t in range(num_slots):
+            state = int(np.searchsorted(cumulative[state], uniforms[t]))
+            states[t] = state
+        return self.model.rates[states]
+
+    @property
+    def mean_rate(self) -> float:
+        return self.model.mean_rate
+
+    @property
+    def peak_rate(self) -> float:
+        return self.model.peak_rate
+
+
+@dataclass(frozen=True)
+class ConstantBitRateTraffic(TrafficSource):
+    """A CBR source emitting exactly ``rate`` units every slot."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        check_positive("rate", self.rate)
+
+    def generate(
+        self, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        del rng
+        if num_slots <= 0:
+            raise ValueError(f"num_slots must be positive, got {num_slots}")
+        return np.full(num_slots, self.rate)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    @property
+    def peak_rate(self) -> float:
+        return self.rate
+
+
+@dataclass(frozen=True)
+class BernoulliBurstTraffic(TrafficSource):
+    """I.i.d. bursts: each slot emits ``burst_size`` with probability
+    ``burst_probability`` and nothing otherwise.
+
+    The memoryless special case of the on-off source (``p = 1 - q``);
+    handy in property-based tests because every interval statistic has
+    a closed form.
+    """
+
+    burst_probability: float
+    burst_size: float
+
+    def __post_init__(self) -> None:
+        check_probability("burst_probability", self.burst_probability)
+        check_positive("burst_size", self.burst_size)
+
+    def generate(
+        self, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if num_slots <= 0:
+            raise ValueError(f"num_slots must be positive, got {num_slots}")
+        hits = rng.random(num_slots) < self.burst_probability
+        return np.where(hits, self.burst_size, 0.0)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.burst_probability * self.burst_size
+
+    @property
+    def peak_rate(self) -> float:
+        return self.burst_size
+
+
+@dataclass(frozen=True)
+class UniformNoiseTraffic(TrafficSource):
+    """I.i.d. uniform arrivals on ``[low, high]`` per slot.
+
+    A light-tailed non-Markov source used to exercise the estimation
+    pipeline on traffic with no hidden state.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        check_nonnegative("low", self.low)
+        if self.high <= self.low:
+            raise ValueError(
+                f"need high > low, got [{self.low}, {self.high}]"
+            )
+
+    def generate(
+        self, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if num_slots <= 0:
+            raise ValueError(f"num_slots must be positive, got {num_slots}")
+        return rng.uniform(self.low, self.high, size=num_slots)
+
+    @property
+    def mean_rate(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    @property
+    def peak_rate(self) -> float:
+        return self.high
+
+
+@dataclass(frozen=True)
+class CompoundTraffic(TrafficSource):
+    """Superposition of independent sources (their slot-wise sum).
+
+    Models an aggregate session — e.g. a feasible-partition class
+    treated as one flow — while keeping the constituent models.
+    """
+
+    components: tuple[TrafficSource, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("CompoundTraffic needs at least one component")
+
+    def generate(
+        self, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        total = np.zeros(num_slots)
+        for component in self.components:
+            total += component.generate(num_slots, rng)
+        return total
+
+    @property
+    def mean_rate(self) -> float:
+        return sum(c.mean_rate for c in self.components)
+
+    @property
+    def peak_rate(self) -> float:
+        return sum(c.peak_rate for c in self.components)

@@ -1,0 +1,31 @@
+"""Shared numeric and validation utilities used across the library."""
+
+from repro.utils.numeric import (
+    bisect_root,
+    expm1_neg,
+    geometric_tail_factor,
+    log1mexp,
+    logsumexp_pair,
+    minimize_scalar_bounded,
+    safe_exp,
+)
+from repro.utils.validation import (
+    check_in_open_interval,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+__all__ = [
+    "bisect_root",
+    "expm1_neg",
+    "geometric_tail_factor",
+    "log1mexp",
+    "logsumexp_pair",
+    "minimize_scalar_bounded",
+    "safe_exp",
+    "check_in_open_interval",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+]

@@ -1,0 +1,150 @@
+"""Numeric helpers: robust root finding, overflow-safe exponentials.
+
+The bound expressions in the paper are built from terms of the form
+``exp(theta * sigma) / (1 - exp(-theta * eps))``.  For large ``theta * x``
+the naive evaluation overflows, and for tiny ``theta * eps`` the
+denominator loses precision.  The helpers here keep every evaluation in
+log space until the last moment.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+__all__ = [
+    "safe_exp",
+    "log1mexp",
+    "expm1_neg",
+    "logsumexp_pair",
+    "geometric_tail_factor",
+    "bisect_root",
+    "minimize_scalar_bounded",
+]
+
+#: Largest argument for which ``math.exp`` does not overflow a double.
+_EXP_MAX = 700.0
+
+
+def safe_exp(x: float) -> float:
+    """Return ``exp(x)``, saturating at ``inf``/``0`` instead of raising."""
+    if x > _EXP_MAX:
+        return math.inf
+    if x < -_EXP_MAX:
+        return 0.0
+    return math.exp(x)
+
+
+def log1mexp(x: float) -> float:
+    """Return ``log(1 - exp(-x))`` accurately for ``x > 0``.
+
+    Uses the standard two-branch trick (Maechler 2012): for small ``x``
+    use ``log(-expm1(-x))``; for large ``x`` use ``log1p(-exp(-x))``.
+    """
+    if x <= 0.0:
+        raise ValueError(f"log1mexp requires x > 0, got {x}")
+    if x <= math.log(2.0):
+        return math.log(-math.expm1(-x))
+    return math.log1p(-math.exp(-x))
+
+
+def expm1_neg(x: float) -> float:
+    """Return ``1 - exp(-x)`` accurately for ``x >= 0``."""
+    if x < 0.0:
+        raise ValueError(f"expm1_neg requires x >= 0, got {x}")
+    return -math.expm1(-x)
+
+
+def logsumexp_pair(a: float, b: float) -> float:
+    """Return ``log(exp(a) + exp(b))`` without overflow."""
+    if a == -math.inf:
+        return b
+    if b == -math.inf:
+        return a
+    hi, lo = (a, b) if a >= b else (b, a)
+    return hi + math.log1p(math.exp(lo - hi))
+
+
+def geometric_tail_factor(decay: float) -> float:
+    """Return ``1 / (1 - exp(-decay))`` for ``decay > 0``.
+
+    This is the sum of the geometric series ``sum_{k>=0} exp(-k*decay)``
+    that appears in every discretized supremum bound (Lemmas 5 and 6).
+    """
+    if decay <= 0.0:
+        raise ValueError(f"geometric tail requires decay > 0, got {decay}")
+    return 1.0 / expm1_neg(decay)
+
+
+def bisect_root(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-12,
+    max_iter: int = 200,
+) -> float:
+    """Find a root of ``func`` in ``[lo, hi]`` by bisection.
+
+    ``func(lo)`` and ``func(hi)`` must have opposite signs.  Bisection is
+    preferred over Newton here because the effective-bandwidth equations
+    we solve are smooth but their derivatives are awkward near zero.
+    """
+    f_lo = func(lo)
+    f_hi = func(hi)
+    if f_lo == 0.0:
+        return lo
+    if f_hi == 0.0:
+        return hi
+    if f_lo * f_hi > 0.0:
+        raise ValueError(
+            f"bisect_root: func({lo})={f_lo} and func({hi})={f_hi} "
+            "do not bracket a root"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        f_mid = func(mid)
+        if f_mid == 0.0 or (hi - lo) < tol * max(1.0, abs(mid)):
+            return mid
+        if f_lo * f_mid < 0.0:
+            hi = mid
+        else:
+            lo, f_lo = mid, f_mid
+    return 0.5 * (lo + hi)
+
+
+def minimize_scalar_bounded(
+    func: Callable[[float], float],
+    lo: float,
+    hi: float,
+    *,
+    tol: float = 1e-10,
+    max_iter: int = 200,
+) -> tuple[float, float]:
+    """Minimize a unimodal scalar function on ``[lo, hi]``.
+
+    Returns ``(argmin, min_value)`` found by golden-section search.  Used
+    to optimize the Chernoff exponent ``theta`` and the discretization
+    parameter ``xi`` in the bound prefactors.
+    """
+    if not lo < hi:
+        raise ValueError(f"need lo < hi, got [{lo}, {hi}]")
+    inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - inv_phi * (b - a)
+    d = a + inv_phi * (b - a)
+    f_c = func(c)
+    f_d = func(d)
+    for _ in range(max_iter):
+        if (b - a) < tol * max(1.0, abs(a) + abs(b)):
+            break
+        if f_c < f_d:
+            b, d, f_d = d, c, f_c
+            c = b - inv_phi * (b - a)
+            f_c = func(c)
+        else:
+            a, c, f_c = c, d, f_d
+            d = a + inv_phi * (b - a)
+            f_d = func(d)
+    x = 0.5 * (a + b)
+    return x, func(x)

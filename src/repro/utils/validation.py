@@ -1,0 +1,78 @@
+"""Argument-validation helpers.
+
+All public constructors in the library validate their inputs eagerly and
+raise ``ValueError`` with a message naming the offending parameter, so
+that a mis-specified session or GPS assignment fails at construction
+time rather than deep inside a bound computation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Sized
+
+__all__ = [
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_in_open_interval",
+    "check_same_length",
+    "check_finite",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is finite and > 0."""
+    if not math.isfinite(value) or value <= 0.0:
+        raise ValueError(f"{name} must be finite and positive, got {value}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is finite and >= 0."""
+    if not math.isfinite(value) or value < 0.0:
+        raise ValueError(f"{name} must be finite and non-negative, got {value}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]``."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+    return value
+
+
+def check_in_open_interval(
+    name: str, value: float, lo: float, hi: float
+) -> float:
+    """Raise ``ValueError`` unless ``lo < value < hi``."""
+    if not math.isfinite(value) or not lo < value < hi:
+        raise ValueError(f"{name} must lie in ({lo}, {hi}), got {value}")
+    return value
+
+
+def check_finite(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is finite."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+    return value
+
+
+def check_same_length(name_a: str, a: Sized, name_b: str, b: Sized) -> None:
+    """Raise ``ValueError`` unless two sequences have equal length."""
+    if len(a) != len(b):
+        raise ValueError(
+            f"{name_a} (length {len(a)}) and {name_b} (length {len(b)}) "
+            "must have the same length"
+        )
+
+
+def check_weights(name: str, weights: Sequence[float]) -> list[float]:
+    """Validate a GPS weight vector: non-empty, all entries positive."""
+    if len(weights) == 0:
+        raise ValueError(f"{name} must be non-empty")
+    out = []
+    for k, w in enumerate(weights):
+        check_positive(f"{name}[{k}]", w)
+        out.append(float(w))
+    return out

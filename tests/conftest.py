@@ -1,0 +1,13 @@
+"""Test-suite configuration.
+
+Registers a deterministic hypothesis profile: property-based tests
+derandomize (the same examples every run) and drop the per-example
+deadline, so the suite is reproducible and robust on slow machines.
+"""
+
+from hypothesis import settings
+
+settings.register_profile(
+    "repro", deadline=None, derandomize=True
+)
+settings.load_profile("repro")

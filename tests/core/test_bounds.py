@@ -1,0 +1,186 @@
+"""Tests for the exponential tail-bound algebra."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    ExponentialTailBound,
+    MinTailBound,
+    best_bound,
+    sum_of_tail_bounds,
+)
+
+positive = st.floats(1e-3, 1e3)
+
+
+class TestExponentialTailBound:
+    def test_evaluate_basic(self):
+        bound = ExponentialTailBound(2.0, 1.0)
+        assert bound.evaluate(5.0) == pytest.approx(2.0 * math.exp(-5.0))
+
+    def test_evaluate_clamps_at_one(self):
+        bound = ExponentialTailBound(10.0, 1.0)
+        assert bound.evaluate(0.0) == 1.0
+
+    def test_zero_prefactor_gives_zero(self):
+        bound = ExponentialTailBound(0.0, 1.0)
+        assert bound.evaluate(1.0) == 0.0
+        assert bound.log_evaluate(1.0) == -math.inf
+
+    def test_rejects_nonpositive_decay(self):
+        with pytest.raises(ValueError):
+            ExponentialTailBound(1.0, 0.0)
+
+    def test_rejects_negative_prefactor(self):
+        with pytest.raises(ValueError):
+            ExponentialTailBound(-1.0, 1.0)
+
+    def test_evaluate_array_matches_scalar(self):
+        bound = ExponentialTailBound(3.0, 0.7)
+        xs = np.array([0.0, 1.0, 10.0, 100.0])
+        expected = [bound.evaluate(float(x)) for x in xs]
+        np.testing.assert_allclose(bound.evaluate_array(xs), expected)
+
+    def test_evaluate_array_no_overflow(self):
+        bound = ExponentialTailBound(1.0, 10.0)
+        values = bound.evaluate_array(np.array([1e6]))
+        assert values[0] == 0.0
+
+    @given(positive, positive, st.floats(0.0, 100.0))
+    def test_quantile_inverts_evaluate(self, prefactor, decay, x):
+        bound = ExponentialTailBound(prefactor, decay)
+        eps = bound.evaluate(x)
+        # Subnormal tails (below ~1e-250) lose log precision and are
+        # not meaningful probabilities; skip them.
+        if 1e-250 < eps < 1.0:
+            assert bound.quantile(eps) == pytest.approx(
+                x, rel=1e-6, abs=1e-6
+            )
+
+    def test_quantile_of_one_is_zero(self):
+        assert ExponentialTailBound(0.5, 1.0).quantile(1.0) == 0.0
+
+    def test_quantile_clamps_at_zero(self):
+        # prefactor below epsilon: the bound is already below epsilon
+        # at x = 0.
+        assert ExponentialTailBound(0.01, 1.0).quantile(0.5) == 0.0
+
+    def test_scaled_argument_is_delay_conversion(self):
+        backlog = ExponentialTailBound(2.0, 0.5)
+        delay = backlog.scaled_argument(0.25)
+        # Pr{D >= d} = Pr{Q >= g d}
+        assert delay.evaluate(8.0) == pytest.approx(
+            backlog.evaluate(0.25 * 8.0)
+        )
+
+    def test_weakened_scales_prefactor(self):
+        bound = ExponentialTailBound(1.0, 1.0).weakened(3.0)
+        assert bound.prefactor == 3.0
+        assert bound.decay_rate == 1.0
+
+    def test_dominates(self):
+        tight = ExponentialTailBound(1.0, 2.0)
+        loose = ExponentialTailBound(2.0, 1.0)
+        assert tight.dominates(loose)
+        assert not loose.dominates(tight)
+
+    def test_crossing_bounds_incomparable(self):
+        a = ExponentialTailBound(1.0, 2.0)
+        b = ExponentialTailBound(0.5, 1.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestMinTailBound:
+    def test_takes_pointwise_minimum(self):
+        a = ExponentialTailBound(1.0, 2.0)
+        b = ExponentialTailBound(0.1, 0.5)
+        combined = MinTailBound((a, b))
+        for x in [0.1, 1.0, 5.0, 20.0]:
+            assert combined.evaluate(x) == min(
+                a.evaluate(x), b.evaluate(x)
+            )
+
+    def test_evaluate_array(self):
+        a = ExponentialTailBound(1.0, 2.0)
+        b = ExponentialTailBound(0.1, 0.5)
+        combined = MinTailBound((a, b))
+        xs = np.linspace(0, 10, 7)
+        expected = [combined.evaluate(float(x)) for x in xs]
+        np.testing.assert_allclose(combined.evaluate_array(xs), expected)
+
+    def test_quantile_is_min_of_quantiles(self):
+        a = ExponentialTailBound(1.0, 2.0)
+        b = ExponentialTailBound(5.0, 1.0)
+        combined = MinTailBound((a, b))
+        assert combined.quantile(0.01) == min(
+            a.quantile(0.01), b.quantile(0.01)
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MinTailBound(())
+
+
+class TestSumOfTailBounds:
+    def test_single_bound_passthrough(self):
+        bound = ExponentialTailBound(2.0, 1.5)
+        assert sum_of_tail_bounds([bound]) == bound
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            sum_of_tail_bounds([])
+
+    def test_decay_is_harmonic_sum(self):
+        a = ExponentialTailBound(1.0, 2.0)
+        b = ExponentialTailBound(1.0, 2.0)
+        combined = sum_of_tail_bounds([a, b])
+        assert combined.decay_rate == pytest.approx(1.0)
+        assert combined.prefactor == pytest.approx(2.0)
+
+    def test_is_valid_via_union_bound(self):
+        # For any split x = x1 + x2 with x_k = (theta/theta_k) x, the
+        # combined bound equals the sum of the individual bounds at
+        # their splits.
+        a = ExponentialTailBound(1.5, 1.0)
+        b = ExponentialTailBound(0.5, 3.0)
+        combined = sum_of_tail_bounds([a, b])
+        x = 7.0
+        x1 = combined.decay_rate / a.decay_rate * x
+        x2 = combined.decay_rate / b.decay_rate * x
+        assert x1 + x2 == pytest.approx(x)
+        union = a.prefactor * math.exp(
+            -a.decay_rate * x1
+        ) + b.prefactor * math.exp(-b.decay_rate * x2)
+        assert combined.prefactor * math.exp(
+            -combined.decay_rate * x
+        ) == pytest.approx(union)
+
+    @given(
+        st.lists(
+            st.tuples(positive, positive), min_size=2, max_size=6
+        )
+    )
+    def test_decay_below_every_component(self, params):
+        bounds = [ExponentialTailBound(p, d) for p, d in params]
+        combined = sum_of_tail_bounds(bounds)
+        assert combined.decay_rate <= min(b.decay_rate for b in bounds)
+        assert combined.prefactor == pytest.approx(
+            sum(b.prefactor for b in bounds)
+        )
+
+
+class TestBestBound:
+    def test_picks_tightest_at_point(self):
+        steep = ExponentialTailBound(10.0, 3.0)
+        shallow = ExponentialTailBound(1.0, 0.5)
+        assert best_bound([steep, shallow], at=10.0) is steep
+        assert best_bound([steep, shallow], at=0.1) is shallow
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            best_bound([], at=1.0)

@@ -1,0 +1,173 @@
+"""Tests for the E.B.B. / E.B. process characterizations."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ebb import EB, EBB, aggregate_independent, aggregate_union
+
+
+def make_ebb(rho=0.3, prefactor=1.5, alpha=2.0) -> EBB:
+    return EBB(rho, prefactor, alpha)
+
+
+class TestEBBConstruction:
+    def test_valid(self):
+        ebb = make_ebb()
+        assert ebb.rho == 0.3
+
+    @pytest.mark.parametrize(
+        "rho,prefactor,alpha",
+        [(0.0, 1.0, 1.0), (0.3, -1.0, 1.0), (0.3, 1.0, 0.0)],
+    )
+    def test_invalid(self, rho, prefactor, alpha):
+        with pytest.raises(ValueError):
+            EBB(rho, prefactor, alpha)
+
+
+class TestSigmaHat:
+    def test_formula(self):
+        ebb = make_ebb(prefactor=1.0, alpha=2.0)
+        theta = 1.0
+        expected = math.log(1.0 + theta * 1.0 / (2.0 - theta)) / theta
+        assert ebb.sigma_hat(theta) == pytest.approx(expected)
+
+    def test_requires_theta_below_alpha(self):
+        ebb = make_ebb(alpha=2.0)
+        with pytest.raises(ValueError):
+            ebb.sigma_hat(2.0)
+        with pytest.raises(ValueError):
+            ebb.sigma_hat(0.0)
+
+    def test_zero_prefactor_gives_zero_sigma(self):
+        ebb = EBB(0.3, 0.0, 2.0)
+        assert ebb.sigma_hat(1.0) == 0.0
+
+    @given(st.floats(0.05, 1.9))
+    def test_nonnegative_and_divergent_near_alpha(self, theta):
+        ebb = make_ebb(alpha=2.0)
+        assert ebb.sigma_hat(theta) >= 0.0
+
+    def test_mgf_envelope_dominates_chernoff_consistency(self):
+        # Validity of eq. (19): a direct numeric check against the
+        # defining integral decomposition for an exponential tail.
+        ebb = make_ebb(rho=0.5, prefactor=2.0, alpha=1.5)
+        theta = 0.75
+        duration = 3.0
+        envelope = ebb.log_mgf_envelope(theta, duration)
+        # The derivation bounds E[exp(theta A)] by
+        # exp(theta rho d) (1 + theta Lambda / (alpha - theta)).
+        direct = theta * ebb.rho * duration + math.log(
+            1.0 + theta * ebb.prefactor / (ebb.decay_rate - theta)
+        )
+        assert envelope == pytest.approx(direct)
+
+
+class TestIntervalTail:
+    def test_prefactor_grows_with_duration(self):
+        ebb = make_ebb()
+        short = ebb.interval_tail(1.0)
+        long = ebb.interval_tail(10.0)
+        assert long.prefactor > short.prefactor
+        assert long.decay_rate == short.decay_rate
+
+    def test_zero_duration_equals_burstiness_tail(self):
+        ebb = make_ebb()
+        tail = ebb.interval_tail(0.0)
+        assert tail.prefactor == pytest.approx(ebb.prefactor)
+
+
+class TestEmpiricalViolationRate:
+    def test_detects_no_violations_for_cbr(self):
+        ebb = EBB(1.0, 1.0, 1.0)
+        increments = np.full(100, 1.0)  # exactly rate rho
+        rate = ebb.empirical_violation_rate(
+            increments, window=10, excess=0.5
+        )
+        assert rate == 0.0
+
+    def test_detects_violations(self):
+        ebb = EBB(0.1, 1.0, 1.0)
+        increments = np.full(50, 1.0)  # far above rho = 0.1
+        rate = ebb.empirical_violation_rate(
+            increments, window=5, excess=0.1
+        )
+        assert rate == 1.0
+
+    def test_rejects_bad_window(self):
+        ebb = make_ebb()
+        with pytest.raises(ValueError):
+            ebb.empirical_violation_rate(np.ones(10), window=0, excess=1.0)
+        with pytest.raises(ValueError):
+            ebb.empirical_violation_rate(np.ones(10), window=11, excess=1.0)
+
+
+class TestEB:
+    def test_tail_evaluation(self):
+        eb = EB(2.0, 1.0)
+        assert eb.evaluate(3.0) == pytest.approx(2.0 * math.exp(-3.0))
+
+    def test_as_eb_roundtrip(self):
+        ebb = make_ebb()
+        eb = ebb.as_eb()
+        assert eb.prefactor == ebb.prefactor
+        assert eb.decay_rate == ebb.decay_rate
+
+
+class TestAggregateIndependent:
+    def test_rho_and_decay(self):
+        sessions = [make_ebb(0.2, 1.0, 2.0), make_ebb(0.3, 1.5, 3.0)]
+        agg = aggregate_independent(sessions, theta=1.0)
+        assert agg.rho == pytest.approx(0.5)
+        assert agg.decay_rate == 1.0
+
+    def test_prefactor_is_exp_sum_sigma(self):
+        sessions = [make_ebb(0.2, 1.0, 2.0), make_ebb(0.3, 1.5, 3.0)]
+        theta = 0.8
+        agg = aggregate_independent(sessions, theta=theta)
+        expected = math.exp(
+            theta * sum(s.sigma_hat(theta) for s in sessions)
+        )
+        assert agg.prefactor == pytest.approx(expected)
+
+    def test_theta_must_be_below_min_alpha(self):
+        sessions = [make_ebb(alpha=2.0), make_ebb(alpha=1.0)]
+        with pytest.raises(ValueError):
+            aggregate_independent(sessions, theta=1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            aggregate_independent([], theta=0.5)
+
+
+class TestAggregateUnion:
+    def test_single_session_passthrough(self):
+        ebb = make_ebb()
+        assert aggregate_union([ebb]) == ebb
+
+    def test_harmonic_decay_and_summed_prefactor(self):
+        a = make_ebb(0.2, 1.0, 2.0)
+        b = make_ebb(0.3, 2.0, 2.0)
+        agg = aggregate_union([a, b])
+        assert agg.decay_rate == pytest.approx(1.0)
+        assert agg.prefactor == pytest.approx(3.0)
+        assert agg.rho == pytest.approx(0.5)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(0.01, 1.0),
+                st.floats(0.0, 5.0),
+                st.floats(0.1, 5.0),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_union_decay_never_exceeds_components(self, specs):
+        sessions = [EBB(r, p, a) for r, p, a in specs]
+        agg = aggregate_union(sessions)
+        assert agg.decay_rate <= min(s.decay_rate for s in sessions) + 1e-12

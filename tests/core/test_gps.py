@@ -1,0 +1,110 @@
+"""Tests for the GPS server/session analytical model."""
+
+import pytest
+
+from repro.core.ebb import EBB
+from repro.core.gps import GPSConfig, Session, rpps_config
+
+
+def make_config() -> GPSConfig:
+    sessions = [
+        Session("voice", EBB(0.2, 1.0, 2.0), 1.0),
+        Session("video", EBB(0.3, 1.5, 1.0), 2.0),
+        Session("data", EBB(0.25, 0.8, 3.0), 1.0),
+    ]
+    return GPSConfig(1.0, sessions)
+
+
+class TestSession:
+    def test_properties(self):
+        s = Session("a", EBB(0.2, 1.0, 2.0), 1.5)
+        assert s.rho == 0.2
+        assert s.alpha == 2.0
+        assert s.phi == 1.5
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Session("", EBB(0.2, 1.0, 2.0), 1.0)
+
+    def test_rejects_nonpositive_phi(self):
+        with pytest.raises(ValueError):
+            Session("a", EBB(0.2, 1.0, 2.0), 0.0)
+
+
+class TestGPSConfig:
+    def test_accessors(self):
+        config = make_config()
+        assert len(config) == 3
+        assert config.rhos == (0.2, 0.3, 0.25)
+        assert config.phis == (1.0, 2.0, 1.0)
+        assert config.alphas == (2.0, 1.0, 3.0)
+        assert config.total_phi == 4.0
+        assert config.slack == pytest.approx(0.25)
+
+    def test_guaranteed_rates_sum_to_server_rate(self):
+        config = make_config()
+        total = sum(
+            config.guaranteed_rate(i) for i in range(len(config))
+        )
+        assert total == pytest.approx(config.rate)
+
+    def test_index_of(self):
+        config = make_config()
+        assert config.index_of("video") == 1
+        with pytest.raises(KeyError):
+            config.index_of("nope")
+
+    def test_rejects_duplicate_names(self):
+        s = Session("a", EBB(0.1, 1.0, 1.0), 1.0)
+        with pytest.raises(ValueError, match="unique"):
+            GPSConfig(1.0, [s, s])
+
+    def test_rejects_unstable(self):
+        sessions = [
+            Session("a", EBB(0.6, 1.0, 1.0), 1.0),
+            Session("b", EBB(0.5, 1.0, 1.0), 1.0),
+        ]
+        with pytest.raises(ValueError, match="unstable"):
+            GPSConfig(1.0, sessions)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GPSConfig(1.0, [])
+
+    def test_iteration(self):
+        config = make_config()
+        assert [s.name for s in config] == ["voice", "video", "data"]
+
+    def test_partition_delegates(self):
+        config = make_config()
+        partition = config.partition()
+        assert partition.num_classes >= 1
+        covered = sorted(i for cls in partition.classes for i in cls)
+        assert covered == [0, 1, 2]
+
+    def test_is_rpps_false_for_generic(self):
+        assert not make_config().is_rpps()
+
+
+class TestRppsConfig:
+    def test_weights_equal_rhos(self):
+        config = rpps_config(
+            1.0,
+            [("a", EBB(0.2, 1.0, 2.0)), ("b", EBB(0.3, 1.0, 1.0))],
+        )
+        assert config.phis == (0.2, 0.3)
+        assert config.is_rpps()
+
+    def test_rpps_partition_is_single_class(self):
+        config = rpps_config(
+            1.0,
+            [("a", EBB(0.2, 1.0, 2.0)), ("b", EBB(0.7, 1.0, 1.0))],
+        )
+        assert config.partition().num_classes == 1
+
+    def test_scaled_weights_still_rpps(self):
+        sessions = [
+            Session("a", EBB(0.2, 1.0, 2.0), 2.0),
+            Session("b", EBB(0.3, 1.0, 1.0), 3.0),
+        ]
+        assert GPSConfig(1.0, sessions).is_rpps()

@@ -1,0 +1,95 @@
+"""Tests for Hölder-exponent selection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.holder import HolderSplit, HolderTerm, optimal_holder_split
+
+
+class TestHolderTerm:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            HolderTerm(0.0, 1.0)
+        with pytest.raises(ValueError):
+            HolderTerm(1.0, 0.0)
+
+
+class TestHolderSplit:
+    def test_rejects_exponent_at_most_one(self):
+        with pytest.raises(ValueError):
+            HolderSplit(exponents=(1.0, 2.0), theta_max=1.0)
+
+    def test_rejects_non_conjugate(self):
+        with pytest.raises(ValueError, match="sum"):
+            HolderSplit(exponents=(3.0, 3.0), theta_max=1.0)
+
+    def test_accepts_conjugate_pair(self):
+        split = HolderSplit(exponents=(2.0, 2.0), theta_max=1.0)
+        assert split.exponents == (2.0, 2.0)
+
+
+class TestOptimalHolderSplit:
+    def test_paper_symmetric_case(self):
+        """Theorem 8 remark: with coefficients 1 the max range is
+        (sum 1/alpha_j)^{-1} with p_j = alpha_j / theta_max."""
+        terms = [HolderTerm(1.0, 2.0), HolderTerm(1.0, 1.0)]
+        split = optimal_holder_split(terms)
+        assert split.theta_max == pytest.approx(1.0 / (0.5 + 1.0))
+        assert split.exponents == pytest.approx(
+            (2.0 / split.theta_max, 1.0 / split.theta_max)
+        )
+
+    def test_rejects_single_term(self):
+        with pytest.raises(ValueError):
+            optimal_holder_split([HolderTerm(1.0, 1.0)])
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.05, 5.0), st.floats(0.05, 5.0)),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_split_properties(self, raw_terms):
+        terms = [HolderTerm(c, a) for c, a in raw_terms]
+        split = optimal_holder_split(terms)
+        # Conjugate exponents.
+        assert sum(1.0 / p for p in split.exponents) == pytest.approx(1.0)
+        # Every exponent exceeds 1 and saturates its ceiling exactly at
+        # theta_max.
+        for term, p in zip(terms, split.exponents):
+            assert p > 1.0
+            assert p * term.coefficient * split.theta_max == pytest.approx(
+                term.ceiling
+            )
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.05, 5.0), st.floats(0.05, 5.0)),
+            min_size=2,
+            max_size=6,
+        ),
+        st.data(),
+    )
+    def test_no_other_conjugate_family_beats_theta_max(
+        self, raw_terms, data
+    ):
+        """For any other conjugate exponents the admissible theta range
+        min_k a_k / (c_k p_k) cannot exceed the optimal theta_max."""
+        terms = [HolderTerm(c, a) for c, a in raw_terms]
+        split = optimal_holder_split(terms)
+        weights = data.draw(
+            st.lists(
+                st.floats(0.1, 10.0),
+                min_size=len(terms),
+                max_size=len(terms),
+            )
+        )
+        total = sum(weights)
+        alt_exponents = [total / w for w in weights]  # sum 1/p = 1
+        alt_range = min(
+            t.ceiling / (t.coefficient * p)
+            for t, p in zip(terms, alt_exponents)
+        )
+        assert alt_range <= split.theta_max * (1.0 + 1e-9)

@@ -1,0 +1,107 @@
+"""Tests for single-node RPPS bounds."""
+
+import pytest
+
+from repro.core.ebb import EBB
+from repro.core.gps import GPSConfig, Session, rpps_config
+from repro.core.rpps import (
+    guaranteed_rate_bounds,
+    rpps_all_bounds,
+    rpps_session_bounds,
+)
+
+
+def rpps() -> GPSConfig:
+    return rpps_config(
+        1.0,
+        [
+            ("a", EBB(0.2, 1.0, 2.0)),
+            ("b", EBB(0.3, 1.5, 1.0)),
+            ("c", EBB(0.25, 0.8, 3.0)),
+        ],
+    )
+
+
+class TestGuaranteedRateBounds:
+    def test_decay_rates(self):
+        arrival = EBB(0.2, 1.0, 2.0)
+        bounds = guaranteed_rate_bounds("s", arrival, 0.5)
+        assert bounds.backlog.decay_rate == 2.0
+        assert bounds.delay.decay_rate == pytest.approx(1.0)
+
+    def test_rejects_rate_at_or_below_rho(self):
+        arrival = EBB(0.2, 1.0, 2.0)
+        with pytest.raises(ValueError):
+            guaranteed_rate_bounds("s", arrival, 0.2)
+
+    def test_discrete_uses_eq66_prefactor(self):
+        import math
+
+        arrival = EBB(0.2, 1.0, 1.74)
+        g = 0.2 / 0.9
+        bounds = guaranteed_rate_bounds("s", arrival, g, discrete=True)
+        expected = 1.0 / (1.0 - math.exp(-1.74 * (g - 0.2)))
+        assert bounds.backlog.prefactor == pytest.approx(expected)
+
+    def test_larger_rate_tightens_bound(self):
+        arrival = EBB(0.2, 1.0, 2.0)
+        slow = guaranteed_rate_bounds("s", arrival, 0.3)
+        fast = guaranteed_rate_bounds("s", arrival, 0.6)
+        assert fast.backlog.prefactor <= slow.backlog.prefactor
+        assert fast.delay.decay_rate > slow.delay.decay_rate
+
+
+class TestRppsSessionBounds:
+    def test_bounds_use_own_alpha(self):
+        config = rpps()
+        for i, alpha in enumerate((2.0, 1.0, 3.0)):
+            bounds = rpps_session_bounds(config, i)
+            assert bounds.backlog.decay_rate == alpha
+
+    def test_independent_of_other_sessions_prefactors(self):
+        """Under RPPS a session's bound involves only its own E.B.B.
+        characterization and its g_i."""
+        config_a = rpps_config(
+            1.0,
+            [
+                ("a", EBB(0.2, 1.0, 2.0)),
+                ("b", EBB(0.3, 1.5, 1.0)),
+            ],
+        )
+        config_b = rpps_config(
+            1.0,
+            [
+                ("a", EBB(0.2, 1.0, 2.0)),
+                # same rho (so same g) but wildly different tail
+                ("b", EBB(0.3, 99.0, 0.01)),
+            ],
+        )
+        bound_a = rpps_session_bounds(config_a, 0)
+        bound_b = rpps_session_bounds(config_b, 0)
+        assert bound_a.backlog.prefactor == pytest.approx(
+            bound_b.backlog.prefactor
+        )
+        assert bound_a.backlog.decay_rate == bound_b.backlog.decay_rate
+
+    def test_rejects_non_rpps(self):
+        sessions = [
+            Session("a", EBB(0.2, 1.0, 2.0), 1.0),
+            Session("b", EBB(0.3, 1.0, 1.0), 1.0),
+        ]
+        config = GPSConfig(1.0, sessions)
+        with pytest.raises(ValueError, match="rate-proportional"):
+            rpps_session_bounds(config, 0)
+
+
+class TestRppsAllBounds:
+    def test_covers_all_sessions(self):
+        config = rpps()
+        bounds = rpps_all_bounds(config)
+        assert [b.session_name for b in bounds] == ["a", "b", "c"]
+
+    def test_discrete_flag_propagates(self):
+        config = rpps()
+        cont = rpps_all_bounds(config)
+        disc = rpps_all_bounds(config, discrete=True)
+        for c, d in zip(cont, disc):
+            assert c.backlog.prefactor != d.backlog.prefactor

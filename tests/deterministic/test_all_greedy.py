@@ -1,0 +1,111 @@
+"""Tests for the exact all-greedy worst-case analysis."""
+
+import pytest
+
+from repro.deterministic.all_greedy import all_greedy_analysis
+from repro.deterministic.parekh_gallager import (
+    DeterministicGPSConfig,
+    DeterministicSession,
+    pg_all_bounds,
+)
+from repro.traffic.envelope import LBAPEnvelope
+
+
+def rpps_config() -> DeterministicGPSConfig:
+    sessions = [
+        DeterministicSession("a", LBAPEnvelope(2.0, 0.2), 0.2),
+        DeterministicSession("b", LBAPEnvelope(1.0, 0.3), 0.3),
+        DeterministicSession("c", LBAPEnvelope(3.0, 0.25), 0.25),
+    ]
+    return DeterministicGPSConfig(1.0, sessions)
+
+
+def two_class_config() -> DeterministicGPSConfig:
+    sessions = [
+        DeterministicSession("low", LBAPEnvelope(1.0, 0.1), 1.0),
+        DeterministicSession("high", LBAPEnvelope(2.0, 0.6), 1.0),
+    ]
+    return DeterministicGPSConfig(1.0, sessions)
+
+
+class TestAllGreedyRpps:
+    def test_max_backlog_is_initial_burst(self):
+        """Under RPPS every session drains from t = 0, so the exact
+        worst backlog equals sigma_i — Parekh-Gallager's closed form
+        is tight."""
+        config = rpps_config()
+        result = all_greedy_analysis(config)
+        for session, peak in zip(config.sessions, result.max_backlogs):
+            assert peak == pytest.approx(session.sigma)
+
+    def test_all_queues_clear(self):
+        result = all_greedy_analysis(rpps_config())
+        for t in result.clear_times:
+            assert t < float("inf")
+
+    def test_exact_delay_below_pg_bound(self):
+        config = rpps_config()
+        result = all_greedy_analysis(config)
+        bounds = pg_all_bounds(config)
+        for exact, bound in zip(result.max_delays, bounds):
+            assert exact <= bound.max_delay + 1e-9
+
+    def test_pg_delay_bound_is_tight_for_last_clearing_session(self):
+        """The session served at exactly g_i throughout (no
+        redistribution benefit before it clears) attains sigma/g."""
+        config = rpps_config()
+        result = all_greedy_analysis(config)
+        bounds = pg_all_bounds(config)
+        # the last session to clear received redistribution only after
+        # others emptied; the first to clear got none at all.
+        first = min(
+            range(len(config.sessions)),
+            key=lambda i: result.clear_times[i],
+        )
+        assert result.max_delays[first] == pytest.approx(
+            bounds[first].max_delay, rel=1e-9
+        )
+
+
+class TestAllGreedyTwoClasses:
+    def test_high_class_backlog_grows_before_draining(self):
+        """A session with rho_i > g_i builds backlog beyond its burst
+        until the lower class clears — the exact curve shows the
+        non-trivial worst case PG's analysis captures."""
+        config = two_class_config()
+        result = all_greedy_analysis(config)
+        high_index = 1
+        assert result.max_backlogs[high_index] > config.sessions[
+            high_index
+        ].sigma + 1e-9
+
+    def test_exact_backlog_below_decomposition_bound(self):
+        config = two_class_config()
+        result = all_greedy_analysis(config)
+        bounds = pg_all_bounds(config)
+        for exact, bound in zip(result.max_backlogs, bounds):
+            assert exact <= bound.max_backlog + 1e-9
+
+    def test_low_class_unaffected(self):
+        """The H_1 session drains at >= g_low from time zero: its peak
+        is its own burst regardless of the aggressive session."""
+        config = two_class_config()
+        result = all_greedy_analysis(config)
+        assert result.max_backlogs[0] == pytest.approx(
+            config.sessions[0].sigma
+        )
+
+    def test_exact_peak_matches_hand_computation(self):
+        """Hand-resolved trajectory for the two-class case.
+
+        low: sigma=1, rho=0.1; high: sigma=2, rho=0.6; equal weights,
+        rate 1.  Phase 1: both backlogged, each served at 0.5; low
+        drains at 0.4 -> empties at t = 2.5; high builds at 0.1 to
+        2.25.  Phase 2: low idle (served 0.1), high served 0.9, drains
+        at 0.3 -> empties at t = 10.
+        """
+        config = two_class_config()
+        result = all_greedy_analysis(config)
+        assert result.clear_times[0] == pytest.approx(2.5)
+        assert result.max_backlogs[1] == pytest.approx(2.25)
+        assert result.clear_times[1] == pytest.approx(10.0)

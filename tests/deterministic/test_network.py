@@ -1,0 +1,79 @@
+"""Tests for the deterministic RPPS network bounds."""
+
+import pytest
+
+from repro.core.ebb import EBB
+from repro.deterministic.network import pg_rpps_network_bounds
+from repro.network.topology import Network, NetworkNode, NetworkSession
+from repro.traffic.envelope import LBAPEnvelope
+
+
+def rpps_tree() -> Network:
+    nodes = [
+        NetworkNode("n1", 1.0),
+        NetworkNode("n2", 1.0),
+        NetworkNode("n3", 1.0),
+    ]
+    sessions = [
+        NetworkSession("s1", EBB(0.2, 1.0, 1.7), ("n1", "n3"), 0.2),
+        NetworkSession("s2", EBB(0.25, 1.0, 1.8), ("n1", "n3"), 0.25),
+        NetworkSession("s3", EBB(0.2, 1.0, 2.1), ("n2", "n3"), 0.2),
+        NetworkSession("s4", EBB(0.25, 1.0, 1.6), ("n2", "n3"), 0.25),
+    ]
+    return Network(nodes, sessions)
+
+
+class TestPGNetworkBounds:
+    def test_closed_form(self):
+        network = rpps_tree()
+        envelope = LBAPEnvelope(3.0, 0.2)
+        bounds = pg_rpps_network_bounds(network, "s1", envelope)
+        g_net = 0.2 / 0.9
+        assert bounds.max_network_backlog == pytest.approx(3.0)
+        assert bounds.max_end_to_end_delay == pytest.approx(3.0 / g_net)
+        assert bounds.bottleneck_node == "n3"
+
+    def test_rejects_rate_mismatch(self):
+        network = rpps_tree()
+        with pytest.raises(ValueError, match="does not match"):
+            pg_rpps_network_bounds(
+                network, "s1", LBAPEnvelope(3.0, 0.5)
+            )
+
+    def test_rejects_non_rpps(self):
+        nodes = [NetworkNode("a", 1.0)]
+        sessions = [
+            NetworkSession("s1", EBB(0.2, 1.0, 1.0), ("a",), 0.9),
+            NetworkSession("s2", EBB(0.3, 1.0, 1.0), ("a",), 0.1),
+        ]
+        network = Network(nodes, sessions)
+        with pytest.raises(ValueError, match="not RPPS"):
+            pg_rpps_network_bounds(
+                network, "s1", LBAPEnvelope(1.0, 0.2)
+            )
+
+    def test_independent_of_route_length(self):
+        """Same bottleneck, longer route, identical deterministic
+        bound — PG's route-independence result."""
+        short = rpps_tree()
+        nodes = [
+            NetworkNode("m", 1.0),
+            NetworkNode("n1", 1.0),
+            NetworkNode("n2", 1.0),
+            NetworkNode("n3", 1.0),
+        ]
+        sessions = [
+            NetworkSession(
+                "s1", EBB(0.2, 1.0, 1.7), ("m", "n1", "n3"), 0.2
+            ),
+            NetworkSession("s2", EBB(0.25, 1.0, 1.8), ("n1", "n3"), 0.25),
+            NetworkSession("s3", EBB(0.2, 1.0, 2.1), ("n2", "n3"), 0.2),
+            NetworkSession("s4", EBB(0.25, 1.0, 1.6), ("n2", "n3"), 0.25),
+        ]
+        long = Network(nodes, sessions)
+        envelope = LBAPEnvelope(2.0, 0.2)
+        a = pg_rpps_network_bounds(short, "s1", envelope)
+        b = pg_rpps_network_bounds(long, "s1", envelope)
+        assert a.max_end_to_end_delay == pytest.approx(
+            b.max_end_to_end_delay
+        )

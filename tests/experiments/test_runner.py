@@ -1,0 +1,88 @@
+"""Tests for the artifact runner and the CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import (
+    render_figure3,
+    render_figure4,
+    render_table1,
+    render_table2,
+    run_all,
+)
+
+
+class TestRenderers:
+    def test_table1_contains_sessions(self):
+        text = render_table1()
+        assert "session1" in text
+        assert "0.15" in text
+
+    def test_table2_contains_both_sets(self):
+        text = render_table2()
+        assert "Set 1" in text and "Set 2" in text
+        assert "1.742" in text or "1.74" in text
+
+    def test_figure3_has_grid(self):
+        text = render_figure3()
+        assert "Figure 3, Set 1" in text
+        assert "Figure 3, Set 2" in text
+        assert "50" in text
+
+    def test_figure4(self):
+        text = render_figure4()
+        assert "Figure 4, Set 1" in text
+
+
+class TestRunAll:
+    def test_writes_files(self, tmp_path):
+        artifacts = run_all(tmp_path)
+        assert set(artifacts) == {
+            "table1",
+            "table2",
+            "figure3",
+            "figure4",
+            "simulation_check",
+        }
+        for name in artifacts:
+            assert (tmp_path / f"{name}.txt").exists()
+
+    def test_returns_without_writing(self):
+        artifacts = run_all(None)
+        assert "table1" in artifacts
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        for command in (
+            ["table1"],
+            ["table2"],
+            ["figure3"],
+            ["figure4"],
+            ["simulate", "--slots", "100"],
+            ["all", "--output-dir", "x"],
+        ):
+            args = parser.parse_args(command)
+            assert args.command == command[0]
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.parametrize(
+        "command", ["table1", "table2", "figure3", "figure4"]
+    )
+    def test_main_prints_artifacts(self, command, capsys):
+        assert main([command]) == 0
+        out = capsys.readouterr().out
+        assert len(out) > 100
+
+    def test_main_simulate(self, capsys):
+        assert main(["simulate", "--slots", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out
+
+    def test_main_all_writes(self, tmp_path, capsys):
+        assert main(["all", "--output-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.txt").exists()

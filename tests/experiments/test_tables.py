@@ -1,0 +1,47 @@
+"""Tests for report formatting."""
+
+import pytest
+
+from repro.experiments.tables import (
+    format_comparison,
+    format_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.0], ["long-name", 123.456]]
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "123.5" in lines[3]
+        # all rows aligned: header and separator equal length
+        assert len(lines[1]) >= len("name  value") - 2
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.000123456]])
+        assert "0.0001235" in text
+
+
+class TestFormatSeries:
+    def test_label_and_points(self):
+        text = format_series("curve", [1.0, 2.0], [-0.5, -1.0])
+        lines = text.splitlines()
+        assert lines[0] == "curve"
+        assert len(lines) == 3
+
+
+class TestFormatComparison:
+    def test_columns(self):
+        text = format_comparison(
+            "cmp", [1.0, 2.0], {"a": [0.1, 0.2], "b": [0.3, 0.4]}
+        )
+        assert "cmp" in text
+        assert "a" in text.splitlines()[1]
+        assert "0.4" in text

@@ -1,0 +1,127 @@
+"""Integration: the Theorem 13 CRST recursion vs network simulation.
+
+The RPPS case is validated elsewhere; here a *non-RPPS* two-class
+tandem exercises the general machinery — per-node feasible partitions
+with two classes, output-characterization propagation, Hölder at the
+second node, and the end-to-end union-bound convolution.  Every bound
+the analysis produces must dominate its simulated counterpart.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.ebb import EBB
+from repro.markov.lnt94 import ebb_characterization
+from repro.markov.onoff import OnOffSource
+from repro.network.analysis import analyze_crst_network
+from repro.network.crst import crst_partition
+from repro.network.topology import Network, NetworkNode, NetworkSession
+from repro.sim.network_sim import FluidNetworkSimulator
+from repro.traffic.sources import OnOffTraffic
+
+NUM_SLOTS = 150_000
+WARMUP = 2_000
+
+# Two sessions crossing a two-node tandem: 'prio' is over-weighted
+# (lands in H_1 at both nodes), 'bulk' is under-weighted (H_2).
+PRIO_MODEL = OnOffSource(0.3, 0.7, 0.5)
+BULK_MODEL = OnOffSource(0.4, 0.4, 0.4)
+PRIO_RHO = 0.25
+BULK_RHO = 0.35
+PRIO_PHI = 0.6
+BULK_PHI = 0.3
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    prio_ebb = ebb_characterization(PRIO_MODEL.as_mms(), PRIO_RHO)
+    bulk_ebb = ebb_characterization(BULK_MODEL.as_mms(), BULK_RHO)
+    nodes = [NetworkNode("a", 1.0), NetworkNode("b", 1.0)]
+    sessions = [
+        NetworkSession("prio", prio_ebb, ("a", "b"), PRIO_PHI),
+        NetworkSession("bulk", bulk_ebb, ("a", "b"), BULK_PHI),
+    ]
+    network = Network(nodes, sessions)
+    reports = analyze_crst_network(network, discrete=True)
+    rng = np.random.default_rng(31)
+    arrivals = {
+        "prio": OnOffTraffic(PRIO_MODEL).generate(NUM_SLOTS, rng),
+        "bulk": OnOffTraffic(BULK_MODEL).generate(NUM_SLOTS, rng),
+    }
+    simulation = FluidNetworkSimulator(network).run(arrivals)
+    return network, reports, simulation
+
+
+class TestStructure:
+    def test_two_global_classes(self, scenario):
+        network, _, _ = scenario
+        partition = crst_partition(network)
+        assert partition.num_classes == 2
+        assert partition.level("prio") == 0
+        assert partition.level("bulk") == 1
+
+
+class TestPerNodeBounds:
+    def test_per_node_backlog_bounds_dominate(self, scenario):
+        network, reports, simulation = scenario
+        for name in ("prio", "bulk"):
+            for hop in reports[name].hops:
+                samples = simulation.session_node_backlog(
+                    name, hop.node
+                )[WARMUP:]
+                for q in (0.5, 1.0, 2.0):
+                    empirical = float(np.mean(samples >= q))
+                    assert empirical <= hop.backlog.evaluate(q) * 1.05, (
+                        name,
+                        hop.node,
+                        q,
+                    )
+
+
+class TestEndToEndBounds:
+    def test_network_backlog_bound_dominates(self, scenario):
+        _, reports, simulation = scenario
+        for name in ("prio", "bulk"):
+            samples = simulation.network_backlog(name)[WARMUP:]
+            bound = reports[name].network_backlog
+            for q in (1.0, 2.0, 4.0):
+                empirical = float(np.mean(samples >= q))
+                assert empirical <= bound.evaluate(q) * 1.05
+
+    def test_end_to_end_delay_bound_dominates(self, scenario):
+        _, reports, simulation = scenario
+        for name in ("prio", "bulk"):
+            delays = simulation.end_to_end_delays(name)[WARMUP:]
+            delays = delays[~np.isnan(delays)]
+            bound = reports[name].end_to_end_delay
+            for d in (3.0, 6.0, 12.0):
+                empirical = float(np.mean(delays >= d))
+                # slotted delays are ceilings of continuous delays
+                assert empirical <= bound.evaluate(d - 1.0) * 1.05
+
+
+class TestOutputCharacterizations:
+    def test_hop_outputs_dominate_measured_departures(self, scenario):
+        """The output E.B.B. of each hop must bound the measured
+        interval excesses of the actual departure process."""
+        _, reports, simulation = scenario
+        for name in ("prio", "bulk"):
+            first_hop = reports[name].hops[0]
+            departures = simulation.node_served[(name, "a")][WARMUP:]
+            output = first_hop.output
+            cumulative = np.concatenate(
+                ([0.0], np.cumsum(departures))
+            )
+            for window in (10, 50, 200):
+                sums = (
+                    cumulative[window:] - cumulative[:-window]
+                )
+                for x in (0.5, 1.5):
+                    threshold = output.rho * window + x
+                    empirical = float(np.mean(sums >= threshold))
+                    bound = output.burstiness_tail().evaluate(x)
+                    assert empirical <= bound * 1.05, (
+                        name,
+                        window,
+                        x,
+                    )

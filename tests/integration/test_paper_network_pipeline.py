@@ -1,0 +1,111 @@
+"""Integration: the full Section 6.3 pipeline, bounds vs simulation.
+
+Simulates the paper's three-node RPPS network with its on-off sources
+and verifies that the Figure 3 (Theorem 15) and Figure 4 (improved)
+bounds dominate the empirical end-to-end distributions, and that the
+qualitative orderings reported in the paper hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.paper_example import (
+    SESSION_NAMES,
+    figure3_delay_bounds,
+    figure4_improved_bounds,
+    simulate_example_network,
+    table1_sources,
+)
+
+NUM_SLOTS = 150_000
+WARMUP = 1_000
+
+
+@pytest.fixture(scope="module")
+def simulation():
+    return simulate_example_network(1, NUM_SLOTS, seed=5)
+
+
+class TestBoundsDominateSimulation:
+    def test_network_backlog(self, simulation):
+        fig3 = figure3_delay_bounds(1)
+        for name in SESSION_NAMES:
+            samples = simulation.network_backlog(name)[WARMUP:]
+            bound = fig3[name].network_backlog
+            for q in (0.5, 1.0, 2.0, 4.0):
+                empirical = float(np.mean(samples >= q))
+                assert empirical <= bound.evaluate(q) * 1.05
+
+    # The simulator reports clearing delays in whole slots (the ceiling
+    # of the continuous-time delay), so the empirical Pr{D >= d} is
+    # compared against the continuous bound at d - 1.
+
+    def test_end_to_end_delay_figure3(self, simulation):
+        fig3 = figure3_delay_bounds(1)
+        for name in SESSION_NAMES:
+            delays = simulation.end_to_end_delays(name)[WARMUP:]
+            delays = delays[~np.isnan(delays)]
+            bound = fig3[name].end_to_end_delay
+            for d in (2.0, 5.0, 10.0):
+                empirical = float(np.mean(delays >= d))
+                assert empirical <= bound.evaluate(d - 1.0) * 1.05
+
+    def test_end_to_end_delay_figure4(self, simulation):
+        """The improved bounds are tighter but must still dominate."""
+        fig4 = figure4_improved_bounds(1)
+        for name in SESSION_NAMES:
+            delays = simulation.end_to_end_delays(name)[WARMUP:]
+            delays = delays[~np.isnan(delays)]
+            bound = fig4[name].end_to_end_delay
+            for d in (2.0, 5.0, 10.0):
+                empirical = float(np.mean(delays >= d))
+                assert empirical <= bound.evaluate(d - 1.0) * 1.05
+
+
+class TestPaperQualitativeClaims:
+    def test_bounds_are_conservative_by_orders_of_magnitude(
+        self, simulation
+    ):
+        """The motivation of the paper's future-work remark: even the
+        statistical bounds leave slack vs simulation; quantify it."""
+        fig3 = figure3_delay_bounds(1)
+        name = "session1"
+        delays = simulation.end_to_end_delays(name)[WARMUP:]
+        delays = delays[~np.isnan(delays)]
+        d = 8.0
+        empirical = max(float(np.mean(delays >= d)), 1e-7)
+        bound = fig3[name].end_to_end_delay.evaluate(d)
+        assert bound / empirical > 1.0
+
+    def test_figure4_closer_to_simulation_than_figure3(
+        self, simulation
+    ):
+        fig3 = figure3_delay_bounds(1)
+        fig4 = figure4_improved_bounds(1)
+        name = "session2"
+        d = 6.0
+        assert fig4[name].end_to_end_delay.evaluate(d) < fig3[
+            name
+        ].end_to_end_delay.evaluate(d)
+
+    def test_simulated_network_is_stable(self, simulation):
+        for name in SESSION_NAMES:
+            backlog = simulation.network_backlog(name)
+            # time-average backlog over the second half no larger than
+            # 3x over the first half (no drift)
+            half = backlog.size // 2
+            first = backlog[WARMUP:half].mean()
+            second = backlog[half:].mean()
+            assert second < 3.0 * max(first, 0.1)
+
+
+class TestSourceStatisticsMatchTable1:
+    def test_simulated_means(self):
+        rng = np.random.default_rng(123)
+        from repro.traffic.sources import OnOffTraffic
+
+        for source, expected in zip(
+            table1_sources(), (0.15, 0.2, 0.15, 0.2)
+        ):
+            trace = OnOffTraffic(source).generate(120_000, rng)
+            assert trace.mean() == pytest.approx(expected, rel=0.05)

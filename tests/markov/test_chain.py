@@ -1,0 +1,128 @@
+"""Tests for DTMC utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.markov.chain import DTMC, perron_pair
+
+
+def two_state(p=0.3, q=0.7) -> DTMC:
+    return DTMC(np.array([[1 - p, p], [q, 1 - q]]))
+
+
+class TestDTMCConstruction:
+    def test_valid(self):
+        chain = two_state()
+        assert chain.num_states == 2
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            DTMC(np.ones((2, 3)) / 3)
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError):
+            DTMC(np.array([[1.5, -0.5], [0.5, 0.5]]))
+
+    def test_rejects_bad_row_sums(self):
+        with pytest.raises(ValueError, match="sum"):
+            DTMC(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    def test_rejects_reducible(self):
+        with pytest.raises(ValueError, match="irreducible"):
+            DTMC(np.array([[1.0, 0.0], [0.5, 0.5]]))
+
+    def test_transition_is_read_only(self):
+        chain = two_state()
+        with pytest.raises(ValueError):
+            chain.transition[0, 0] = 0.9
+
+
+class TestStationaryDistribution:
+    def test_two_state_closed_form(self):
+        p, q = 0.3, 0.7
+        pi = two_state(p, q).stationary_distribution()
+        np.testing.assert_allclose(
+            pi, [q / (p + q), p / (p + q)], atol=1e-12
+        )
+
+    def test_invariance(self):
+        chain = DTMC(
+            np.array(
+                [
+                    [0.1, 0.6, 0.3],
+                    [0.4, 0.2, 0.4],
+                    [0.25, 0.25, 0.5],
+                ]
+            )
+        )
+        pi = chain.stationary_distribution()
+        np.testing.assert_allclose(pi @ chain.transition, pi, atol=1e-10)
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi >= 0.0)
+
+    @given(st.floats(0.05, 0.95), st.floats(0.05, 0.95))
+    def test_two_state_property(self, p, q):
+        pi = two_state(p, q).stationary_distribution()
+        np.testing.assert_allclose(pi[1], p / (p + q), atol=1e-9)
+
+
+class TestReversal:
+    def test_two_state_chains_are_reversible(self):
+        chain = two_state(0.4, 0.2)
+        assert chain.is_reversible()
+        reversed_chain = chain.reversed_chain()
+        np.testing.assert_allclose(
+            reversed_chain.transition, chain.transition, atol=1e-12
+        )
+
+    def test_three_state_cycle_not_reversible(self):
+        # A biased cycle has net circulation.
+        chain = DTMC(
+            np.array(
+                [
+                    [0.1, 0.8, 0.1],
+                    [0.1, 0.1, 0.8],
+                    [0.8, 0.1, 0.1],
+                ]
+            )
+        )
+        assert not chain.is_reversible()
+        reversed_chain = chain.reversed_chain()
+        # Reversal preserves the stationary distribution.
+        np.testing.assert_allclose(
+            reversed_chain.stationary_distribution(),
+            chain.stationary_distribution(),
+            atol=1e-9,
+        )
+        # Double reversal is the identity.
+        np.testing.assert_allclose(
+            reversed_chain.reversed_chain().transition,
+            chain.transition,
+            atol=1e-9,
+        )
+
+
+class TestPerronPair:
+    def test_stochastic_matrix_has_unit_eigenvalue(self):
+        chain = two_state()
+        z, h = perron_pair(chain.transition)
+        assert z == pytest.approx(1.0)
+        np.testing.assert_allclose(h, np.ones(2), atol=1e-9)
+
+    def test_eigen_equation(self):
+        m = np.array([[0.7, 0.9], [0.7, 0.9]])
+        z, h = perron_pair(m)
+        np.testing.assert_allclose(m @ h, z * h, atol=1e-9)
+
+    def test_eigenvector_positive_and_normalized(self):
+        m = np.array([[0.5, 1.5], [0.25, 1.0]])
+        z, h = perron_pair(m)
+        assert np.all(h > 0.0)
+        assert h.max() == pytest.approx(1.0)
+        assert z > 0.0
+
+    def test_rejects_negative_matrix(self):
+        with pytest.raises(ValueError):
+            perron_pair(np.array([[1.0, -0.1], [0.2, 0.5]]))

@@ -1,0 +1,174 @@
+"""Tests for effective-bandwidth computation and inversion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.effective_bandwidth import (
+    decay_rate_for_rate,
+    effective_bandwidth,
+    spectral_radius,
+)
+from repro.markov.onoff import OnOffSource
+
+probs = st.floats(0.05, 0.95)
+
+
+class TestSpectralRadius:
+    def test_zero_tilt(self):
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        z, = (spectral_radius(src, 0.0),)
+        assert z == pytest.approx(1.0)
+
+
+class TestEffectiveBandwidth:
+    def test_rejects_nonpositive_theta(self):
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        with pytest.raises(ValueError):
+            effective_bandwidth(src, 0.0)
+
+    @given(probs, probs, st.floats(0.1, 2.0))
+    @settings(max_examples=30)
+    def test_matches_onoff_closed_form(self, p, q, lam):
+        onoff = OnOffSource(p, q, lam)
+        src = onoff.as_mms()
+        for theta in (0.5, 2.0):
+            assert effective_bandwidth(src, theta) == pytest.approx(
+                onoff.effective_bandwidth(theta), rel=1e-9
+            )
+
+
+class TestDecayRateInversion:
+    @pytest.mark.parametrize(
+        "params,rho,expected",
+        [
+            ((0.3, 0.7, 0.5), 0.2, 1.74),
+            ((0.4, 0.4, 0.4), 0.25, 1.76),
+            ((0.3, 0.3, 0.3), 0.2, 2.13),
+            ((0.4, 0.6, 0.5), 0.25, 1.62),
+            ((0.3, 0.7, 0.5), 0.17, 0.729),
+            ((0.4, 0.4, 0.4), 0.22, 0.672),
+            ((0.3, 0.3, 0.3), 0.17, 0.775),
+            ((0.4, 0.6, 0.5), 0.22, 0.655),
+        ],
+    )
+    def test_reproduces_paper_table2_alphas(self, params, rho, expected):
+        """Table 2 of the paper: alpha solves eb(alpha) = rho."""
+        src = OnOffSource(*params).as_mms()
+        alpha = decay_rate_for_rate(src, rho)
+        assert alpha == pytest.approx(expected, abs=6e-3)
+
+    def test_root_satisfies_equation(self):
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        alpha = decay_rate_for_rate(src, 0.2)
+        assert effective_bandwidth(src, alpha) == pytest.approx(
+            0.2, rel=1e-9
+        )
+
+    def test_rejects_rate_below_mean(self):
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        with pytest.raises(ValueError, match="mean"):
+            decay_rate_for_rate(src, 0.15)
+
+    def test_rejects_rate_at_peak(self):
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        with pytest.raises(ValueError, match="peak"):
+            decay_rate_for_rate(src, 0.5)
+
+    @given(probs, probs, st.floats(0.3, 0.9))
+    @settings(max_examples=30)
+    def test_decay_increases_with_rate(self, p, q, fraction):
+        """More drain slack -> faster decay."""
+        src = OnOffSource(p, q, 1.0).as_mms()
+        mean, peak = src.mean_rate, src.peak_rate
+        rate = mean + fraction * (peak - mean)
+        lower = mean + 0.5 * fraction * (peak - mean)
+        a_high = decay_rate_for_rate(src, rate)
+        a_low = decay_rate_for_rate(src, lower)
+        assert a_high > a_low
+
+    def test_three_state_source(self):
+        from repro.markov.chain import DTMC
+        from repro.markov.mmpp import MarkovModulatedSource
+
+        chain = DTMC(
+            np.array(
+                [
+                    [0.6, 0.3, 0.1],
+                    [0.3, 0.4, 0.3],
+                    [0.1, 0.4, 0.5],
+                ]
+            )
+        )
+        src = MarkovModulatedSource(chain, [0.0, 1.0, 2.0])
+        rate = 0.5 * (src.mean_rate + src.peak_rate)
+        alpha = decay_rate_for_rate(src, rate)
+        assert effective_bandwidth(src, alpha) == pytest.approx(
+            rate, rel=1e-9
+        )
+
+
+class TestEffectiveBandwidthAdmission:
+    def test_total_is_additive(self):
+        from repro.markov.effective_bandwidth import (
+            total_effective_bandwidth,
+        )
+
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        single = effective_bandwidth(src, 1.0)
+        assert total_effective_bandwidth(
+            [src, src, src], 1.0
+        ) == pytest.approx(3.0 * single)
+
+    def test_admission_monotone_in_count(self):
+        from repro.markov.effective_bandwidth import eb_admissible
+
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        theta = 1.0
+        admitted = [
+            eb_admissible([src] * n, 1.0, theta) for n in (1, 3, 6, 12)
+        ]
+        # once rejected, larger counts stay rejected
+        for earlier, later in zip(admitted, admitted[1:]):
+            assert earlier or not later
+
+    def test_admission_guarantee_in_simulation(self):
+        """If the eb criterion admits n sources at rate c with tilt
+        theta, the simulated aggregate FCFS queue tail decays at least
+        that fast."""
+        import numpy as np
+
+        from repro.markov.effective_bandwidth import (
+            eb_admissible,
+            total_effective_bandwidth,
+        )
+        from repro.traffic.sources import OnOffTraffic
+
+        model = OnOffSource(0.3, 0.7, 0.5)
+        src = model.as_mms()
+        theta = 1.0
+        n, c = 4, 1.0
+        assert eb_admissible([src] * n, c, theta)
+        rng = np.random.default_rng(0)
+        total = np.zeros(200_000)
+        for _ in range(n):
+            total += OnOffTraffic(model).generate(200_000, rng)
+        level = 0.0
+        samples = np.empty(total.size)
+        for t, a in enumerate(total):
+            level = max(level + a - c, 0.0)
+            samples[t] = level
+        samples = samples[1000:]
+        for x in (1.0, 2.0):
+            empirical = float(np.mean(samples >= x))
+            # decay at least theta (prefactor at most ~1 here)
+            assert empirical <= 1.5 * np.exp(-theta * x)
+
+    def test_rejects_empty(self):
+        from repro.markov.effective_bandwidth import (
+            total_effective_bandwidth,
+        )
+
+        with pytest.raises(ValueError):
+            total_effective_bandwidth([], 1.0)

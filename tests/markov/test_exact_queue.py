@@ -1,0 +1,117 @@
+"""Tests for the exact lattice queue solver — and through it, exact
+validation of the LNT94/BD94 bounds."""
+
+import numpy as np
+import pytest
+
+from repro.markov.effective_bandwidth import decay_rate_for_rate
+from repro.markov.exact_queue import exact_queue_distribution
+from repro.markov.lnt94 import queue_tail_bound
+from repro.markov.onoff import OnOffSource
+from repro.traffic.sources import OnOffTraffic
+
+
+def solve(p=0.3, q=0.7, lam=0.5, c=0.25, levels=800):
+    source = OnOffSource(p, q, lam).as_mms()
+    return source, exact_queue_distribution(
+        source, c, max_levels=levels
+    )
+
+
+class TestSolverBasics:
+    def test_distribution_normalizes(self):
+        _, exact = solve()
+        assert exact.probabilities.sum() == pytest.approx(1.0)
+        assert exact.truncation_mass < 1e-12
+
+    def test_lattice_step(self):
+        _, exact = solve()
+        assert exact.step == pytest.approx(0.25)
+
+    def test_ccdf_monotone(self):
+        _, exact = solve()
+        xs = np.linspace(0, 10, 50)
+        values = [exact.ccdf(float(x)) for x in xs]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_rejects_unstable(self):
+        source = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        with pytest.raises(ValueError, match="unstable"):
+            exact_queue_distribution(source, 0.1)
+
+    def test_rejects_incommensurable(self):
+        source = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        with pytest.raises(ValueError, match="commensurable"):
+            exact_queue_distribution(source, 0.25 * np.pi)
+
+    def test_matches_simulation(self):
+        source_model = OnOffSource(0.3, 0.7, 0.5)
+        source, exact = solve()
+        rng = np.random.default_rng(0)
+        arrivals = OnOffTraffic(source_model).generate(400_000, rng)
+        level = 0.0
+        samples = np.empty(arrivals.size)
+        for t, a in enumerate(arrivals):
+            level = max(level + a - 0.25, 0.0)
+            samples[t] = level
+        samples = samples[1000:]
+        for x in (0.5, 1.0, 2.0):
+            empirical = float(np.mean(samples >= x))
+            assert empirical == pytest.approx(
+                exact.ccdf(x), rel=0.1
+            )
+
+
+class TestBoundValidation:
+    def test_bound_dominates_exact_tail_everywhere(self):
+        source, exact = solve()
+        bound = queue_tail_bound(source, 0.25)
+        for k in range(1, 60):
+            x = k * exact.step
+            truth = exact.ccdf(x)
+            if truth < 1e4 * exact.RELIABLE_FLOOR:
+                break
+            # 1e-4 relative slack: the bound is *exactly* the tail
+            # here, so solver rounding can land on either side.
+            assert truth <= bound.evaluate(x) * (1.0 + 1e-3)
+
+    def test_bound_is_tight_for_two_state_source(self):
+        """For the two-state on-off source the martingale bound is
+        *exactly* the queue tail at lattice points — the strongest
+        possible validation of the Figure 4 construction."""
+        source, exact = solve()
+        bound = queue_tail_bound(source, 0.25)
+        for x in (0.5, 1.0, 2.0, 4.0):
+            assert exact.ccdf(x) == pytest.approx(
+                bound.evaluate(x), rel=1e-5
+            )
+
+    def test_exact_decay_matches_effective_bandwidth_root(self):
+        source, exact = solve(levels=800)
+        alpha = decay_rate_for_rate(source, 0.25)
+        assert exact.decay_rate() == pytest.approx(alpha, rel=0.02)
+
+    def test_three_state_source_bound_dominates(self):
+        from repro.markov.chain import DTMC
+        from repro.markov.mmpp import MarkovModulatedSource
+
+        chain = DTMC(
+            np.array(
+                [
+                    [0.6, 0.3, 0.1],
+                    [0.3, 0.4, 0.3],
+                    [0.2, 0.3, 0.5],
+                ]
+            )
+        )
+        source = MarkovModulatedSource(chain, [0.0, 0.5, 1.0])
+        exact = exact_queue_distribution(
+            source, 0.75, max_levels=1200
+        )
+        bound = queue_tail_bound(source, 0.75)
+        for k in range(1, 80):
+            x = k * exact.step
+            truth = exact.ccdf(x)
+            if truth < 1e4 * exact.RELIABLE_FLOOR:
+                break
+            assert truth <= bound.evaluate(x) * (1.0 + 1e-3)

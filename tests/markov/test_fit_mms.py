@@ -1,0 +1,66 @@
+"""Tests for general Markov-modulated model fitting."""
+
+import numpy as np
+import pytest
+
+from repro.markov.fitting import fit_mms
+from repro.traffic.presets import video_model, video_traffic
+
+
+class TestFitMMS:
+    def test_recovers_mean_rate(self):
+        rng = np.random.default_rng(0)
+        trace = video_traffic().generate(150_000, rng)
+        fit = fit_mms(trace, 5)
+        assert fit.model.mean_rate == pytest.approx(
+            video_model().mean_rate, rel=0.05
+        )
+
+    def test_occupancy_sums_to_one(self):
+        rng = np.random.default_rng(1)
+        trace = video_traffic().generate(50_000, rng)
+        fit = fit_mms(trace, 4)
+        assert fit.occupancy.sum() == pytest.approx(1.0)
+
+    def test_fitted_effective_bandwidth_close_to_truth(self):
+        """The fitted model's eb curve should track the true model's
+        (it determines all the bounds downstream)."""
+        from repro.markov.effective_bandwidth import effective_bandwidth
+
+        rng = np.random.default_rng(2)
+        true_model = video_model(num_levels=3)
+        from repro.traffic.sources import MarkovModulatedTraffic
+
+        trace = MarkovModulatedTraffic(true_model).generate(
+            300_000, rng
+        )
+        fit = fit_mms(trace, 3)
+        # quantile binning of discrete levels is approximate; the eb
+        # curve should track within ~15%.
+        for theta in (0.5, 1.5):
+            assert effective_bandwidth(
+                fit.model, theta
+            ) == pytest.approx(
+                effective_bandwidth(true_model, theta), rel=0.15
+            )
+
+    def test_rejects_short_trace(self):
+        with pytest.raises(ValueError, match="at least"):
+            fit_mms(np.ones(15), 5)
+
+    def test_rejects_single_state(self):
+        with pytest.raises(ValueError, match="num_states"):
+            fit_mms(np.random.default_rng(0).random(1000), 1)
+
+    def test_rejects_constant_trace(self):
+        with pytest.raises(ValueError, match="variation"):
+            fit_mms(np.full(1000, 0.5), 3)
+
+    def test_continuous_rates_quantize(self):
+        """A continuous-rate trace (uniform noise) fits into the
+        requested number of quantile states."""
+        rng = np.random.default_rng(3)
+        trace = rng.uniform(0.0, 1.0, size=50_000)
+        fit = fit_mms(trace, 4)
+        assert fit.model.num_states == 4
+        assert fit.model.mean_rate == pytest.approx(0.5, rel=0.05)

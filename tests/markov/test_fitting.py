@@ -1,0 +1,64 @@
+"""Tests for on-off model fitting."""
+
+import numpy as np
+import pytest
+
+from repro.markov.fitting import fit_onoff
+from repro.markov.onoff import OnOffSource
+from repro.traffic.sources import OnOffTraffic
+
+
+class TestFitOnOff:
+    def test_recovers_parameters(self):
+        model = OnOffSource(0.3, 0.7, 0.5)
+        trace = OnOffTraffic(model).generate(
+            300_000, np.random.default_rng(0)
+        )
+        fit = fit_onoff(trace)
+        assert fit.model.p == pytest.approx(0.3, rel=0.05)
+        assert fit.model.q == pytest.approx(0.7, rel=0.05)
+        assert fit.model.peak_rate == 0.5
+        assert fit.on_fraction == pytest.approx(
+            model.on_probability, rel=0.05
+        )
+        assert fit.num_transitions > 1000
+
+    def test_fitted_model_reusable_in_pipeline(self):
+        """A fitted model must plug into the effective-bandwidth
+        machinery and reproduce the true model's decay rate."""
+        from repro.markov.effective_bandwidth import decay_rate_for_rate
+
+        model = OnOffSource(0.4, 0.4, 0.4)
+        trace = OnOffTraffic(model).generate(
+            400_000, np.random.default_rng(1)
+        )
+        fit = fit_onoff(trace)
+        true_alpha = decay_rate_for_rate(model.as_mms(), 0.25)
+        fitted_alpha = decay_rate_for_rate(fit.model.as_mms(), 0.25)
+        assert fitted_alpha == pytest.approx(true_alpha, rel=0.1)
+
+    def test_rejects_all_off(self):
+        with pytest.raises(ValueError, match="never turns on"):
+            fit_onoff(np.zeros(100))
+
+    def test_rejects_all_on(self):
+        with pytest.raises(ValueError, match="never turns off"):
+            fit_onoff(np.full(100, 0.5))
+
+    def test_rejects_multirate(self):
+        trace = np.array([0.0, 0.5, 0.0, 0.9, 0.0])
+        with pytest.raises(ValueError, match="multiple positive rates"):
+            fit_onoff(trace)
+
+    def test_rejects_short_trace(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            fit_onoff(np.array([1.0]))
+
+    def test_boundary_frequencies_clamped(self):
+        # alternating trace: empirical p = q = 1; must be clamped
+        # inside (0, 1) to yield a valid model.
+        trace = np.tile([0.0, 1.0], 20)
+        fit = fit_onoff(trace)
+        assert 0.0 < fit.model.p < 1.0
+        assert 0.0 < fit.model.q < 1.0
+        assert fit.model.p > 0.9

@@ -1,0 +1,119 @@
+"""Tests for LNT94/BD94-style bounds: E.B.B. characterization and the
+martingale queue bound."""
+
+import numpy as np
+import pytest
+
+from repro.markov.effective_bandwidth import decay_rate_for_rate
+from repro.markov.lnt94 import (
+    delay_tail_bound,
+    ebb_characterization,
+    ebb_prefactor,
+    queue_tail_bound,
+)
+from repro.markov.onoff import OnOffSource
+from repro.traffic.sources import OnOffTraffic
+
+
+class TestEbbCharacterization:
+    def test_session1_matches_paper(self):
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        ebb = ebb_characterization(src, 0.2)
+        assert ebb.decay_rate == pytest.approx(1.74, abs=5e-3)
+        assert ebb.prefactor == pytest.approx(1.0, abs=1e-9)
+        assert ebb.rho == 0.2
+
+    def test_prefactor_dominates_exact_interval_tails(self):
+        """The characterization must be a genuine E.B.B. bound: check
+        against the exact interval distribution of the on-off source."""
+        onoff = OnOffSource(0.4, 0.4, 0.4)
+        src = onoff.as_mms()
+        rho = 0.25
+        ebb = ebb_characterization(src, rho)
+        for duration in (1, 2, 5, 10, 25, 60):
+            dist = onoff.on_count_distribution(duration)
+            amounts = onoff.peak_rate * np.arange(duration + 1)
+            for excess in (0.1, 0.5, 1.0, 2.0):
+                exact = float(
+                    dist[amounts >= rho * duration + excess].sum()
+                )
+                bound = ebb.burstiness_tail().evaluate(excess)
+                assert exact <= bound + 1e-12
+
+    def test_prefactor_at_most_first_term_plus_convergence(self):
+        src = OnOffSource(0.3, 0.3, 0.3).as_mms()
+        rho = 0.2
+        alpha = decay_rate_for_rate(src, rho)
+        prefactor = ebb_prefactor(src, rho, alpha)
+        assert prefactor > 0.0
+        # For these sources the supremum is attained at t = 1.
+        pi = src.chain.stationary_distribution()
+        t1 = float(pi @ np.exp(alpha * src.rates)) * np.exp(-alpha * rho)
+        assert prefactor == pytest.approx(t1, rel=1e-9)
+
+    def test_smaller_rho_gives_smaller_alpha(self):
+        """The paper's Set 1 vs Set 2 trade-off."""
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        tight = ebb_characterization(src, 0.2)
+        loose = ebb_characterization(src, 0.17)
+        assert loose.decay_rate < tight.decay_rate
+
+
+class TestQueueTailBound:
+    def test_prefactor_at_least_one(self):
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        bound = queue_tail_bound(src, 0.3)
+        assert bound.prefactor >= 1.0 - 1e-9
+
+    def test_decay_is_effective_bandwidth_root(self):
+        src = OnOffSource(0.4, 0.4, 0.4).as_mms()
+        c = 0.3
+        bound = queue_tail_bound(src, c)
+        assert bound.decay_rate == pytest.approx(
+            decay_rate_for_rate(src, c), rel=1e-9
+        )
+
+    def test_dominates_simulated_queue(self):
+        """Monte-Carlo check of the martingale bound: simulate the
+        Lindley recursion and compare the empirical CCDF."""
+        onoff = OnOffSource(0.4, 0.4, 0.4)
+        src = onoff.as_mms()
+        c = 0.3
+        bound = queue_tail_bound(src, c)
+        rng = np.random.default_rng(7)
+        arrivals = OnOffTraffic(onoff).generate(400_000, rng)
+        level = 0.0
+        samples = np.empty(arrivals.size)
+        for t, a in enumerate(arrivals):
+            level = max(level + a - c, 0.0)
+            samples[t] = level
+        # Skip warm-up, then compare tails.
+        samples = samples[1000:]
+        for x in (0.5, 1.0, 2.0, 3.0):
+            empirical = float(np.mean(samples >= x))
+            assert empirical <= bound.evaluate(x) * 1.05
+
+    def test_faster_drain_faster_decay(self):
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        slow = queue_tail_bound(src, 0.25)
+        fast = queue_tail_bound(src, 0.4)
+        assert fast.decay_rate > slow.decay_rate
+
+    def test_figure4_decays_exceed_figure3(self):
+        """The improved (Figure 4) decay alpha' solves eb(alpha') = g_i
+        > rho_i, so it beats the E.B.B. decay alpha_i of Figure 3."""
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        rho, g = 0.2, 0.2 / 0.9
+        ebb = ebb_characterization(src, rho)
+        improved = queue_tail_bound(src, g)
+        assert improved.decay_rate > ebb.decay_rate
+
+
+class TestDelayTailBound:
+    def test_scales_by_service_rate(self):
+        src = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        c = 0.3
+        queue = queue_tail_bound(src, c)
+        delay = delay_tail_bound(src, c)
+        assert delay.decay_rate == pytest.approx(queue.decay_rate * c)
+        assert delay.prefactor == queue.prefactor

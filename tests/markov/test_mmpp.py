@@ -1,0 +1,136 @@
+"""Tests for general Markov-modulated sources."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import DTMC
+from repro.markov.mmpp import MarkovModulatedSource
+
+
+def three_state() -> MarkovModulatedSource:
+    chain = DTMC(
+        np.array(
+            [
+                [0.5, 0.3, 0.2],
+                [0.2, 0.5, 0.3],
+                [0.3, 0.3, 0.4],
+            ]
+        )
+    )
+    return MarkovModulatedSource(chain, [0.0, 0.5, 1.5])
+
+
+class TestConstruction:
+    def test_valid(self):
+        src = three_state()
+        assert src.num_states == 3
+        assert src.peak_rate == 1.5
+
+    def test_rejects_wrong_rate_count(self):
+        chain = DTMC(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        with pytest.raises(ValueError, match="one rate per state"):
+            MarkovModulatedSource(chain, [0.0, 1.0, 2.0])
+
+    def test_rejects_negative_rates(self):
+        chain = DTMC(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        with pytest.raises(ValueError):
+            MarkovModulatedSource(chain, [-1.0, 1.0])
+
+    def test_rejects_constant_rates(self):
+        chain = DTMC(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        with pytest.raises(ValueError, match="constant-rate"):
+            MarkovModulatedSource(chain, [1.0, 1.0])
+
+
+class TestMeanRate:
+    def test_stationary_average(self):
+        src = three_state()
+        pi = src.chain.stationary_distribution()
+        assert src.mean_rate == pytest.approx(float(pi @ src.rates))
+
+
+class TestMgfKernel:
+    def test_zero_tilt_is_transition_matrix(self):
+        src = three_state()
+        np.testing.assert_allclose(
+            src.mgf_kernel(0.0), src.chain.transition
+        )
+
+    def test_kernel_structure(self):
+        src = three_state()
+        theta = 0.7
+        kernel = src.mgf_kernel(theta)
+        expected = src.chain.transition * np.exp(theta * src.rates)[None, :]
+        np.testing.assert_allclose(kernel, expected)
+
+
+class TestLogMgf:
+    def test_zero_duration(self):
+        assert three_state().log_mgf(1.0, 0) == 0.0
+
+    def test_one_slot_closed_form(self):
+        src = three_state()
+        pi = src.chain.stationary_distribution()
+        theta = 0.9
+        expected = math.log(float(pi @ np.exp(theta * src.rates)))
+        assert src.log_mgf(theta, 1) == pytest.approx(expected)
+
+    def test_monte_carlo_agreement(self):
+        """Exact kernel MGF vs brute-force enumeration for short
+        horizons."""
+        src = three_state()
+        theta, duration = 0.5, 4
+        # Enumerate all state paths of length `duration`.
+        pi = src.chain.stationary_distribution()
+        p = src.chain.transition
+        total = 0.0
+        states = range(3)
+        for s1 in states:
+            for s2 in states:
+                for s3 in states:
+                    for s4 in states:
+                        prob = (
+                            pi[s1] * p[s1, s2] * p[s2, s3] * p[s3, s4]
+                        )
+                        amount = (
+                            src.rates[s1]
+                            + src.rates[s2]
+                            + src.rates[s3]
+                            + src.rates[s4]
+                        )
+                        total += prob * math.exp(theta * amount)
+        assert src.log_mgf(theta, duration) == pytest.approx(
+            math.log(total), rel=1e-9
+        )
+
+    def test_long_horizon_no_overflow(self):
+        src = three_state()
+        value = src.log_mgf(2.0, 5000)
+        assert math.isfinite(value)
+        # Growth rate approaches ln(spectral radius).
+        from repro.markov.effective_bandwidth import spectral_radius
+
+        z = spectral_radius(src, 2.0)
+        assert value / 5000 == pytest.approx(math.log(z), rel=1e-3)
+
+
+class TestReversedSource:
+    def test_preserves_rates_and_mean(self):
+        src = three_state()
+        rev = src.reversed_source()
+        np.testing.assert_allclose(rev.rates, src.rates)
+        assert rev.mean_rate == pytest.approx(src.mean_rate)
+
+    def test_spectral_radius_invariant_under_reversal(self):
+        """A(0,t) and its reversal share all interval distributions,
+        so the MGF growth rates coincide."""
+        from repro.markov.effective_bandwidth import spectral_radius
+
+        src = three_state()
+        rev = src.reversed_source()
+        for theta in (0.3, 1.0, 2.5):
+            assert spectral_radius(src, theta) == pytest.approx(
+                spectral_radius(rev, theta), rel=1e-9
+            )

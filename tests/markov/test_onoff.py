@@ -1,0 +1,133 @@
+"""Tests for the two-state on-off source model."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.markov.onoff import OnOffSource
+
+probs = st.floats(0.05, 0.95)
+
+
+class TestConstruction:
+    def test_table1_session1(self):
+        src = OnOffSource(0.3, 0.7, 0.5)
+        assert src.mean_rate == pytest.approx(0.15)
+        assert src.on_probability == pytest.approx(0.3)
+
+    @pytest.mark.parametrize(
+        "p,q,lam", [(0.0, 0.5, 1.0), (0.5, 0.0, 1.0), (0.5, 0.5, 0.0), (1.1, 0.5, 1.0)]
+    )
+    def test_invalid(self, p, q, lam):
+        with pytest.raises(ValueError):
+            OnOffSource(p, q, lam)
+
+    def test_sojourn_means(self):
+        src = OnOffSource(0.25, 0.5, 1.0)
+        assert src.burst_length_mean == pytest.approx(2.0)
+        assert src.idle_length_mean == pytest.approx(4.0)
+
+
+class TestSpectralRadius:
+    @given(probs, probs, st.floats(0.1, 2.0), st.floats(0.01, 5.0))
+    def test_matches_generic_eigensolver(self, p, q, lam, theta):
+        from repro.markov.chain import perron_pair
+
+        src = OnOffSource(p, q, lam)
+        closed = src.spectral_radius(theta)
+        z, _ = perron_pair(src.as_mms().mgf_kernel(theta))
+        assert closed == pytest.approx(z, rel=1e-9)
+
+    def test_at_zero_tilt_is_one(self):
+        src = OnOffSource(0.3, 0.7, 0.5)
+        assert src.spectral_radius(0.0) == pytest.approx(1.0)
+
+
+class TestEffectiveBandwidth:
+    @given(probs, probs, st.floats(0.1, 2.0))
+    def test_between_mean_and_peak(self, p, q, lam):
+        src = OnOffSource(p, q, lam)
+        for theta in [0.1, 1.0, 10.0]:
+            eb = src.effective_bandwidth(theta)
+            assert src.mean_rate - 1e-9 <= eb <= src.peak_rate + 1e-9
+
+    @given(probs, probs)
+    def test_monotone_in_theta(self, p, q):
+        src = OnOffSource(p, q, 1.0)
+        values = [src.effective_bandwidth(t) for t in (0.2, 1.0, 3.0, 8.0)]
+        assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_small_theta_limit_is_mean_rate(self):
+        src = OnOffSource(0.3, 0.7, 0.5)
+        assert src.effective_bandwidth(1e-7) == pytest.approx(
+            src.mean_rate, rel=1e-4
+        )
+
+    def test_large_theta_limit_is_peak_rate(self):
+        src = OnOffSource(0.3, 0.7, 0.5)
+        assert src.effective_bandwidth(200.0) == pytest.approx(
+            0.5, rel=0.05
+        )
+
+    def test_paper_session1_root(self):
+        """By-hand verification that eb(1.74) = 0.2 for session 1."""
+        src = OnOffSource(0.3, 0.7, 0.5)
+        assert src.effective_bandwidth(1.74) == pytest.approx(
+            0.2, abs=5e-4
+        )
+
+
+class TestOnCountDistribution:
+    def test_zero_duration(self):
+        src = OnOffSource(0.3, 0.7, 0.5)
+        np.testing.assert_allclose(src.on_count_distribution(0), [1.0])
+
+    def test_single_slot_is_stationary(self):
+        src = OnOffSource(0.3, 0.7, 0.5)
+        dist = src.on_count_distribution(1)
+        np.testing.assert_allclose(
+            dist, [1 - src.on_probability, src.on_probability]
+        )
+
+    def test_sums_to_one(self):
+        src = OnOffSource(0.4, 0.4, 0.4)
+        for duration in (2, 5, 17):
+            dist = src.on_count_distribution(duration)
+            assert dist.sum() == pytest.approx(1.0)
+            assert dist.size == duration + 1
+            assert np.all(dist >= 0.0)
+
+    def test_mean_matches_stationarity(self):
+        src = OnOffSource(0.4, 0.6, 1.0)
+        duration = 12
+        dist = src.on_count_distribution(duration)
+        mean = float(np.arange(duration + 1) @ dist)
+        assert mean == pytest.approx(
+            duration * src.on_probability, rel=1e-9
+        )
+
+    def test_iid_special_case_is_binomial(self):
+        """p = 1 - q makes the chain i.i.d. Bernoulli(p)."""
+        p = 0.3
+        src = OnOffSource(p, 1.0 - p, 1.0)
+        duration = 9
+        dist = src.on_count_distribution(duration)
+        binom = [
+            math.comb(duration, k) * p**k * (1 - p) ** (duration - k)
+            for k in range(duration + 1)
+        ]
+        np.testing.assert_allclose(dist, binom, atol=1e-12)
+
+    def test_mgf_consistency_with_log_mgf(self):
+        """The DP distribution and the kernel log-MGF must agree."""
+        src = OnOffSource(0.3, 0.7, 0.5)
+        duration = 8
+        theta = 1.3
+        dist = src.on_count_distribution(duration)
+        amounts = src.peak_rate * np.arange(duration + 1)
+        direct = math.log(float(np.exp(theta * amounts) @ dist))
+        kernel = src.as_mms().log_mgf(theta, duration)
+        assert direct == pytest.approx(kernel, rel=1e-9)

@@ -1,0 +1,127 @@
+"""Tests for the recursive CRST network analysis (Theorem 13)."""
+
+import pytest
+
+from repro.core.ebb import EBB
+from repro.network.analysis import analyze_crst_network
+from repro.network.crst import NotCRSTError
+from repro.network.topology import Network, NetworkNode, NetworkSession
+
+
+def rpps_tree() -> Network:
+    nodes = [
+        NetworkNode("n1", 1.0),
+        NetworkNode("n2", 1.0),
+        NetworkNode("n3", 1.0),
+    ]
+    sessions = [
+        NetworkSession("s1", EBB(0.2, 1.0, 1.7), ("n1", "n3"), 0.2),
+        NetworkSession("s2", EBB(0.25, 1.0, 1.8), ("n1", "n3"), 0.25),
+        NetworkSession("s3", EBB(0.2, 1.0, 2.1), ("n2", "n3"), 0.2),
+        NetworkSession("s4", EBB(0.25, 1.0, 1.6), ("n2", "n3"), 0.25),
+    ]
+    return Network(nodes, sessions)
+
+
+def two_class_tandem() -> Network:
+    nodes = [NetworkNode("a", 1.0), NetworkNode("b", 1.0)]
+    sessions = [
+        NetworkSession("low", EBB(0.1, 1.0, 2.0), ("a", "b"), 1.0),
+        NetworkSession("high", EBB(0.5, 1.0, 1.5), ("a", "b"), 0.3),
+    ]
+    return Network(nodes, sessions)
+
+
+class TestAnalyzeRppsTree:
+    def test_reports_cover_all_sessions_and_hops(self):
+        reports = analyze_crst_network(rpps_tree())
+        assert set(reports) == {"s1", "s2", "s3", "s4"}
+        for name, report in reports.items():
+            assert [h.node for h in report.hops] == list(
+                rpps_tree().session(name).route
+            )
+
+    def test_outputs_preserve_rho(self):
+        reports = analyze_crst_network(rpps_tree())
+        for name, report in reports.items():
+            for hop in report.hops:
+                assert hop.output.rho == pytest.approx(
+                    rpps_tree().session(name).rho
+                )
+
+    def test_end_to_end_bounds_are_valid_objects(self):
+        reports = analyze_crst_network(rpps_tree())
+        for report in reports.values():
+            assert report.end_to_end_delay.decay_rate > 0.0
+            assert report.network_backlog.decay_rate > 0.0
+            # end-to-end decay is weaker than any single hop
+            assert report.end_to_end_delay.decay_rate <= min(
+                h.delay.decay_rate for h in report.hops
+            )
+
+    def test_downstream_theta_is_strictly_smaller(self):
+        reports = analyze_crst_network(rpps_tree())
+        for report in reports.values():
+            thetas = [h.theta for h in report.hops]
+            assert all(a > b for a, b in zip(thetas, thetas[1:]))
+
+    def test_egress_is_last_hop_output(self):
+        reports = analyze_crst_network(rpps_tree())
+        for report in reports.values():
+            assert report.egress == report.hops[-1].output
+
+
+class TestAnalyzeTwoClasses:
+    def test_runs_and_orders_classes(self):
+        reports = analyze_crst_network(two_class_tandem())
+        assert set(reports) == {"low", "high"}
+        # the 'high' session's bound at node a must have decay no
+        # larger than its own alpha
+        assert reports["high"].hops[0].theta < 1.5
+
+    def test_independent_inputs_option_tightens_or_equals(self):
+        dependent = analyze_crst_network(
+            two_class_tandem(), independent_inputs=False
+        )
+        independent = analyze_crst_network(
+            two_class_tandem(), independent_inputs=True
+        )
+        # Theorem 11 admits a larger theta range than Theorem 12, so
+        # the chosen theta (a fixed fraction of the range) is larger.
+        assert (
+            independent["high"].hops[0].theta
+            >= dependent["high"].hops[0].theta
+        )
+
+
+class TestAnalyzeValidation:
+    def test_non_crst_network_raises(self):
+        nodes = [NetworkNode("a", 1.0), NetworkNode("b", 1.0)]
+        sessions = [
+            NetworkSession(
+                "x", EBB(0.3, 1.0, 1.0), ("a", "b"), (1.0, 0.1)
+            ),
+            NetworkSession(
+                "y", EBB(0.3, 1.0, 1.0), ("a", "b"), (0.1, 1.0)
+            ),
+        ]
+        network = Network(nodes, sessions)
+        with pytest.raises(NotCRSTError):
+            analyze_crst_network(network)
+
+    def test_rejects_bad_theta_shrink(self):
+        with pytest.raises(ValueError):
+            analyze_crst_network(rpps_tree(), theta_shrink=1.0)
+
+    def test_cyclic_crst_network_is_analyzable(self):
+        """Theorem 13 covers arbitrary topology; a cyclic RPPS network
+        must analyze without error."""
+        nodes = [NetworkNode("x", 1.0), NetworkNode("y", 1.0)]
+        sessions = [
+            NetworkSession("a", EBB(0.2, 1.0, 1.0), ("x", "y"), 0.2),
+            NetworkSession("b", EBB(0.2, 1.0, 1.0), ("y", "x"), 0.2),
+        ]
+        network = Network(nodes, sessions)
+        reports = analyze_crst_network(network)
+        for report in reports.values():
+            assert report.end_to_end_delay.prefactor > 0.0

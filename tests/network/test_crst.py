@@ -1,0 +1,110 @@
+"""Tests for CRST partitions."""
+
+import pytest
+
+from repro.core.ebb import EBB
+from repro.network.crst import (
+    NotCRSTError,
+    crst_partition,
+    node_partition,
+)
+from repro.network.topology import Network, NetworkNode, NetworkSession
+
+
+def rpps_tree() -> Network:
+    nodes = [
+        NetworkNode("n1", 1.0),
+        NetworkNode("n2", 1.0),
+        NetworkNode("n3", 1.0),
+    ]
+    sessions = [
+        NetworkSession("s1", EBB(0.2, 1.0, 1.7), ("n1", "n3"), 0.2),
+        NetworkSession("s2", EBB(0.25, 1.0, 1.8), ("n1", "n3"), 0.25),
+        NetworkSession("s3", EBB(0.2, 1.0, 2.1), ("n2", "n3"), 0.2),
+        NetworkSession("s4", EBB(0.25, 1.0, 1.6), ("n2", "n3"), 0.25),
+    ]
+    return Network(nodes, sessions)
+
+
+class TestNodePartition:
+    def test_rpps_single_class(self):
+        network = rpps_tree()
+        for node in ("n1", "n2", "n3"):
+            assert node_partition(network, node).num_classes == 1
+
+    def test_rejects_empty_node(self):
+        nodes = [NetworkNode("a", 1.0), NetworkNode("b", 1.0)]
+        sessions = [
+            NetworkSession("s", EBB(0.2, 1.0, 1.0), ("a",), 0.2)
+        ]
+        network = Network(nodes, sessions)
+        with pytest.raises(ValueError, match="no sessions"):
+            node_partition(network, "b")
+
+
+class TestCRSTPartition:
+    def test_rpps_network_is_single_class(self):
+        partition = crst_partition(rpps_tree())
+        assert partition.num_classes == 1
+        assert set(partition.classes[0]) == {"s1", "s2", "s3", "s4"}
+
+    def test_level_lookup(self):
+        partition = crst_partition(rpps_tree())
+        assert partition.level("s1") == 0
+        with pytest.raises(KeyError):
+            partition.level("ghost")
+
+    def test_two_level_assignment(self):
+        """A session that is over-weighted at one node and consistent
+        at all others lands in a later class."""
+        nodes = [NetworkNode("a", 1.0)]
+        sessions = [
+            NetworkSession("low", EBB(0.1, 1.0, 1.0), ("a",), 1.0),
+            NetworkSession("high", EBB(0.6, 1.0, 1.0), ("a",), 1.0),
+        ]
+        network = Network(nodes, sessions)
+        partition = crst_partition(network)
+        assert partition.level("low") == 0
+        assert partition.level("high") == 1
+        assert partition.ordered_sessions() == ["low", "high"]
+
+    def test_inconsistent_treatment_raises(self):
+        """'low' is prioritized over 'high' at node a and the reverse
+        at node b — not CRST."""
+        nodes = [NetworkNode("a", 1.0), NetworkNode("b", 1.0)]
+        sessions = [
+            # at node a: x has phi 1.0 (ratio 0.3), y has phi 0.1
+            # (ratio 3.0) -> x before y.
+            # at node b: x has phi 0.1 (ratio 3.0), y has phi 1.0
+            # (ratio 0.3) -> y before x.
+            NetworkSession(
+                "x", EBB(0.3, 1.0, 1.0), ("a", "b"), (1.0, 0.1)
+            ),
+            NetworkSession(
+                "y", EBB(0.3, 1.0, 1.0), ("a", "b"), (0.1, 1.0)
+            ),
+        ]
+        network = Network(nodes, sessions)
+        with pytest.raises(NotCRSTError, match="inconsistent"):
+            crst_partition(network)
+
+    def test_consistency_property(self):
+        """In the returned partition: j strictly below i at some node
+        implies strictly lower global class."""
+        nodes = [NetworkNode("a", 1.0), NetworkNode("b", 1.0)]
+        sessions = [
+            NetworkSession("u", EBB(0.05, 1.0, 1.0), ("a", "b"), 1.0),
+            NetworkSession("v", EBB(0.5, 1.0, 1.0), ("a",), 0.8),
+            NetworkSession("w", EBB(0.3, 1.0, 1.0), ("b",), 0.4),
+        ]
+        network = Network(nodes, sessions)
+        partition = crst_partition(network)
+        for node in ("a", "b"):
+            local = network.sessions_at(node)
+            local_partition = node_partition(network, node)
+            for i, si in enumerate(local):
+                for j, sj in enumerate(local):
+                    if local_partition.level(j) < local_partition.level(i):
+                        assert partition.level(sj.name) < partition.level(
+                            si.name
+                        )

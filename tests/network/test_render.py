@@ -1,0 +1,40 @@
+"""Tests for topology rendering."""
+
+from repro.experiments.paper_example import example_network
+from repro.network.render import render_topology
+
+
+class TestRenderTopology:
+    def test_contains_all_elements(self):
+        text = render_topology(example_network(1))
+        for node in ("node1", "node2", "node3"):
+            assert node in text
+        for session in (
+            "session1",
+            "session2",
+            "session3",
+            "session4",
+        ):
+            assert session in text
+        assert "node1 -> node3" in text
+        assert "bottleneck" in text
+
+    def test_single_node_network(self):
+        from repro.core.ebb import EBB
+        from repro.network.topology import (
+            Network,
+            NetworkNode,
+            NetworkSession,
+        )
+
+        network = Network(
+            [NetworkNode("solo", 1.0)],
+            [
+                NetworkSession(
+                    "s", EBB(0.2, 1.0, 1.0), ("solo",), 0.2
+                )
+            ],
+        )
+        text = render_topology(network)
+        assert "solo" in text
+        assert "(none)" in text  # no links

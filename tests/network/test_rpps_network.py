@@ -1,0 +1,141 @@
+"""Tests for RPPS network bounds (Theorem 15 and the improved form)."""
+
+import pytest
+
+from repro.core.ebb import EBB
+from repro.markov.onoff import OnOffSource
+from repro.network.rpps_network import (
+    rpps_network_bounds,
+    rpps_network_bounds_markov,
+    rpps_network_report,
+)
+from repro.network.topology import Network, NetworkNode, NetworkSession
+
+
+def rpps_tree(rhos=(0.2, 0.25, 0.2, 0.25), alphas=(1.7, 1.8, 2.1, 1.6)):
+    nodes = [
+        NetworkNode("n1", 1.0),
+        NetworkNode("n2", 1.0),
+        NetworkNode("n3", 1.0),
+    ]
+    routes = [
+        ("n1", "n3"),
+        ("n1", "n3"),
+        ("n2", "n3"),
+        ("n2", "n3"),
+    ]
+    sessions = [
+        NetworkSession(
+            f"s{i+1}", EBB(rho, 1.0, alpha), route, rho
+        )
+        for i, (rho, alpha, route) in enumerate(
+            zip(rhos, alphas, routes)
+        )
+    ]
+    return Network(nodes, sessions)
+
+
+class TestTheorem15:
+    def test_decay_is_session_alpha(self):
+        network = rpps_tree()
+        report = rpps_network_bounds(network, "s1")
+        assert report.network_backlog.decay_rate == pytest.approx(1.7)
+        assert report.end_to_end_delay.decay_rate == pytest.approx(
+            1.7 * 0.2 / 0.9
+        )
+
+    def test_guaranteed_rate_is_bottleneck(self):
+        network = rpps_tree()
+        report = rpps_network_bounds(network, "s2")
+        assert report.guaranteed_rate == pytest.approx(0.25 / 0.9)
+        assert report.bottleneck_node == "n3"
+
+    def test_independent_of_route_length(self):
+        """Theorem 15's punchline: a longer route with the same
+        bottleneck produces the identical bound."""
+        short = rpps_tree()
+        nodes = [
+            NetworkNode("m1", 1.0),
+            NetworkNode("m2", 1.0),
+            NetworkNode("n1", 1.0),
+            NetworkNode("n2", 1.0),
+            NetworkNode("n3", 1.0),
+        ]
+        sessions = [
+            NetworkSession(
+                "s1",
+                EBB(0.2, 1.0, 1.7),
+                ("m1", "m2", "n1", "n3"),
+                0.2,
+            ),
+            NetworkSession(
+                "s2", EBB(0.25, 1.0, 1.8), ("n1", "n3"), 0.25
+            ),
+            NetworkSession(
+                "s3", EBB(0.2, 1.0, 2.1), ("n2", "n3"), 0.2
+            ),
+            NetworkSession(
+                "s4", EBB(0.25, 1.0, 1.6), ("n2", "n3"), 0.25
+            ),
+        ]
+        long = Network(nodes, sessions)
+        bound_short = rpps_network_bounds(short, "s1", discrete=True)
+        bound_long = rpps_network_bounds(long, "s1", discrete=True)
+        assert bound_long.end_to_end_delay.prefactor == pytest.approx(
+            bound_short.end_to_end_delay.prefactor
+        )
+        assert bound_long.end_to_end_delay.decay_rate == pytest.approx(
+            bound_short.end_to_end_delay.decay_rate
+        )
+
+    def test_discrete_prefactor_eq66(self):
+        import math
+
+        network = rpps_tree()
+        report = rpps_network_bounds(network, "s1", discrete=True)
+        g = 0.2 / 0.9
+        expected = 1.0 / (1.0 - math.exp(-1.7 * (g - 0.2)))
+        assert report.network_backlog.prefactor == pytest.approx(
+            expected
+        )
+
+    def test_rejects_non_rpps(self):
+        nodes = [NetworkNode("a", 1.0)]
+        sessions = [
+            NetworkSession("s1", EBB(0.2, 1.0, 1.0), ("a",), 0.9),
+            NetworkSession("s2", EBB(0.3, 1.0, 1.0), ("a",), 0.1),
+        ]
+        network = Network(nodes, sessions)
+        with pytest.raises(ValueError, match="not RPPS"):
+            rpps_network_bounds(network, "s1")
+
+    def test_report_covers_all(self):
+        reports = rpps_network_report(rpps_tree())
+        assert set(reports) == {"s1", "s2", "s3", "s4"}
+
+
+class TestImprovedMarkovBounds:
+    def test_improved_decay_beats_ebb_decay(self):
+        """Figure 4 vs Figure 3: the direct LNT94 bound has a larger
+        decay rate than the E.B.B.-based bound."""
+        network = rpps_tree()
+        source = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        ebb_report = rpps_network_bounds(network, "s1", discrete=True)
+        improved = rpps_network_bounds_markov(network, "s1", source)
+        assert (
+            improved.end_to_end_delay.decay_rate
+            > ebb_report.end_to_end_delay.decay_rate
+        )
+        assert (
+            improved.network_backlog.prefactor
+            < ebb_report.network_backlog.prefactor
+        )
+
+    def test_delay_scaling(self):
+        network = rpps_tree()
+        source = OnOffSource(0.3, 0.7, 0.5).as_mms()
+        improved = rpps_network_bounds_markov(network, "s1", source)
+        assert improved.end_to_end_delay.decay_rate == pytest.approx(
+            improved.network_backlog.decay_rate
+            * improved.guaranteed_rate
+        )

@@ -1,0 +1,104 @@
+"""Tests for network JSON (de)serialization and the analyze CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.paper_example import example_network
+from repro.network.serialization import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+DOCUMENT = {
+    "nodes": [
+        {"name": "a", "rate": 1.0},
+        {"name": "b", "rate": 1.0},
+    ],
+    "sessions": [
+        {
+            "name": "s1",
+            "rho": 0.2,
+            "prefactor": 1.0,
+            "alpha": 1.7,
+            "route": ["a", "b"],
+            "phis": 0.2,
+        },
+        {
+            "name": "s2",
+            "rho": 0.3,
+            "prefactor": 1.0,
+            "alpha": 1.5,
+            "route": ["b"],
+            "phis": [0.3],
+        },
+    ],
+}
+
+
+class TestFromDict:
+    def test_builds_network(self):
+        network = network_from_dict(DOCUMENT)
+        assert set(network.nodes) == {"a", "b"}
+        assert network.session("s1").route == ("a", "b")
+        assert network.session("s2").phis == (0.3,)
+
+    def test_default_phis_is_rpps(self):
+        document = json.loads(json.dumps(DOCUMENT))
+        for session in document["sessions"]:
+            session.pop("phis")
+        network = network_from_dict(document)
+        assert network.is_rpps()
+
+    def test_missing_key_reports_context(self):
+        document = json.loads(json.dumps(DOCUMENT))
+        del document["sessions"][0]["alpha"]
+        with pytest.raises(ValueError, match="session 's1'"):
+            network_from_dict(document)
+
+    def test_missing_nodes(self):
+        with pytest.raises(ValueError, match="nodes"):
+            network_from_dict({"sessions": []})
+
+
+class TestRoundTrip:
+    def test_paper_network_round_trips(self, tmp_path):
+        network = example_network(1)
+        path = tmp_path / "net.json"
+        save_network(network, path)
+        loaded = load_network(path)
+        assert set(loaded.nodes) == set(network.nodes)
+        for session in network.sessions:
+            other = loaded.session(session.name)
+            assert other.route == session.route
+            assert other.phis == pytest.approx(session.phis)
+            assert other.arrival.decay_rate == pytest.approx(
+                session.arrival.decay_rate
+            )
+        assert loaded.is_rpps()
+
+
+class TestAnalyzeCLI:
+    def test_rpps_path(self, tmp_path, capsys):
+        network = example_network(1)
+        path = tmp_path / "net.json"
+        save_network(network, path)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "RPPS" in out
+        assert "g_net" in out
+        assert "session1" in out
+
+    def test_crst_path(self, tmp_path, capsys):
+        document = json.loads(json.dumps(DOCUMENT))
+        # make it non-RPPS: over-weight s1
+        document["sessions"][0]["phis"] = 0.6
+        path = tmp_path / "net.json"
+        path.write_text(json.dumps(document))
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "CRST" in out
+        assert "delay decay" in out

@@ -1,0 +1,127 @@
+"""Tests for the network model."""
+
+import pytest
+
+from repro.core.ebb import EBB
+from repro.network.topology import Network, NetworkNode, NetworkSession
+
+
+def tree_network() -> Network:
+    nodes = [
+        NetworkNode("n1", 1.0),
+        NetworkNode("n2", 1.0),
+        NetworkNode("n3", 1.0),
+    ]
+    sessions = [
+        NetworkSession("s1", EBB(0.2, 1.0, 1.7), ("n1", "n3"), 0.2),
+        NetworkSession("s2", EBB(0.25, 1.0, 1.8), ("n1", "n3"), 0.25),
+        NetworkSession("s3", EBB(0.2, 1.0, 2.1), ("n2", "n3"), 0.2),
+        NetworkSession("s4", EBB(0.25, 1.0, 1.6), ("n2", "n3"), 0.25),
+    ]
+    return Network(nodes, sessions)
+
+
+class TestNetworkSession:
+    def test_scalar_phi_broadcasts(self):
+        s = NetworkSession("s", EBB(0.2, 1.0, 1.0), ("a", "b"), 0.3)
+        assert s.phis == (0.3, 0.3)
+
+    def test_rejects_phi_mismatch(self):
+        with pytest.raises(ValueError, match="weights"):
+            NetworkSession(
+                "s", EBB(0.2, 1.0, 1.0), ("a", "b"), (0.3,)
+            )
+
+    def test_rejects_loop_route(self):
+        with pytest.raises(ValueError, match="twice"):
+            NetworkSession("s", EBB(0.2, 1.0, 1.0), ("a", "a"), 0.3)
+
+    def test_hop_index(self):
+        s = NetworkSession("s", EBB(0.2, 1.0, 1.0), ("a", "b"), 0.3)
+        assert s.hop_index("b") == 1
+        assert s.num_hops == 2
+
+
+class TestNetworkValidation:
+    def test_valid_tree(self):
+        network = tree_network()
+        assert len(network.sessions) == 4
+        assert network.is_feedforward()
+        assert network.is_rpps()
+
+    def test_rejects_unknown_route_node(self):
+        nodes = [NetworkNode("a", 1.0)]
+        sessions = [
+            NetworkSession("s", EBB(0.2, 1.0, 1.0), ("a", "ghost"), 0.2)
+        ]
+        with pytest.raises(ValueError, match="unknown"):
+            Network(nodes, sessions)
+
+    def test_rejects_overload(self):
+        nodes = [NetworkNode("a", 1.0)]
+        sessions = [
+            NetworkSession("s1", EBB(0.6, 1.0, 1.0), ("a",), 0.6),
+            NetworkSession("s2", EBB(0.5, 1.0, 1.0), ("a",), 0.5),
+        ]
+        with pytest.raises(ValueError, match="overloaded"):
+            Network(nodes, sessions)
+
+    def test_rejects_duplicate_session_names(self):
+        nodes = [NetworkNode("a", 1.0)]
+        s = NetworkSession("s", EBB(0.2, 1.0, 1.0), ("a",), 0.2)
+        with pytest.raises(ValueError, match="unique"):
+            Network(nodes, [s, s])
+
+
+class TestGuaranteedRates:
+    def test_paper_set1_rates(self):
+        """Section 6.3: with Set 1 rhos, g_1 = 0.2/0.9 at node 3."""
+        network = tree_network()
+        assert network.guaranteed_rate("s1", "n3") == pytest.approx(
+            0.2 / 0.9
+        )
+        # at node 1 only s1, s2 compete: g = 0.2/0.45
+        assert network.guaranteed_rate("s1", "n1") == pytest.approx(
+            0.2 / 0.45
+        )
+
+    def test_bottleneck_is_shared_node(self):
+        network = tree_network()
+        for name in ("s1", "s2", "s3", "s4"):
+            assert network.bottleneck_node(name) == "n3"
+            assert network.network_guaranteed_rate(
+                name
+            ) == network.guaranteed_rate(name, "n3")
+
+    def test_rates_exceed_rhos_under_stability(self):
+        network = tree_network()
+        for s in network.sessions:
+            assert network.network_guaranteed_rate(s.name) > s.rho
+
+
+class TestGraphStructure:
+    def test_route_graph_edges(self):
+        graph = tree_network().route_graph()
+        assert set(graph.edges()) == {("n1", "n3"), ("n2", "n3")}
+
+    def test_cyclic_network_detected(self):
+        nodes = [NetworkNode("x", 1.0), NetworkNode("y", 1.0)]
+        sessions = [
+            NetworkSession("a", EBB(0.2, 1.0, 1.0), ("x", "y"), 0.2),
+            NetworkSession("b", EBB(0.2, 1.0, 1.0), ("y", "x"), 0.2),
+        ]
+        network = Network(nodes, sessions)
+        assert not network.is_feedforward()
+
+    def test_sessions_at(self):
+        network = tree_network()
+        assert [s.name for s in network.sessions_at("n1")] == ["s1", "s2"]
+        assert len(network.sessions_at("n3")) == 4
+
+    def test_non_rpps_detected(self):
+        nodes = [NetworkNode("a", 1.0)]
+        sessions = [
+            NetworkSession("s1", EBB(0.2, 1.0, 1.0), ("a",), 0.9),
+            NetworkSession("s2", EBB(0.3, 1.0, 1.0), ("a",), 0.1),
+        ]
+        assert not Network(nodes, sessions).is_rpps()

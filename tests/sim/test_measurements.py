@@ -1,0 +1,110 @@
+"""Tests for measurement utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import ExponentialTailBound
+from repro.sim.measurements import (
+    busy_periods,
+    compare_bound_to_samples,
+    empirical_ccdf,
+    tail_quantile,
+)
+
+
+class TestEmpiricalCcdf:
+    def test_small_example(self):
+        samples = np.array([1.0, 2.0, 3.0, 4.0])
+        xs = np.array([0.0, 2.0, 2.5, 4.0, 5.0])
+        np.testing.assert_allclose(
+            empirical_ccdf(samples, xs), [1.0, 0.75, 0.5, 0.25, 0.0]
+        )
+
+    def test_ccdf_at_minus_inf_is_one(self):
+        samples = np.array([5.0, 7.0])
+        assert empirical_ccdf(samples, np.array([-1e9]))[0] == 1.0
+
+    def test_monotone_nonincreasing(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(size=1000)
+        xs = np.linspace(0, 5, 40)
+        ccdf = empirical_ccdf(samples, xs)
+        assert np.all(np.diff(ccdf) <= 1e-12)
+
+    def test_exponential_samples_match_theory(self):
+        rng = np.random.default_rng(1)
+        samples = rng.exponential(scale=1.0, size=200_000)
+        xs = np.array([0.5, 1.0, 2.0])
+        ccdf = empirical_ccdf(samples, xs)
+        np.testing.assert_allclose(ccdf, np.exp(-xs), rtol=0.03)
+
+
+class TestTailQuantile:
+    def test_epsilon_one_gives_min(self):
+        samples = np.array([3.0, 1.0, 2.0])
+        assert tail_quantile(samples, 1.0) == 1.0
+
+    def test_simple_quantile(self):
+        samples = np.arange(1, 101, dtype=float)
+        q = tail_quantile(samples, 0.1)
+        # Pr{X >= 91} = 10/100
+        assert q == pytest.approx(91.0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            tail_quantile(np.array([1.0]), 0.0)
+
+
+class TestBoundComparison:
+    def test_violation_detection(self):
+        bound = ExponentialTailBound(1.0, 1.0)
+        # Samples from a heavier tail than the bound claims.
+        rng = np.random.default_rng(2)
+        samples = rng.exponential(scale=2.0, size=100_000)
+        comparison = compare_bound_to_samples(
+            bound, samples, np.linspace(1, 8, 15)
+        )
+        assert comparison.max_violation_ratio() > 1.0
+
+    def test_domination_detection(self):
+        bound = ExponentialTailBound(2.0, 0.5)
+        rng = np.random.default_rng(3)
+        samples = rng.exponential(scale=1.0, size=100_000)
+        comparison = compare_bound_to_samples(
+            bound, samples, np.linspace(0, 8, 15)
+        )
+        assert comparison.max_violation_ratio() <= 1.0
+
+    def test_mean_slack_decades_positive_for_loose_bound(self):
+        bound = ExponentialTailBound(100.0, 0.1)
+        rng = np.random.default_rng(4)
+        samples = rng.exponential(scale=1.0, size=10_000)
+        comparison = compare_bound_to_samples(
+            bound, samples, np.linspace(0, 5, 10)
+        )
+        assert comparison.mean_slack_decades() > 0.0
+
+    def test_min_probability_filter(self):
+        bound = ExponentialTailBound(1.0, 1.0)
+        samples = np.array([0.1] * 99 + [50.0])
+        comparison = compare_bound_to_samples(
+            bound, samples, np.array([40.0])
+        )
+        # with the filter the single deep-tail sample is ignored
+        assert comparison.max_violation_ratio(min_probability=0.02) == 0.0
+        assert comparison.max_violation_ratio() > 1.0
+
+
+class TestBusyPeriods:
+    def test_empty(self):
+        assert busy_periods(np.zeros(5)) == []
+
+    def test_single_period(self):
+        assert busy_periods(np.array([0, 1, 2, 1, 0])) == [(1, 3)]
+
+    def test_period_at_end(self):
+        assert busy_periods(np.array([0, 1.0, 1.0])) == [(1, 2)]
+
+    def test_multiple_periods(self):
+        backlog = np.array([1.0, 0, 0, 2.0, 2.0, 0, 3.0])
+        assert busy_periods(backlog) == [(0, 0), (3, 4), (6, 6)]

@@ -1,0 +1,70 @@
+"""Tests for batch-means output analysis."""
+
+import numpy as np
+import pytest
+
+from repro.sim.statistics import (
+    batch_means_tail,
+    dominance_check,
+)
+
+
+class TestBatchMeansTail:
+    def test_point_estimate_matches_frequency(self):
+        samples = np.concatenate([np.zeros(500), np.ones(500)])
+        estimate = batch_means_tail(samples, 0.5, num_batches=10)
+        # alternating batches of 0s and 1s: frequency 0.5 overall...
+        # batches here are contiguous, so 5 batches of 0 and 5 of 1.
+        assert estimate.probability == pytest.approx(0.5)
+        assert estimate.lower < 0.5 < estimate.upper
+
+    def test_iid_exponential_interval_covers_truth(self):
+        rng = np.random.default_rng(0)
+        samples = rng.exponential(size=100_000)
+        truth = float(np.exp(-2.0))
+        estimate = batch_means_tail(samples, 2.0, num_batches=25)
+        assert estimate.contains(truth)
+
+    def test_interval_narrows_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = batch_means_tail(
+            rng.exponential(size=2_000), 1.0, num_batches=10
+        )
+        large = batch_means_tail(
+            rng.exponential(size=200_000), 1.0, num_batches=10
+        )
+        assert (large.upper - large.lower) < (small.upper - small.lower)
+
+    def test_rejects_bad_parameters(self):
+        samples = np.ones(100)
+        with pytest.raises(ValueError):
+            batch_means_tail(samples, 0.5, num_batches=1)
+        with pytest.raises(ValueError):
+            batch_means_tail(samples, 0.5, confidence=1.0)
+        with pytest.raises(ValueError):
+            batch_means_tail(np.ones(5), 0.5, num_batches=10)
+
+    def test_bounds_clamped_to_unit_interval(self):
+        samples = np.zeros(1000)
+        estimate = batch_means_tail(samples, 0.5, num_batches=10)
+        assert estimate.lower == 0.0
+        assert estimate.probability == 0.0
+
+
+class TestDominanceCheck:
+    def test_valid_bound_accepted(self):
+        rng = np.random.default_rng(2)
+        samples = rng.exponential(size=50_000)
+        # true tail at 1.0 is e^-1 ~ 0.368; bound of 0.5 dominates
+        assert dominance_check(samples, 0.5, 1.0)
+
+    def test_violated_bound_rejected(self):
+        rng = np.random.default_rng(3)
+        samples = rng.exponential(size=50_000)
+        # claim Pr{X >= 1} <= 0.05 — clearly false
+        assert not dominance_check(samples, 0.05, 1.0)
+
+    def test_conservative_bound_accepted(self):
+        rng = np.random.default_rng(4)
+        samples = rng.exponential(size=50_000)
+        assert dominance_check(samples, 0.999, 1.0)

@@ -1,0 +1,77 @@
+"""Tests for deterministic (sigma, rho) envelopes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.envelope import (
+    LBAPEnvelope,
+    empirical_envelope_curve,
+    tightest_sigma,
+)
+
+traces = st.lists(st.floats(0.0, 3.0), min_size=1, max_size=50).map(
+    lambda xs: np.array(xs)
+)
+
+
+class TestLBAPEnvelope:
+    def test_bound(self):
+        env = LBAPEnvelope(2.0, 0.5)
+        assert env.bound(4.0) == pytest.approx(4.0)
+
+    def test_conforms(self):
+        env = LBAPEnvelope(1.0, 1.0)
+        assert env.conforms(np.array([2.0, 0.0, 1.0]))
+        assert not env.conforms(np.array([2.5, 0.0]))
+
+    def test_addition(self):
+        total = LBAPEnvelope(1.0, 0.2) + LBAPEnvelope(2.0, 0.3)
+        assert total.sigma == 3.0
+        assert total.rho == 0.5
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            LBAPEnvelope(-1.0, 0.5)
+
+
+class TestTightestSigma:
+    def test_cbr_is_zero(self):
+        assert tightest_sigma(np.full(20, 0.5), 0.5) == 0.0
+
+    def test_single_burst(self):
+        arrivals = np.zeros(10)
+        arrivals[3] = 5.0
+        assert tightest_sigma(arrivals, 1.0) == pytest.approx(4.0)
+
+    @given(traces, st.floats(0.2, 2.0))
+    @settings(max_examples=60)
+    def test_matches_interval_supremum(self, arrivals, rate):
+        sigma = tightest_sigma(arrivals, rate)
+        cumulative = np.concatenate(([0.0], np.cumsum(arrivals)))
+        worst = 0.0
+        n = arrivals.size
+        for s in range(n):
+            for t in range(s, n):
+                amount = cumulative[t + 1] - cumulative[s]
+                worst = max(worst, amount - rate * (t - s + 1))
+        assert sigma == pytest.approx(worst, abs=1e-9)
+
+    @given(traces)
+    @settings(max_examples=40)
+    def test_decreasing_in_rate(self, arrivals):
+        sigmas = [tightest_sigma(arrivals, r) for r in (0.3, 0.6, 1.2)]
+        assert sigmas[0] >= sigmas[1] >= sigmas[2]
+
+
+class TestEmpiricalEnvelopeCurve:
+    def test_returns_conforming_envelopes(self):
+        rng = np.random.default_rng(0)
+        arrivals = rng.uniform(0.0, 1.0, size=200)
+        envelopes = empirical_envelope_curve(
+            arrivals, np.array([0.6, 0.8, 1.0])
+        )
+        assert len(envelopes) == 3
+        for env in envelopes:
+            assert env.conforms(arrivals)

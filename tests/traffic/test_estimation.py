@@ -1,0 +1,93 @@
+"""Tests for empirical E.B.B. estimation."""
+
+import numpy as np
+import pytest
+
+from repro.markov.lnt94 import ebb_characterization
+from repro.markov.onoff import OnOffSource
+from repro.traffic.estimation import (
+    fit_ebb,
+    interval_excess_tail,
+    pooled_excess_tail,
+)
+from repro.traffic.sources import BernoulliBurstTraffic, OnOffTraffic
+
+
+def onoff_trace(n=100_000, seed=0):
+    gen = OnOffTraffic(OnOffSource(0.3, 0.7, 0.5))
+    return gen.generate(n, np.random.default_rng(seed))
+
+
+class TestIntervalExcessTail:
+    def test_counts_windows(self):
+        arrivals = np.array([1.0, 0.0, 1.0, 1.0])
+        # windows of size 2: sums are 1, 1, 2
+        tail = interval_excess_tail(
+            arrivals, rho=0.5, window=2, excesses=np.array([0.0, 0.5, 1.5])
+        )
+        # thresholds: 1.0, 1.5, 2.5 -> counts 3/3, 1/3, 0/3
+        np.testing.assert_allclose(tail, [1.0, 1 / 3, 0.0])
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            interval_excess_tail(
+                np.ones(5), 0.5, window=6, excesses=np.array([0.0])
+            )
+
+    def test_monotone_in_excess(self):
+        trace = onoff_trace(20_000)
+        excesses = np.linspace(0.0, 3.0, 10)
+        tail = interval_excess_tail(trace, 0.2, 10, excesses)
+        assert all(a >= b for a, b in zip(tail, tail[1:]))
+
+
+class TestPooledExcessTail:
+    def test_is_max_over_windows(self):
+        trace = onoff_trace(10_000)
+        excesses = np.linspace(0.0, 2.0, 5)
+        windows = [1, 5, 20]
+        pooled = pooled_excess_tail(trace, 0.2, windows, excesses)
+        singles = [
+            interval_excess_tail(trace, 0.2, w, excesses)
+            for w in windows
+        ]
+        np.testing.assert_allclose(
+            pooled, np.vstack(singles).max(axis=0)
+        )
+
+
+class TestFitEbb:
+    def test_fit_dominates_empirical_tail(self):
+        trace = onoff_trace(80_000)
+        fit = fit_ebb(trace, rho=0.2)
+        assert fit.max_violation() <= 1.0 + 1e-9
+
+    def test_fit_close_to_analytic_alpha(self):
+        """The fitted decay should land in the ballpark of the
+        effective-bandwidth alpha (same source, same rho)."""
+        trace = onoff_trace(300_000, seed=3)
+        fit = fit_ebb(trace, rho=0.2)
+        analytic = ebb_characterization(
+            OnOffSource(0.3, 0.7, 0.5).as_mms(), 0.2
+        )
+        assert fit.ebb.decay_rate == pytest.approx(
+            analytic.decay_rate, rel=0.5
+        )
+
+    def test_rejects_rho_below_mean(self):
+        trace = onoff_trace(10_000)
+        with pytest.raises(ValueError, match="mean"):
+            fit_ebb(trace, rho=0.01)
+
+    def test_degenerate_cbr_trace(self):
+        trace = np.full(1000, 0.5)
+        fit = fit_ebb(trace, rho=0.6)
+        assert fit.ebb.prefactor == 0.0
+
+    def test_iid_bursts_fit(self):
+        gen = BernoulliBurstTraffic(0.2, 1.0)
+        trace = gen.generate(100_000, np.random.default_rng(5))
+        fit = fit_ebb(trace, rho=0.35)
+        assert fit.ebb.rho == 0.35
+        assert fit.ebb.decay_rate > 0.0
+        assert fit.max_violation() <= 1.0 + 1e-9

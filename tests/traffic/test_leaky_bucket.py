@@ -1,0 +1,131 @@
+"""Tests for leaky buckets and the Section 3 marking scheme."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.leaky_bucket import (
+    LeakyBucketPolicer,
+    LeakyBucketShaper,
+    TokenMarker,
+    conforms_to_envelope,
+)
+
+traces = st.lists(st.floats(0.0, 3.0), min_size=1, max_size=60).map(
+    lambda xs: np.array(xs)
+)
+
+
+class TestShaper:
+    def test_conforming_traffic_passes_through(self):
+        shaper = LeakyBucketShaper(rate=1.0, bucket_size=0.0)
+        arrivals = np.array([0.5, 1.0, 0.8])
+        released, backlog = shaper.shape(arrivals)
+        np.testing.assert_allclose(released, arrivals)
+        np.testing.assert_allclose(backlog, 0.0)
+
+    def test_burst_is_delayed(self):
+        shaper = LeakyBucketShaper(rate=1.0, bucket_size=0.0)
+        arrivals = np.array([3.0, 0.0, 0.0])
+        released, backlog = shaper.shape(arrivals)
+        np.testing.assert_allclose(released, [1.0, 1.0, 1.0])
+        np.testing.assert_allclose(backlog, [2.0, 1.0, 0.0])
+
+    def test_bucket_absorbs_burst(self):
+        shaper = LeakyBucketShaper(rate=1.0, bucket_size=2.0)
+        arrivals = np.array([3.0, 0.0])
+        released, backlog = shaper.shape(arrivals)
+        np.testing.assert_allclose(released, [3.0, 0.0])
+        np.testing.assert_allclose(backlog, [0.0, 0.0])
+
+    @given(traces, st.floats(0.2, 2.0), st.floats(0.0, 3.0))
+    @settings(max_examples=60)
+    def test_output_conforms_and_conserves(self, arrivals, rate, sigma):
+        shaper = LeakyBucketShaper(rate=rate, bucket_size=sigma)
+        released, backlog = shaper.shape(arrivals)
+        # conservation: released + final backlog = total arrivals
+        assert released.sum() + backlog[-1] == pytest.approx(
+            arrivals.sum(), abs=1e-9
+        )
+        # output conforms to the (sigma, rate) envelope
+        assert conforms_to_envelope(released, rate, sigma + 1e-9)
+        assert np.all(released >= -1e-12)
+        assert np.all(backlog >= -1e-12)
+
+
+class TestPolicer:
+    def test_drops_excess(self):
+        policer = LeakyBucketPolicer(rate=1.0, bucket_size=0.0)
+        admitted, dropped = policer.police(np.array([3.0, 0.5]))
+        np.testing.assert_allclose(admitted, [1.0, 0.5])
+        np.testing.assert_allclose(dropped, [2.0, 0.0])
+
+    @given(traces, st.floats(0.2, 2.0), st.floats(0.0, 3.0))
+    @settings(max_examples=60)
+    def test_admitted_conforms(self, arrivals, rate, sigma):
+        policer = LeakyBucketPolicer(rate=rate, bucket_size=sigma)
+        admitted, dropped = policer.police(arrivals)
+        np.testing.assert_allclose(
+            admitted + dropped, arrivals, atol=1e-9
+        )
+        assert conforms_to_envelope(admitted, rate, sigma + 1e-9)
+        assert np.all(dropped >= -1e-12)
+
+
+class TestTokenMarker:
+    def test_marks_excess_over_rate(self):
+        marker = TokenMarker(rate=1.0)
+        result = marker.mark(np.array([0.5, 2.5, 1.0]))
+        np.testing.assert_allclose(result.marked, [0.0, 1.5, 0.0])
+        np.testing.assert_allclose(result.unmarked, [0.5, 1.0, 1.0])
+        assert result.total_marked == pytest.approx(1.5)
+
+    @given(traces, st.floats(0.2, 2.0))
+    @settings(max_examples=60)
+    def test_marked_backlog_equals_virtual_queue(self, arrivals, rate):
+        """The paper's interpretation: the outstanding marked traffic is
+        exactly delta(t) = sup_s {A(s,t) - rate (t-s)}."""
+        marker = TokenMarker(rate=rate)
+        result = marker.mark(arrivals)
+        cumulative = np.cumsum(arrivals)
+        for t in range(arrivals.size):
+            window_sums = [
+                cumulative[t] - (cumulative[s - 1] if s > 0 else 0.0)
+                - rate * (t - s + 1)
+                for s in range(t + 1)
+            ]
+            delta = max(0.0, max(window_sums))
+            assert result.marked_backlog[t] == pytest.approx(
+                delta, abs=1e-9
+            )
+
+    def test_split_partitions_traffic(self):
+        marker = TokenMarker(rate=0.5)
+        arrivals = np.array([1.0, 0.2, 0.9])
+        result = marker.mark(arrivals)
+        np.testing.assert_allclose(
+            result.marked + result.unmarked, arrivals
+        )
+
+
+class TestConformsToEnvelope:
+    def test_cbr_conforms_to_own_rate(self):
+        assert conforms_to_envelope(np.full(10, 0.5), 0.5, 0.0)
+
+    def test_burst_needs_bucket(self):
+        arrivals = np.array([2.0, 0.0])
+        assert not conforms_to_envelope(arrivals, 1.0, 0.5)
+        assert conforms_to_envelope(arrivals, 1.0, 1.0)
+
+    @given(traces, st.floats(0.2, 2.0))
+    @settings(max_examples=60)
+    def test_consistent_with_interval_definition(self, arrivals, rate):
+        from repro.traffic.envelope import tightest_sigma
+
+        sigma = tightest_sigma(arrivals, rate)
+        assert conforms_to_envelope(arrivals, rate, sigma)
+        if sigma > 1e-6:
+            assert not conforms_to_envelope(
+                arrivals, rate, sigma - 1e-6
+            )

@@ -1,0 +1,86 @@
+"""Tests for the named traffic presets."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.presets import (
+    data_traffic,
+    video_model,
+    video_traffic,
+    voice_model,
+    voice_traffic,
+)
+
+
+class TestVoiceModel:
+    def test_activity_and_spurt_length(self):
+        model = voice_model(activity=0.4, mean_talk_spurt=20.0)
+        assert model.on_probability == pytest.approx(0.4)
+        assert model.burst_length_mean == pytest.approx(20.0)
+
+    def test_mean_rate(self):
+        model = voice_model(peak_rate=0.5, activity=0.35)
+        assert model.mean_rate == pytest.approx(0.5 * 0.35)
+
+    def test_rejects_inconsistent_parameters(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            voice_model(activity=0.99, mean_talk_spurt=1.5)
+
+    def test_rejects_bad_activity(self):
+        with pytest.raises(ValueError):
+            voice_model(activity=1.0)
+
+    def test_traffic_generator(self):
+        gen = voice_traffic()
+        trace = gen.generate(100_000, np.random.default_rng(0))
+        assert trace.mean() == pytest.approx(
+            gen.mean_rate, rel=0.1
+        )
+
+
+class TestVideoModel:
+    def test_structure(self):
+        model = video_model(num_levels=4, peak_rate=0.8)
+        assert model.num_states == 4
+        assert model.peak_rate == pytest.approx(0.8)
+        # neighbor-only transitions
+        transition = model.chain.transition
+        for i in range(4):
+            for j in range(4):
+                if abs(i - j) > 1:
+                    assert transition[i, j] == 0.0
+
+    def test_mean_rate_is_midrange(self):
+        model = video_model(num_levels=5, peak_rate=1.0)
+        # lazy symmetric walk -> uniform stationary -> mean = average
+        # of the level rates
+        assert model.mean_rate == pytest.approx(
+            np.mean(np.arange(1, 6) / 5.0)
+        )
+
+    def test_rejects_single_level(self):
+        with pytest.raises(ValueError):
+            video_model(num_levels=1)
+
+    def test_traffic_generator_levels(self):
+        gen = video_traffic(num_levels=3, peak_rate=0.6)
+        trace = gen.generate(20_000, np.random.default_rng(1))
+        levels = np.unique(trace)
+        expected = 0.6 * np.arange(1, 4) / 3.0
+        for level in levels:
+            assert np.min(np.abs(expected - level)) < 1e-12
+
+    def test_effective_bandwidth_pipeline(self):
+        """The preset plugs straight into the LNT94 machinery."""
+        from repro.markov.lnt94 import ebb_characterization
+
+        model = video_model()
+        rho = 0.5 * (model.mean_rate + model.peak_rate)
+        ebb = ebb_characterization(model, rho)
+        assert ebb.decay_rate > 0.0
+
+
+class TestDataTraffic:
+    def test_mean_rate(self):
+        gen = data_traffic(burst_probability=0.2, burst_size=0.5)
+        assert gen.mean_rate == pytest.approx(0.1)

@@ -1,0 +1,134 @@
+"""Tests for the numeric helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.numeric import (
+    bisect_root,
+    expm1_neg,
+    geometric_tail_factor,
+    log1mexp,
+    logsumexp_pair,
+    minimize_scalar_bounded,
+    safe_exp,
+)
+
+
+class TestSafeExp:
+    def test_matches_math_exp_in_range(self):
+        assert safe_exp(1.5) == math.exp(1.5)
+
+    def test_saturates_to_inf(self):
+        assert safe_exp(1e4) == math.inf
+
+    def test_saturates_to_zero(self):
+        assert safe_exp(-1e4) == 0.0
+
+    @given(st.floats(-600, 600))
+    def test_always_nonnegative(self, x):
+        assert safe_exp(x) >= 0.0
+
+
+class TestLog1mexp:
+    def test_small_argument_branch(self):
+        x = 1e-8
+        assert log1mexp(x) == pytest.approx(math.log(x), rel=1e-4)
+
+    def test_large_argument_branch(self):
+        assert log1mexp(50.0) == pytest.approx(-math.exp(-50.0), rel=1e-6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log1mexp(0.0)
+
+    @given(st.floats(1e-10, 100.0))
+    def test_consistent_with_direct_formula(self, x):
+        direct = math.log(1.0 - math.exp(-x)) if math.exp(-x) < 1.0 else None
+        if direct is not None and math.isfinite(direct):
+            assert log1mexp(x) == pytest.approx(direct, rel=1e-6, abs=1e-9)
+
+
+class TestExpm1Neg:
+    @given(st.floats(0.0, 100.0))
+    def test_in_unit_interval(self, x):
+        value = expm1_neg(x)
+        assert 0.0 <= value <= 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            expm1_neg(-1.0)
+
+    def test_small_x_precision(self):
+        # 1 - exp(-x) ~ x for tiny x; the naive form loses this.
+        assert expm1_neg(1e-15) == pytest.approx(1e-15, rel=1e-6)
+
+
+class TestLogsumexpPair:
+    def test_symmetric(self):
+        assert logsumexp_pair(1.0, 2.0) == logsumexp_pair(2.0, 1.0)
+
+    def test_equal_arguments(self):
+        assert logsumexp_pair(3.0, 3.0) == pytest.approx(
+            3.0 + math.log(2.0)
+        )
+
+    def test_neg_infinity_identity(self):
+        assert logsumexp_pair(-math.inf, 5.0) == 5.0
+
+    def test_no_overflow_for_large_values(self):
+        assert logsumexp_pair(800.0, 800.0) == pytest.approx(
+            800.0 + math.log(2.0)
+        )
+
+
+class TestGeometricTailFactor:
+    def test_matches_series_sum(self):
+        decay = 0.5
+        series = sum(math.exp(-k * decay) for k in range(10_000))
+        assert geometric_tail_factor(decay) == pytest.approx(
+            series, rel=1e-9
+        )
+
+    def test_rejects_zero_decay(self):
+        with pytest.raises(ValueError):
+            geometric_tail_factor(0.0)
+
+
+class TestBisectRoot:
+    def test_finds_simple_root(self):
+        root = bisect_root(lambda x: x * x - 2.0, 0.0, 2.0)
+        assert root == pytest.approx(math.sqrt(2.0), rel=1e-9)
+
+    def test_exact_endpoint_root(self):
+        assert bisect_root(lambda x: x, 0.0, 1.0) == 0.0
+
+    def test_requires_bracketing(self):
+        with pytest.raises(ValueError):
+            bisect_root(lambda x: x + 10.0, 0.0, 1.0)
+
+    @given(st.floats(0.1, 50.0))
+    def test_recovers_known_root(self, target):
+        root = bisect_root(
+            lambda x: x**3 - target**3, 0.0, 100.0, tol=1e-14
+        )
+        assert root == pytest.approx(target, rel=1e-9)
+
+
+class TestMinimizeScalarBounded:
+    def test_quadratic_minimum(self):
+        x, val = minimize_scalar_bounded(
+            lambda x: (x - 1.3) ** 2 + 0.5, 0.0, 5.0
+        )
+        assert x == pytest.approx(1.3, abs=1e-6)
+        assert val == pytest.approx(0.5, abs=1e-9)
+
+    def test_boundary_minimum(self):
+        x, _ = minimize_scalar_bounded(lambda x: x, 2.0, 3.0)
+        assert x == pytest.approx(2.0, abs=1e-4)
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            minimize_scalar_bounded(lambda x: x, 1.0, 1.0)
