@@ -18,7 +18,12 @@ Discipline" (SIGCOMM '94 / UMass CMPSCI TR 95-10):
 * :mod:`repro.deterministic` — the Parekh-Gallager worst-case baseline.
 * :mod:`repro.sim` — fluid GPS, packetized WFQ (PGPS), baseline
   schedulers and network simulators with measurement utilities.
-* :mod:`repro.experiments` — the paper's Section 6.3 numerical example.
+* :mod:`repro.experiments` — the paper's Section 6.3 numerical example
+  and the supervised Monte-Carlo runner.
+* :mod:`repro.faults` — fault injection (degraded servers, link
+  failures, bursts, numeric corruption) and degraded-mode reports.
+* :mod:`repro.errors` — the typed error hierarchy every public API
+  raises from.
 """
 
 from repro.core import (
@@ -34,6 +39,14 @@ from repro.core import (
     theorem10_bounds,
     theorem11_family,
     theorem12_family,
+)
+from repro.errors import (
+    CheckpointError,
+    FeasibilityError,
+    NumericalError,
+    ReproError,
+    SimulationFaultError,
+    ValidationError,
 )
 from repro.network import (
     Network,
@@ -65,5 +78,11 @@ __all__ = [
     "analyze_crst_network",
     "crst_partition",
     "rpps_network_bounds",
+    "ReproError",
+    "ValidationError",
+    "FeasibilityError",
+    "NumericalError",
+    "SimulationFaultError",
+    "CheckpointError",
     "__version__",
 ]

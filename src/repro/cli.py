@@ -13,15 +13,18 @@ Commands
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Sequence
 
+from repro.errors import ReproError
 from repro.experiments.runner import (
     render_figure3,
     render_figure4,
     render_simulation_check,
+    render_supervised_simulation,
     render_table1,
     render_table2,
-    run_all,
+    run_all_resilient,
 )
 
 __all__ = ["build_parser", "main"]
@@ -52,6 +55,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--seed", type=int, default=0, help="random seed"
+    )
+    simulate.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help=(
+            "independent Monte-Carlo trials; with more than one the "
+            "run is supervised (per-trial seeds, retries, partial "
+            "aggregation)"
+        ),
+    )
+    simulate.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="abort the supervised run on the first failed trial",
+    )
+    simulate.add_argument(
+        "--checkpoint",
+        default=None,
+        help=(
+            "JSON checkpoint file for the supervised run; completed "
+            "trials are skipped on rerun"
+        ),
     )
     everything = sub.add_parser(
         "all", help="render every artifact"
@@ -150,15 +176,44 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.command == "figure4":
         print(render_figure4())
     elif args.command == "simulate":
+        return _run_simulate(args)
+    elif args.command == "all":
+        artifacts, errors = run_all_resilient(args.output_dir)
+        for name, text in artifacts.items():
+            print(f"\n### {name}\n{text}")
+        for name, exc in errors.items():
+            print(
+                f"error: artifact {name} failed to render: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+        return 1 if errors else 0
+    elif args.command == "analyze":
+        return _run_analyze(args)
+    return 0
+
+
+def _run_simulate(args) -> int:
+    if args.trials < 1:
+        print("error: --trials must be >= 1", file=sys.stderr)
+        return 2
+    if args.trials == 1:
         print(
             render_simulation_check(
                 num_slots=args.slots, seed=args.seed
             )
         )
-    elif args.command == "all":
-        artifacts = run_all(args.output_dir)
-        for name, text in artifacts.items():
-            print(f"\n### {name}\n{text}")
-    elif args.command == "analyze":
-        return _run_analyze(args)
-    return 0
+        return 0
+    try:
+        report, manifest = render_supervised_simulation(
+            num_trials=args.trials,
+            num_slots=args.slots,
+            base_seed=args.seed,
+            checkpoint_path=args.checkpoint,
+            fail_fast=args.fail_fast,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(report)
+    return 1 if manifest.failed else 0

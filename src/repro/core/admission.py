@@ -29,6 +29,8 @@ from repro.core.rpps import guaranteed_rate_bounds
 from repro.utils.numeric import bisect_root
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = [
     "QoSTarget",
     "meets_target",
@@ -48,7 +50,7 @@ class QoSTarget:
     def __post_init__(self) -> None:
         check_positive("d_max", self.d_max)
         if not 0.0 < self.epsilon < 1.0:
-            raise ValueError(
+            raise ValidationError(
                 f"epsilon must be in (0, 1), got {self.epsilon}"
             )
 
@@ -90,7 +92,7 @@ def required_rate_for_delay(
     if meets_target(arrival, arrival.rho * (1.0 + 1e-12), target):
         return arrival.rho
     if not meets_target(arrival, rate_cap, target, discrete=discrete):
-        raise ValueError(
+        raise ValidationError(
             "target unreachable: even an arbitrarily fast server "
             f"cannot push the bound below epsilon={target.epsilon} "
             "(the prefactor floor exceeds it)"
@@ -123,7 +125,7 @@ def admissible(
     required rate.
     """
     if len(arrivals) != len(targets):
-        raise ValueError("one target per session required")
+        raise ValidationError("one target per session required")
     check_positive("server_rate", server_rate)
     total_rho = sum(a.rho for a in arrivals)
     if total_rho >= server_rate:

@@ -29,6 +29,8 @@ import numpy as np
 
 from repro.utils.validation import check_nonnegative, check_positive
 
+from repro.errors import ValidationError
+
 __all__ = [
     "TailBound",
     "ExponentialTailBound",
@@ -157,7 +159,7 @@ class MinTailBound:
 
     def __post_init__(self) -> None:
         if len(self.components) == 0:
-            raise ValueError("MinTailBound requires at least one component")
+            raise ValidationError("MinTailBound requires at least one component")
 
     def evaluate(self, x: float) -> float:
         return min(component.evaluate(x) for component in self.components)
@@ -188,7 +190,7 @@ def sum_of_tail_bounds(
     """
     bound_list = list(bounds)
     if not bound_list:
-        raise ValueError("need at least one bound to sum")
+        raise ValidationError("need at least one bound to sum")
     if len(bound_list) == 1:
         return bound_list[0]
     inverse_decay = sum(1.0 / b.decay_rate for b in bound_list)
@@ -207,5 +209,5 @@ def best_bound(
     """
     bound_list = list(bounds)
     if not bound_list:
-        raise ValueError("need at least one bound")
+        raise ValidationError("need at least one bound")
     return min(bound_list, key=lambda b: b.log_evaluate(at))

@@ -20,6 +20,8 @@ from repro.core.gps import GPSConfig
 from repro.core.mgf import VirtualQueue
 from repro.utils.validation import check_in_open_interval, check_positive
 
+from repro.errors import ValidationError
+
 __all__ = [
     "Decomposition",
     "uniform_epsilons",
@@ -50,17 +52,17 @@ class Decomposition:
 
     def __post_init__(self) -> None:
         if len(self.rates) != len(self.config):
-            raise ValueError("one virtual rate per session required")
+            raise ValidationError("one virtual rate per session required")
         for i, (session, rate) in enumerate(
             zip(self.config.sessions, self.rates)
         ):
             if rate <= session.rho:
-                raise ValueError(
+                raise ValidationError(
                     f"virtual rate r[{i}]={rate} must exceed "
                     f"rho[{i}]={session.rho}"
                 )
         if sum(self.rates) > self.config.rate * (1.0 + 1e-12):
-            raise ValueError(
+            raise ValidationError(
                 f"virtual rates sum to {sum(self.rates)} > server rate "
                 f"{self.config.rate}"
             )
@@ -152,7 +154,7 @@ def decompose(
     if epsilons is None:
         epsilons = rho_proportional_epsilons(config)
     if len(epsilons) != len(config):
-        raise ValueError("one epsilon per session required")
+        raise ValidationError("one epsilon per session required")
     for k, eps in enumerate(epsilons):
         check_positive(f"epsilons[{k}]", eps)
     rates = tuple(

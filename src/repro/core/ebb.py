@@ -32,6 +32,8 @@ from repro.utils.validation import (
     check_positive,
 )
 
+from repro.errors import ValidationError
+
 __all__ = [
     "EBB",
     "EB",
@@ -131,7 +133,7 @@ class EBB:
         """
         arr = np.asarray(increments, dtype=float)
         if window <= 0 or window > arr.size:
-            raise ValueError(
+            raise ValidationError(
                 f"window must be in [1, {arr.size}], got {window}"
             )
         cumulative = np.concatenate(([0.0], np.cumsum(arr)))
@@ -180,7 +182,7 @@ def aggregate_independent(
     """
     session_list = list(sessions)
     if not session_list:
-        raise ValueError("need at least one session to aggregate")
+        raise ValidationError("need at least one session to aggregate")
     alpha_min = min(s.decay_rate for s in session_list)
     check_in_open_interval("theta", theta, 0.0, alpha_min)
     total_rho = sum(s.rho for s in session_list)
@@ -199,7 +201,7 @@ def aggregate_union(sessions: Iterable[EBB]) -> EBB:
     """
     session_list = list(sessions)
     if not session_list:
-        raise ValueError("need at least one session to aggregate")
+        raise ValidationError("need at least one session to aggregate")
     if len(session_list) == 1:
         return session_list[0]
     total_rho = sum(s.rho for s in session_list)

@@ -26,6 +26,8 @@ from typing import Sequence
 
 from repro.utils.validation import check_positive, check_same_length
 
+from repro.errors import FeasibilityError, ValidationError
+
 __all__ = [
     "FeasibleOrderingError",
     "is_feasible_ordering",
@@ -40,8 +42,13 @@ __all__ = [
 _REL_TOL = 1e-12
 
 
-class FeasibleOrderingError(ValueError):
-    """Raised when no feasible ordering / partition exists for the input."""
+class FeasibleOrderingError(FeasibilityError):
+    """Raised when no feasible ordering / partition exists for the input.
+
+    A :class:`repro.errors.FeasibilityError` (and therefore both a
+    :class:`repro.errors.ReproError` and a ``ValueError``); the historical
+    name is kept for backward compatibility.
+    """
 
 
 def _check_inputs(
@@ -49,12 +56,12 @@ def _check_inputs(
 ) -> None:
     check_same_length("rates", rates, "phis", phis)
     if len(rates) == 0:
-        raise ValueError("need at least one session")
+        raise ValidationError("need at least one session")
     check_positive("server_rate", server_rate)
     for k, (rate, phi) in enumerate(zip(rates, phis)):
         check_positive(f"phis[{k}]", phi)
         if rate < 0.0:
-            raise ValueError(f"rates[{k}] must be non-negative, got {rate}")
+            raise ValidationError(f"rates[{k}] must be non-negative, got {rate}")
 
 
 def is_feasible_ordering(
@@ -74,7 +81,7 @@ def is_feasible_ordering(
     """
     _check_inputs(rates, phis, server_rate)
     if sorted(order) != list(range(len(rates))):
-        raise ValueError(f"order must be a permutation of 0..{len(rates) - 1}")
+        raise ValidationError(f"order must be a permutation of 0..{len(rates) - 1}")
     remaining_phi = sum(phis[i] for i in order)
     consumed = 0.0
     for position, i in enumerate(order):
@@ -151,7 +158,7 @@ def all_feasible_orderings(
 
     def recurse(prefix: list[int], consumed: float, remaining: set[int]):
         if len(results) > limit:
-            raise ValueError(
+            raise ValidationError(
                 f"more than {limit} feasible orderings; enumeration "
                 "is not practical for this configuration"
             )

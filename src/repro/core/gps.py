@@ -17,6 +17,8 @@ from repro.core.ebb import EBB
 from repro.core.feasible import FeasiblePartition, feasible_partition
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = ["Session", "GPSConfig", "rpps_config"]
 
 
@@ -42,7 +44,7 @@ class Session:
     def __post_init__(self) -> None:
         check_positive("phi", self.phi)
         if not self.name:
-            raise ValueError("session name must be non-empty")
+            raise ValidationError("session name must be non-empty")
 
     @property
     def rho(self) -> float:
@@ -70,13 +72,13 @@ class GPSConfig:
         check_positive("rate", rate)
         session_tuple = tuple(sessions)
         if not session_tuple:
-            raise ValueError("a GPS server needs at least one session")
+            raise ValidationError("a GPS server needs at least one session")
         names = [s.name for s in session_tuple]
         if len(set(names)) != len(names):
-            raise ValueError(f"session names must be unique, got {names}")
+            raise ValidationError(f"session names must be unique, got {names}")
         total_rho = sum(s.rho for s in session_tuple)
         if total_rho >= rate:
-            raise ValueError(
+            raise ValidationError(
                 "unstable configuration: sum of session upper rates "
                 f"{total_rho} must be strictly below the server rate {rate}"
             )

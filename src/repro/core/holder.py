@@ -29,6 +29,8 @@ from typing import Sequence
 
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = ["HolderTerm", "HolderSplit", "optimal_holder_split"]
 
 
@@ -63,12 +65,12 @@ class HolderSplit:
 
     def __post_init__(self) -> None:
         if any(p <= 1.0 for p in self.exponents):
-            raise ValueError(
+            raise ValidationError(
                 f"all Hölder exponents must exceed 1, got {self.exponents}"
             )
         total = sum(1.0 / p for p in self.exponents)
         if abs(total - 1.0) > 1e-9:
-            raise ValueError(
+            raise ValidationError(
                 f"Hölder exponents must satisfy sum 1/p_k = 1, got {total}"
             )
 
@@ -83,7 +85,7 @@ def optimal_holder_split(terms: Sequence[HolderTerm]) -> HolderSplit:
     Hölder is unnecessary — use the independent-input theorem).
     """
     if len(terms) < 2:
-        raise ValueError(
+        raise ValidationError(
             "Hölder split needs at least two terms; with one term no "
             "split is required"
         )

@@ -28,6 +28,8 @@ from repro.core.ebb import EBB
 from repro.utils.numeric import expm1_neg
 from repro.utils.validation import check_in_open_interval, check_positive
 
+from repro.errors import ValidationError
+
 __all__ = [
     "VirtualQueue",
     "lemma5_tail_bound",
@@ -60,7 +62,7 @@ class VirtualQueue:
     def __post_init__(self) -> None:
         check_positive("rate", self.rate)
         if self.rate <= self.arrival.rho:
-            raise ValueError(
+            raise ValidationError(
                 "virtual rate must exceed the arrival upper rate "
                 f"(rate={self.rate}, rho={self.arrival.rho})"
             )
@@ -114,7 +116,7 @@ def lemma5_tail_bound(
     check_positive("xi", xi)
     cap = lemma5_max_xi(arrival, rate)
     if xi > cap * (1.0 + 1e-12):
-        raise ValueError(
+        raise ValidationError(
             f"xi={xi} exceeds the Lemma 5 cap ln(Lambda+1)/(alpha eps)={cap}"
         )
     prefactor = (
@@ -222,7 +224,7 @@ def bucket_delta_tail_bound(
     token bucket saves.
     """
     if bucket_size < 0.0:
-        raise ValueError(
+        raise ValidationError(
             f"bucket_size must be >= 0, got {bucket_size}"
         )
     base = lemma5_tail_bound(arrival, rate, xi=xi)

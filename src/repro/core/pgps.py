@@ -27,6 +27,8 @@ from repro.core.bounds import ExponentialTailBound
 from repro.core.single_node import SessionBounds
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = [
     "PacketizationPenalty",
     "shift_bound",
@@ -76,7 +78,7 @@ def shift_bound(
     decay rate.
     """
     if shift < 0.0:
-        raise ValueError(f"shift must be >= 0, got {shift}")
+        raise ValidationError(f"shift must be >= 0, got {shift}")
     return ExponentialTailBound(
         bound.prefactor * math.exp(bound.decay_rate * shift),
         bound.decay_rate,

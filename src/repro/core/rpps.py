@@ -24,6 +24,8 @@ from repro.core.mgf import discrete_delta_tail_bound, lemma5_tail_bound
 from repro.core.single_node import SessionBounds, theorem10_bounds
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = [
     "guaranteed_rate_bounds",
     "rpps_session_bounds",
@@ -48,7 +50,7 @@ def guaranteed_rate_bounds(
     """
     check_positive("guaranteed_rate", guaranteed_rate)
     if guaranteed_rate <= arrival.rho:
-        raise ValueError(
+        raise ValidationError(
             f"guaranteed rate {guaranteed_rate} must exceed the session "
             f"upper rate {arrival.rho}"
         )
@@ -80,7 +82,7 @@ def rpps_session_bounds(
     non-RPPS session that happens to sit in ``H_1``).
     """
     if not config.is_rpps():
-        raise ValueError(
+        raise ValidationError(
             "configuration is not rate-proportional; phi_i must be "
             "proportional to rho_i"
         )

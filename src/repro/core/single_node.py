@@ -48,6 +48,8 @@ from repro.core.mgf import (
 from repro.utils.numeric import expm1_neg, minimize_scalar_bounded
 from repro.utils.validation import check_in_open_interval, check_positive
 
+from repro.errors import ValidationError
+
 __all__ = [
     "SessionBoundFamily",
     "SessionBounds",
@@ -277,7 +279,7 @@ def theorem8_family(
     own_rate = decomposition.rates[session_index]
 
     if paper_form and discrete:
-        raise ValueError(
+        raise ValidationError(
             "paper_form reproduces the literal continuous-time "
             "eq. (36); combine it with discrete=False"
         )
@@ -296,7 +298,7 @@ def theorem8_family(
         split = optimal_holder_split(terms)
     exponents = split.exponents
     if len(exponents) != len(terms):
-        raise ValueError(
+        raise ValidationError(
             f"split has {len(exponents)} exponents for {len(terms)} terms"
         )
 
@@ -367,7 +369,7 @@ def theorem10_bounds(
     if partition is None:
         partition = config.partition()
     if partition.level(session_index) != 0:
-        raise ValueError(
+        raise ValidationError(
             f"session {session_index} is in class "
             f"H_{partition.level(session_index) + 1}, but Theorem 10 "
             "applies only to sessions in H_1"
@@ -544,7 +546,7 @@ def theorem12_family(
     own_rate = session.rho + own_eps
 
     if paper_form and discrete:
-        raise ValueError(
+        raise ValidationError(
             "paper_form reproduces the literal continuous-time "
             "eq. (59); combine it with discrete=False"
         )

@@ -21,6 +21,8 @@ from dataclasses import dataclass
 from repro.network.topology import Network
 from repro.traffic.envelope import LBAPEnvelope
 
+from repro.errors import ValidationError
+
 __all__ = ["PGNetworkBounds", "pg_rpps_network_bounds"]
 
 
@@ -47,16 +49,16 @@ def pg_rpps_network_bounds(
     ``phi_i^m = rho_i``).
     """
     if not network.is_rpps():
-        raise ValueError("network is not RPPS")
+        raise ValidationError("network is not RPPS")
     session = network.session(session_name)
     if abs(envelope.rho - session.rho) > 1e-9 * session.rho:
-        raise ValueError(
+        raise ValidationError(
             f"envelope rate {envelope.rho} does not match the session "
             f"upper rate {session.rho}"
         )
     g_net = network.network_guaranteed_rate(session_name)
     if g_net <= envelope.rho:
-        raise ValueError(
+        raise ValidationError(
             f"bottleneck guaranteed rate {g_net} must exceed the "
             f"session rate {envelope.rho}"
         )

@@ -34,6 +34,8 @@ from repro.core.feasible import FeasiblePartition, feasible_partition
 from repro.traffic.envelope import LBAPEnvelope
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = [
     "DeterministicSession",
     "DeterministicGPSConfig",
@@ -54,7 +56,7 @@ class DeterministicSession:
     def __post_init__(self) -> None:
         check_positive("phi", self.phi)
         if not self.name:
-            raise ValueError("session name must be non-empty")
+            raise ValidationError("session name must be non-empty")
 
     @property
     def sigma(self) -> float:
@@ -80,10 +82,10 @@ class DeterministicGPSConfig:
         check_positive("rate", rate)
         session_tuple = tuple(sessions)
         if not session_tuple:
-            raise ValueError("need at least one session")
+            raise ValidationError("need at least one session")
         total_rho = sum(s.rho for s in session_tuple)
         if total_rho >= rate:
-            raise ValueError(
+            raise ValidationError(
                 f"sum of token rates {total_rho} must be below the "
                 f"server rate {rate}"
             )

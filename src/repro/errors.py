@@ -1,0 +1,75 @@
+"""Typed error hierarchy for the whole library.
+
+Every exception deliberately raised by a ``repro.*`` public API is a
+:class:`ReproError`, so callers can catch one base class at a fault
+boundary (the supervised Monte-Carlo runner, the CLI, a long batch job)
+without also swallowing genuine programming errors such as
+``AttributeError``.
+
+The concrete subclasses distinguish the failure modes that callers
+actually treat differently:
+
+* :class:`ValidationError` — an argument fails eager validation.  Also a
+  ``ValueError`` so pre-existing ``except ValueError`` call sites keep
+  working.
+* :class:`FeasibilityError` — the *combination* of rates, weights and
+  server capacity admits no feasible ordering / partition (eqs. 4-5,
+  37-39).  A subclass of :class:`ValidationError`: the inputs are
+  individually fine but jointly infeasible.
+* :class:`NumericalError` — a numerical procedure failed: a root find
+  did not bracket or converge, a bound evaluation produced ``nan`` or
+  ``inf``.  Distinguishing this from :class:`ValidationError` is what
+  lets a Monte-Carlo supervisor retry a trial (numerical blow-ups can
+  be transient under fault injection) while an infeasible configuration
+  is retried never.
+* :class:`SimulationFaultError` — a simulation reached an internally
+  inconsistent state, or an injected fault escalated past the point of
+  graceful degradation.
+* :class:`CheckpointError` — a checkpoint file is missing a field,
+  corrupt, or inconsistent with the run being resumed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "FeasibilityError",
+    "NumericalError",
+    "SimulationFaultError",
+    "CheckpointError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error deliberately raised by ``repro``."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed eager validation (wrong sign, shape, range)."""
+
+
+class FeasibilityError(ValidationError):
+    """No feasible ordering / partition / rate assignment exists.
+
+    Raised when individually valid rates, weights and capacities are
+    jointly infeasible — e.g. ``sum(rho) >= r`` so eq. (4) can never
+    hold.
+    """
+
+
+class NumericalError(ReproError, ValueError, ArithmeticError):
+    """A numerical procedure failed to bracket, converge, or stay finite.
+
+    Also an ``ArithmeticError`` (the stdlib family for numeric failure)
+    and a ``ValueError`` for backward compatibility with call sites
+    that caught the bare ``ValueError`` these paths used to raise.
+    """
+
+
+class SimulationFaultError(ReproError, RuntimeError):
+    """A simulation reached an inconsistent or unrecoverable state."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file is corrupt or inconsistent with the resumed run."""

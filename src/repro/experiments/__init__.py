@@ -22,9 +22,17 @@ from repro.experiments.runner import (
     render_figure3,
     render_figure4,
     render_simulation_check,
+    render_supervised_simulation,
     render_table1,
     render_table2,
     run_all,
+    run_all_resilient,
+    simulation_trial,
+)
+from repro.experiments.supervisor import (
+    RunManifest,
+    SupervisedRunner,
+    trial_seed,
 )
 from repro.experiments.tables import (
     format_comparison,
@@ -51,9 +59,15 @@ __all__ = [
     "render_figure3",
     "render_figure4",
     "render_simulation_check",
+    "render_supervised_simulation",
     "render_table1",
     "render_table2",
     "run_all",
+    "run_all_resilient",
+    "simulation_trial",
+    "RunManifest",
+    "SupervisedRunner",
+    "trial_seed",
     "RhoTradeoffPoint",
     "rho_tradeoff_curve",
 ]

@@ -31,6 +31,8 @@ from repro.network.topology import Network, NetworkNode, NetworkSession
 from repro.sim.network_sim import FluidNetworkSimulator, NetworkSimResult
 from repro.traffic.sources import OnOffTraffic
 
+from repro.errors import ValidationError
+
 __all__ = [
     "SESSION_NAMES",
     "TABLE1_PARAMETERS",
@@ -100,7 +102,7 @@ def _rhos_for_set(parameter_set: int) -> tuple[float, ...]:
         return SET1_RHOS
     if parameter_set == 2:
         return SET2_RHOS
-    raise ValueError(f"parameter_set must be 1 or 2, got {parameter_set}")
+    raise ValidationError(f"parameter_set must be 1 or 2, got {parameter_set}")
 
 
 def table2_characterizations(parameter_set: int) -> list[EBB]:

@@ -12,6 +12,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.errors import ReproError
 from repro.experiments.paper_example import (
     PAPER_TABLE2,
     SESSION_NAMES,
@@ -24,7 +25,9 @@ from repro.experiments.paper_example import (
     table1_sources,
     table2_characterizations,
 )
+from repro.experiments.supervisor import RunManifest, SupervisedRunner
 from repro.experiments.tables import format_comparison, format_table
+from repro.faults.injection import guard_finite
 
 __all__ = [
     "render_table1",
@@ -32,10 +35,20 @@ __all__ = [
     "render_figure3",
     "render_figure4",
     "render_simulation_check",
+    "simulation_trial",
+    "render_supervised_simulation",
     "run_all",
+    "run_all_resilient",
 ]
 
 _DELAY_GRID = np.arange(0.0, 51.0, 5.0)
+
+#: Delay thresholds (slots) at which the Monte-Carlo check compares the
+#: empirical CCDF against the Figure 3/4 bounds.
+_CHECK_DELAYS = (3.0, 6.0, 9.0)
+
+#: Slots discarded as warm-up before measuring delay frequencies.
+_WARMUP_SLOTS = 1000
 
 
 def render_table1() -> str:
@@ -121,19 +134,17 @@ def render_simulation_check(
     *, num_slots: int = 60_000, seed: int = 0
 ) -> str:
     """Monte-Carlo validation block: simulated CCDF vs both bounds."""
-    simulation = simulate_example_network(1, num_slots, seed=seed)
+    frequencies = simulation_trial(0, seed, num_slots=num_slots)
     fig3 = figure3_delay_bounds(1)
     fig4 = figure4_improved_bounds(1)
     rows = []
     for name in SESSION_NAMES:
-        delays = simulation.end_to_end_delays(name)[1000:]
-        delays = delays[~np.isnan(delays)]
-        for d in (3.0, 6.0, 9.0):
+        for d in _CHECK_DELAYS:
             rows.append(
                 [
                     name,
                     d,
-                    float(np.mean(delays >= d)),
+                    frequencies[name][str(d)],
                     fig4[name].end_to_end_delay.evaluate(d - 1.0),
                     fig3[name].end_to_end_delay.evaluate(d - 1.0),
                 ]
@@ -144,22 +155,138 @@ def render_simulation_check(
     )
 
 
-def run_all(output_dir: str | Path | None = None) -> dict[str, str]:
-    """Render every artifact; optionally write them under a directory.
+def simulation_trial(
+    trial: int, seed: int, *, num_slots: int = 60_000
+) -> dict[str, dict[str, float]]:
+    """One Monte-Carlo trial: per-session delay-exceedance frequencies.
 
-    Returns ``{artifact name: text}``.  With ``output_dir`` set, each
-    artifact is also written to ``<output_dir>/<name>.txt``.
+    Returns ``{session: {str(d): Pr-hat{D_net >= d}}}`` — a
+    JSON-serializable record suitable for
+    :class:`repro.experiments.supervisor.SupervisedRunner`
+    checkpointing.  Frequencies are guarded: a non-finite value (e.g.
+    from an injected numeric fault) raises
+    :class:`repro.errors.NumericalError`, which the supervisor treats
+    as retryable.  The ``trial`` index is unused beyond labeling.
     """
-    artifacts = {
-        "table1": render_table1(),
-        "table2": render_table2(),
-        "figure3": render_figure3(),
-        "figure4": render_figure4(),
-        "simulation_check": render_simulation_check(),
+    del trial
+    simulation = simulate_example_network(1, num_slots, seed=seed)
+    frequencies: dict[str, dict[str, float]] = {}
+    for name in SESSION_NAMES:
+        delays = simulation.end_to_end_delays(name)[_WARMUP_SLOTS:]
+        delays = delays[~np.isnan(delays)]
+        frequencies[name] = {
+            str(d): guard_finite(
+                f"{name} frequency at d={d}",
+                float(np.mean(delays >= d)) if delays.size else 0.0,
+            )
+            for d in _CHECK_DELAYS
+        }
+    return frequencies
+
+
+def render_supervised_simulation(
+    *,
+    num_trials: int,
+    num_slots: int = 60_000,
+    base_seed: int = 0,
+    checkpoint_path: str | Path | None = None,
+    fail_fast: bool = False,
+    timeout: float | None = None,
+) -> tuple[str, RunManifest]:
+    """Supervised multi-trial Monte-Carlo check of the Section 6.3 bounds.
+
+    Runs ``num_trials`` independent simulations under
+    :class:`SupervisedRunner` (deterministic per-trial seeds, retries,
+    optional checkpoint/resume), aggregates the per-trial exceedance
+    frequencies of the completed trials, and renders them against the
+    Figure 3/4 bounds.  Returns ``(report text, manifest)``.
+    """
+    runner = SupervisedRunner(
+        lambda trial, seed: simulation_trial(
+            trial, seed, num_slots=num_slots
+        ),
+        num_trials,
+        base_seed=base_seed,
+        checkpoint_path=checkpoint_path,
+        fail_fast=fail_fast,
+        timeout=timeout,
+    )
+    manifest = runner.run()
+    fig3 = figure3_delay_bounds(1)
+    fig4 = figure4_improved_bounds(1)
+    rows = []
+    results = manifest.results
+    for name in SESSION_NAMES:
+        for d in _CHECK_DELAYS:
+            samples = [r[name][str(d)] for r in results]
+            mean = float(np.mean(samples)) if samples else float("nan")
+            spread = float(np.std(samples)) if samples else float("nan")
+            rows.append(
+                [
+                    name,
+                    d,
+                    mean,
+                    spread,
+                    fig4[name].end_to_end_delay.evaluate(d - 1.0),
+                    fig3[name].end_to_end_delay.evaluate(d - 1.0),
+                ]
+            )
+    table = format_table(
+        [
+            "session",
+            "d",
+            "simulated",
+            "std",
+            "Fig4 bound",
+            "Fig3 bound",
+        ],
+        rows,
+    )
+    return f"{manifest.summary()}\n{table}", manifest
+
+
+def run_all_resilient(
+    output_dir: str | Path | None = None,
+) -> tuple[dict[str, str], dict[str, Exception]]:
+    """Render every artifact, surviving individual failures.
+
+    Returns ``(artifacts, errors)``: every artifact that rendered is in
+    ``artifacts`` (and written to ``<output_dir>/<name>.txt`` when a
+    directory is given); every artifact that raised is in ``errors``
+    with the exception that killed it.  One bad artifact no longer
+    takes down the other four.
+    """
+    renderers = {
+        "table1": render_table1,
+        "table2": render_table2,
+        "figure3": render_figure3,
+        "figure4": render_figure4,
+        "simulation_check": render_simulation_check,
     }
+    artifacts: dict[str, str] = {}
+    errors: dict[str, Exception] = {}
+    for name, render in renderers.items():
+        try:
+            artifacts[name] = render()
+        except (ReproError, ArithmeticError, ValueError) as exc:
+            errors[name] = exc
     if output_dir is not None:
         directory = Path(output_dir)
         directory.mkdir(parents=True, exist_ok=True)
         for name, text in artifacts.items():
             (directory / f"{name}.txt").write_text(text + "\n")
+    return artifacts, errors
+
+
+def run_all(output_dir: str | Path | None = None) -> dict[str, str]:
+    """Render every artifact; optionally write them under a directory.
+
+    Returns ``{artifact name: text}``.  With ``output_dir`` set, each
+    artifact is also written to ``<output_dir>/<name>.txt``.  The first
+    render failure propagates; use :func:`run_all_resilient` to collect
+    partial results instead.
+    """
+    artifacts, errors = run_all_resilient(output_dir)
+    if errors:
+        raise next(iter(errors.values()))
     return artifacts

@@ -25,6 +25,8 @@ from repro.core.rpps import guaranteed_rate_bounds
 from repro.markov.lnt94 import ebb_characterization
 from repro.markov.mmpp import MarkovModulatedSource
 
+from repro.errors import ValidationError
+
 __all__ = ["RhoTradeoffPoint", "rho_tradeoff_curve"]
 
 
@@ -71,12 +73,12 @@ def rho_tradeoff_curve(
     """
     mean, peak = source.mean_rate, source.peak_rate
     if guaranteed_rate <= mean:
-        raise ValueError(
+        raise ValidationError(
             f"guaranteed rate {guaranteed_rate} must exceed the mean "
             f"rate {mean}"
         )
     if num_points < 2:
-        raise ValueError(f"num_points must be >= 2, got {num_points}")
+        raise ValidationError(f"num_points must be >= 2, got {num_points}")
     hi = min(peak, guaranteed_rate)
     lo = mean + margin * (hi - mean)
     hi = hi - margin * (hi - mean)
@@ -99,7 +101,7 @@ def rho_tradeoff_curve(
             )
         )
     if len(points) < 2:
-        raise ValueError(
+        raise ValidationError(
             "sweep produced fewer than 2 admissible points; widen the "
             "guaranteed rate"
         )

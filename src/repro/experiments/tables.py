@@ -11,6 +11,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.errors import ValidationError
+
 __all__ = ["format_table", "format_series", "format_comparison"]
 
 
@@ -31,7 +33,7 @@ def format_table(
     widths = [len(h) for h in headers]
     for row in rendered:
         if len(row) != len(headers):
-            raise ValueError(
+            raise ValidationError(
                 f"row has {len(row)} cells for {len(headers)} headers"
             )
         for k, cell in enumerate(row):

@@ -1,0 +1,45 @@
+"""Fault injection and degraded-mode measurement.
+
+Declarative fault models (:class:`RateFault`, :class:`LinkFault`,
+:class:`BurstFault`, :class:`NumericFault`) compose into a
+:class:`FaultSchedule` that the simulators accept, so runs survive
+server degradation, link failures, session churn and numerical
+corruption — and :func:`network_violation_report` measures how the
+nominal paper bounds hold up inside the fault windows.
+"""
+
+from repro.faults.injection import (
+    NumericFaultInjector,
+    faulted_gps_run,
+    guard_finite,
+)
+from repro.faults.report import (
+    DegradedModeReport,
+    SessionViolationReport,
+    network_violation_report,
+    violation_counts,
+)
+from repro.faults.schedule import (
+    BurstFault,
+    Fault,
+    FaultSchedule,
+    LinkFault,
+    NumericFault,
+    RateFault,
+)
+
+__all__ = [
+    "BurstFault",
+    "Fault",
+    "FaultSchedule",
+    "LinkFault",
+    "NumericFault",
+    "RateFault",
+    "NumericFaultInjector",
+    "faulted_gps_run",
+    "guard_finite",
+    "DegradedModeReport",
+    "SessionViolationReport",
+    "network_violation_report",
+    "violation_counts",
+]

@@ -1,0 +1,128 @@
+"""Fault injectors: wiring a :class:`FaultSchedule` into computations.
+
+Two injection surfaces live here; the simulators take schedules
+directly (``FluidNetworkSimulator(network, faults=...)``,
+``PacketNetworkSimulator(network, faults=...)``,
+``FluidGPSServer.run(..., capacities=schedule.node_capacities(...))``).
+
+* :func:`faulted_gps_run` — run a single fluid GPS server through a
+  schedule (rate faults on the node plus burst faults on its sessions).
+* :class:`NumericFaultInjector` — wrap a scalar function (typically a
+  tail-bound evaluation) so scheduled calls return ``nan`` or an
+  overflowed value; :func:`guard_finite` is the matching defense that
+  turns a corrupted value into a typed :class:`NumericalError` instead
+  of letting it propagate silently through an aggregation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import NumericalError, ValidationError
+from repro.faults.schedule import FaultSchedule
+from repro.sim.fluid import FluidGPSServer, GPSSimResult
+
+__all__ = [
+    "faulted_gps_run",
+    "NumericFaultInjector",
+    "guard_finite",
+]
+
+#: Value injected by ``mode="overflow"`` — past any meaningful
+#: probability/backlog scale, and multiplication pushes it to ``inf``.
+_OVERFLOW_VALUE = 1e308
+
+
+def faulted_gps_run(
+    server: FluidGPSServer,
+    arrivals: np.ndarray,
+    schedule: FaultSchedule,
+    *,
+    node: str = "server",
+    session_names: Sequence[str] | None = None,
+) -> GPSSimResult:
+    """Run a fluid GPS server through a fault schedule.
+
+    ``node`` is the name rate faults must target to apply here;
+    ``session_names`` (defaulting to ``session<i+1>``) maps burst faults
+    onto arrival rows.  The simulation runs *through* degraded windows —
+    an outage simply accrues backlog — and the result records the
+    per-slot capacities actually offered.
+    """
+    arr = np.asarray(arrivals, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != server.num_sessions:
+        raise ValidationError(
+            f"arrivals must have shape ({server.num_sessions}, T), got "
+            f"{arr.shape}"
+        )
+    if session_names is None:
+        session_names = [f"session{i + 1}" for i in range(arr.shape[0])]
+    elif len(session_names) != arr.shape[0]:
+        raise ValidationError(
+            f"need {arr.shape[0]} session names, got {len(session_names)}"
+        )
+    num_slots = arr.shape[1]
+    adjusted = np.vstack(
+        [
+            schedule.adjusted_arrivals(name, arr[k])
+            for k, name in enumerate(session_names)
+        ]
+    )
+    capacities = schedule.node_capacities(node, server.rate, num_slots)
+    return server.run(adjusted, capacities=capacities)
+
+
+class NumericFaultInjector:
+    """Wrap a scalar function so scheduled calls return corrupted values.
+
+    The injector counts calls per ``target`` channel; when the schedule
+    marks a call index faulty, the wrapped function returns ``nan`` or
+    an overflowing magnitude instead of the true value.  This simulates
+    the numerical blow-ups long Monte-Carlo runs hit mid-flight, letting
+    tests prove that downstream consumers (bound aggregation, the
+    supervised runner) degrade gracefully rather than silently
+    aggregating garbage.
+    """
+
+    def __init__(self, schedule: FaultSchedule, target: str) -> None:
+        self._schedule = schedule
+        self._target = target
+        self._calls = 0
+
+    @property
+    def calls(self) -> int:
+        """Number of calls routed through the injector so far."""
+        return self._calls
+
+    def wrap(
+        self, func: Callable[..., float]
+    ) -> Callable[..., float]:
+        """Return ``func`` with scheduled corruption applied."""
+
+        def wrapped(*args, **kwargs) -> float:
+            mode = self._schedule.numeric_mode(self._target, self._calls)
+            self._calls += 1
+            value = func(*args, **kwargs)
+            if mode == "nan":
+                return math.nan
+            if mode == "overflow":
+                return math.copysign(_OVERFLOW_VALUE, value if value else 1.0)
+            return value
+
+        return wrapped
+
+
+def guard_finite(name: str, value: float) -> float:
+    """Return ``value``; raise :class:`NumericalError` if it is nan/inf.
+
+    The defense matching :class:`NumericFaultInjector`: place it where a
+    bound evaluation or aggregate enters a result table, so a corrupted
+    value surfaces as a typed, retryable error instead of a silent
+    ``nan`` in a report.
+    """
+    if not math.isfinite(value):
+        raise NumericalError(f"{name} evaluated to a non-finite value: {value}")
+    return float(value)

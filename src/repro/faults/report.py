@@ -1,0 +1,170 @@
+"""Degraded-mode measurement: bound violations inside fault windows.
+
+Under fault injection the theorems' preconditions are deliberately
+broken, so the nominal bounds *should* fail — the interesting question
+is by how much and only where.  This module counts, per session, the
+slots whose empirical delay exceeds the nominal bound's
+``epsilon``-quantile, split into slots inside and outside the scheduled
+fault windows.  A resilient configuration shows violations concentrated
+in (and shortly after) the fault windows and a clean trace elsewhere;
+violations outside any window indicate the nominal operating point was
+already too aggressive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.faults.injection import guard_finite
+from repro.faults.schedule import FaultSchedule
+
+if TYPE_CHECKING:  # imported lazily to avoid a cycle with repro.sim
+    from repro.sim.network_sim import NetworkSimResult
+
+__all__ = [
+    "SessionViolationReport",
+    "DegradedModeReport",
+    "violation_counts",
+    "network_violation_report",
+]
+
+
+@dataclass(frozen=True)
+class SessionViolationReport:
+    """Violation statistics for one session.
+
+    ``threshold`` is the delay the nominal bound says is exceeded with
+    probability at most ``epsilon``; ``unresolved`` counts slots whose
+    delay never cleared within the simulated horizon (excluded from the
+    violation counts).
+    """
+
+    session: str
+    threshold: float
+    epsilon: float
+    slots_in_fault: int
+    slots_outside: int
+    violations_in_fault: int
+    violations_outside: int
+    unresolved: int
+
+    @property
+    def rate_in_fault(self) -> float:
+        """Violation frequency inside fault windows (0 when empty)."""
+        if self.slots_in_fault == 0:
+            return 0.0
+        return self.violations_in_fault / self.slots_in_fault
+
+    @property
+    def rate_outside(self) -> float:
+        """Violation frequency outside fault windows (0 when empty)."""
+        if self.slots_outside == 0:
+            return 0.0
+        return self.violations_outside / self.slots_outside
+
+
+@dataclass(frozen=True)
+class DegradedModeReport:
+    """Per-session violation reports for one fault-injected run."""
+
+    sessions: Mapping[str, SessionViolationReport]
+
+    def total_violations_in_fault(self) -> int:
+        """Sum of in-window violations over all sessions."""
+        return sum(r.violations_in_fault for r in self.sessions.values())
+
+    def summary(self) -> str:
+        """Human-readable per-session table."""
+        lines = [
+            "session      d*      in-fault         outside",
+        ]
+        for name in sorted(self.sessions):
+            r = self.sessions[name]
+            lines.append(
+                f"{name:<10} {r.threshold:6.2f}  "
+                f"{r.violations_in_fault:5d}/{r.slots_in_fault:<6d}  "
+                f"{r.violations_outside:5d}/{r.slots_outside:<6d}"
+            )
+        return "\n".join(lines)
+
+
+def violation_counts(
+    delays: np.ndarray, threshold: float, fault_mask: np.ndarray
+) -> tuple[int, int, int]:
+    """``(violations_in_fault, violations_outside, unresolved)``.
+
+    ``delays`` may contain ``nan`` for horizon-truncated slots; those
+    are counted as unresolved, not as violations.
+    """
+    arr = np.asarray(delays, dtype=float)
+    mask = np.asarray(fault_mask, dtype=bool)
+    if arr.shape != mask.shape:
+        raise ValidationError(
+            f"delays {arr.shape} and fault mask {mask.shape} must have "
+            "the same shape"
+        )
+    resolved = ~np.isnan(arr)
+    violating = resolved & (arr >= threshold)
+    return (
+        int(np.sum(violating & mask)),
+        int(np.sum(violating & ~mask)),
+        int(np.sum(~resolved)),
+    )
+
+
+def network_violation_report(
+    result: NetworkSimResult,
+    bounds: Mapping[str, object],
+    schedule: FaultSchedule,
+    *,
+    epsilon: float = 1e-3,
+    warmup: int = 0,
+) -> DegradedModeReport:
+    """Count per-session bound violations in a fault-injected network run.
+
+    ``bounds`` maps session names to end-to-end delay tail bounds (any
+    object with a ``quantile(epsilon)`` method, e.g.
+    :class:`repro.core.bounds.ExponentialTailBound`); the violation
+    threshold for a session is its bound's ``epsilon``-quantile.  The
+    first ``warmup`` slots are dropped before counting.
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ValidationError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if warmup < 0:
+        raise ValidationError(f"warmup must be >= 0, got {warmup}")
+    num_slots = result.num_slots
+    if warmup >= num_slots:
+        raise ValidationError(
+            f"warmup {warmup} leaves no slots out of {num_slots}"
+        )
+    missing = set(result.external_arrivals) - set(bounds)
+    if missing:
+        raise ValidationError(
+            f"bounds missing for sessions: {sorted(missing)}"
+        )
+    mask = schedule.fault_mask(num_slots)[warmup:]
+    reports: dict[str, SessionViolationReport] = {}
+    for name in result.external_arrivals:
+        threshold = guard_finite(
+            f"delay threshold for {name}", bounds[name].quantile(epsilon)
+        )
+        delays = result.end_to_end_delays(name)[warmup:]
+        in_fault, outside, unresolved = violation_counts(
+            delays, threshold, mask
+        )
+        resolved_mask = ~np.isnan(delays)
+        reports[name] = SessionViolationReport(
+            session=name,
+            threshold=threshold,
+            epsilon=epsilon,
+            slots_in_fault=int(np.sum(mask & resolved_mask)),
+            slots_outside=int(np.sum(~mask & resolved_mask)),
+            violations_in_fault=in_fault,
+            violations_outside=outside,
+            unresolved=unresolved,
+        )
+    return DegradedModeReport(sessions=reports)

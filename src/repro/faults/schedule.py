@@ -1,0 +1,323 @@
+"""Composable fault models and the :class:`FaultSchedule` that hosts them.
+
+The paper's theorems assume a GPS server that always delivers its full
+rate ``r`` and sessions that honor their E.B.B. envelopes.  A production
+deployment sees neither: servers degrade or fail for windows of time,
+links add latency or go down, and sessions misbehave.  This module
+describes those events declaratively so a simulation can run *through*
+them — the simulators in :mod:`repro.sim` accept a schedule and keep
+stepping, and :mod:`repro.faults.report` then measures how far the
+degraded system strayed from the nominal bounds.
+
+Four fault models compose freely inside one schedule:
+
+* :class:`RateFault` — a node's capacity is multiplied by ``factor``
+  during ``[start, end)``; ``factor=0`` is a full outage.
+* :class:`LinkFault` — the output link of a node adds ``extra_delay``
+  slots of latency and/or holds traffic entirely (``down=True``) during
+  the window.
+* :class:`BurstFault` — a session's ingress is scaled by ``multiplier``
+  and shifted by ``extra`` work per slot: ``multiplier=0`` models churn
+  (the session vanishes), ``multiplier>1`` or ``extra>0`` models
+  envelope-violating bursts.
+* :class:`NumericFault` — evaluation channel ``target`` returns ``nan``
+  or an overflowing value for a window of *call indices*; used to
+  harden bound-evaluation pipelines and the supervised Monte-Carlo
+  runner against numerical blow-ups.
+
+Windows are half-open ``[start, end)`` in slot units (floats are fine
+for the continuous-time packet simulator).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Union
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "RateFault",
+    "LinkFault",
+    "BurstFault",
+    "NumericFault",
+    "Fault",
+    "FaultSchedule",
+]
+
+
+def _check_window(start: float, end: float) -> None:
+    if not np.isfinite(start) or not np.isfinite(end) or not start < end:
+        raise ValidationError(
+            f"fault window must satisfy start < end with finite endpoints, "
+            f"got [{start}, {end})"
+        )
+    if start < 0:
+        raise ValidationError(f"fault window must start at >= 0, got {start}")
+
+
+@dataclass(frozen=True)
+class RateFault:
+    """Server capacity at ``node`` is scaled by ``factor`` on ``[start, end)``.
+
+    ``factor=0.5`` halves the rate; ``factor=0.0`` is an outage.  Several
+    overlapping rate faults on one node multiply.
+    """
+
+    node: str
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end)
+        if not np.isfinite(self.factor) or self.factor < 0.0:
+            raise ValidationError(
+                f"rate factor must be finite and >= 0, got {self.factor}"
+            )
+
+    def active(self, t: float) -> bool:
+        """True when slot ``t`` falls inside the fault window."""
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """The output link of ``node`` misbehaves on ``[start, end)``.
+
+    ``extra_delay`` slots of latency are added to traffic leaving the
+    node inside the window; with ``down=True`` the link holds traffic
+    until the window closes (it is delivered at ``end``, plus any
+    ``extra_delay``).  ``session=None`` applies to every session using
+    the link.
+    """
+
+    node: str
+    start: float
+    end: float
+    extra_delay: float = 0.0
+    down: bool = False
+    session: str | None = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end)
+        if not np.isfinite(self.extra_delay) or self.extra_delay < 0.0:
+            raise ValidationError(
+                f"extra_delay must be finite and >= 0, got {self.extra_delay}"
+            )
+        if self.extra_delay == 0.0 and not self.down:
+            raise ValidationError(
+                "a LinkFault must add delay or take the link down"
+            )
+
+    def matches(self, session: str, t: float) -> bool:
+        """True when the fault applies to ``session`` traffic at ``t``."""
+        if not self.start <= t < self.end:
+            return False
+        return self.session is None or self.session == session
+
+    def delivery_time(self, t: float) -> float:
+        """When traffic leaving the node at ``t`` clears the link."""
+        if self.down:
+            return self.end + self.extra_delay
+        return t + self.extra_delay
+
+
+@dataclass(frozen=True)
+class BurstFault:
+    """Session ingress is perturbed to ``a * multiplier + extra`` on the window.
+
+    ``multiplier=0`` silences the session (churn); ``multiplier>1`` or
+    ``extra>0`` injects envelope-violating work.
+    """
+
+    session: str
+    start: float
+    end: float
+    multiplier: float = 1.0
+    extra: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end)
+        if not np.isfinite(self.multiplier) or self.multiplier < 0.0:
+            raise ValidationError(
+                f"multiplier must be finite and >= 0, got {self.multiplier}"
+            )
+        if not np.isfinite(self.extra) or self.extra < 0.0:
+            raise ValidationError(
+                f"extra must be finite and >= 0, got {self.extra}"
+            )
+
+    def active(self, t: float) -> bool:
+        """True when slot ``t`` falls inside the fault window."""
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
+class NumericFault:
+    """Evaluation channel ``target`` is corrupted for a call-index window.
+
+    Calls ``start <= k < end`` (0-based call count) on the channel named
+    ``target`` return ``nan`` (``mode="nan"``) or a value past the
+    double-precision overflow threshold (``mode="overflow"``) instead of
+    the true result.  See
+    :class:`repro.faults.injection.NumericFaultInjector`.
+    """
+
+    target: str
+    start: int
+    end: int
+    mode: str = "nan"
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end)
+        if self.mode not in ("nan", "overflow"):
+            raise ValidationError(
+                f"mode must be 'nan' or 'overflow', got {self.mode!r}"
+            )
+
+    def active(self, call_index: int) -> bool:
+        """True when the ``call_index``-th call is corrupted."""
+        return self.start <= call_index < self.end
+
+
+Fault = Union[RateFault, LinkFault, BurstFault, NumericFault]
+
+
+class FaultSchedule:
+    """An immutable collection of fault events, queried by the simulators.
+
+    The schedule is purely declarative; injecting it into
+    :class:`repro.sim.fluid.FluidGPSServer` (via per-slot capacities),
+    :class:`repro.sim.network_sim.FluidNetworkSimulator` or
+    :class:`repro.sim.packet_network.PacketNetworkSimulator` makes the
+    simulation run through the faults instead of dying on them.
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        fault_list = tuple(faults)
+        for fault in fault_list:
+            if not isinstance(
+                fault, (RateFault, LinkFault, BurstFault, NumericFault)
+            ):
+                raise ValidationError(
+                    f"unsupported fault model: {type(fault).__name__}"
+                )
+        self._faults = fault_list
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    @property
+    def faults(self) -> tuple[Fault, ...]:
+        """All fault events, in insertion order."""
+        return self._faults
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(self._faults)
+
+    def extended(self, *faults: Fault) -> "FaultSchedule":
+        """A new schedule with ``faults`` appended."""
+        return FaultSchedule(self._faults + tuple(faults))
+
+    def _of_type(self, kind) -> list:
+        return [f for f in self._faults if isinstance(f, kind)]
+
+    @property
+    def has_rate_faults(self) -> bool:
+        """True if any :class:`RateFault` is scheduled."""
+        return any(isinstance(f, RateFault) for f in self._faults)
+
+    @property
+    def has_burst_faults(self) -> bool:
+        """True if any :class:`BurstFault` is scheduled."""
+        return any(isinstance(f, BurstFault) for f in self._faults)
+
+    # ------------------------------------------------------------------
+    # queries used by the simulators
+    # ------------------------------------------------------------------
+    def rate_factor(self, node: str, t: float) -> float:
+        """Product of all active rate-fault factors for ``node`` at ``t``."""
+        factor = 1.0
+        for fault in self._of_type(RateFault):
+            if fault.node == node and fault.active(t):
+                factor *= fault.factor
+        return factor
+
+    def node_capacities(
+        self, node: str, rate: float, num_slots: int
+    ) -> np.ndarray:
+        """Per-slot capacity trace for a node of nominal ``rate``."""
+        caps = np.full(num_slots, float(rate))
+        for fault in self._of_type(RateFault):
+            if fault.node != node:
+                continue
+            lo = max(0, int(np.ceil(fault.start)))
+            hi = min(num_slots, int(np.ceil(fault.end)))
+            caps[lo:hi] *= fault.factor
+        return caps
+
+    def link_delivery_time(self, session: str, node: str, t: float) -> float:
+        """When traffic leaving ``node`` at ``t`` reaches the next hop.
+
+        Returns ``t`` when no link fault applies.  Each fault applies
+        once, judged at the emission time ``t`` (the link state when
+        the traffic leaves the node); overlapping faults take the
+        latest delivery time.
+        """
+        delivery = float(t)
+        for fault in self._of_type(LinkFault):
+            if fault.node == node and fault.matches(session, t):
+                delivery = max(delivery, fault.delivery_time(float(t)))
+        return delivery
+
+    def arrival_adjustment(self, session: str, t: float) -> tuple[float, float]:
+        """``(multiplier, extra)`` applied to the session's ingress at ``t``."""
+        multiplier, extra = 1.0, 0.0
+        for fault in self._of_type(BurstFault):
+            if fault.session == session and fault.active(t):
+                multiplier *= fault.multiplier
+                extra += fault.extra
+        return multiplier, extra
+
+    def adjusted_arrivals(self, session: str, arrivals) -> np.ndarray:
+        """A session's ingress trace with every burst fault applied."""
+        arr = np.asarray(arrivals, dtype=float).copy()
+        for fault in self._of_type(BurstFault):
+            if fault.session != session:
+                continue
+            lo = max(0, int(np.ceil(fault.start)))
+            hi = min(arr.size, int(np.ceil(fault.end)))
+            arr[lo:hi] = arr[lo:hi] * fault.multiplier + fault.extra
+        return arr
+
+    def numeric_mode(self, target: str, call_index: int) -> str | None:
+        """Corruption mode for the ``call_index``-th call on ``target``."""
+        for fault in self._of_type(NumericFault):
+            if fault.target == target and fault.active(call_index):
+                return fault.mode
+        return None
+
+    # ------------------------------------------------------------------
+    # reporting support
+    # ------------------------------------------------------------------
+    def fault_mask(self, num_slots: int) -> np.ndarray:
+        """Boolean per-slot mask: True where *any* scheduled fault is active.
+
+        Numeric faults live on a call-index axis, not the time axis, and
+        are excluded.  This is the window split used by the degraded-mode
+        violation reports.
+        """
+        mask = np.zeros(num_slots, dtype=bool)
+        for fault in self._faults:
+            if isinstance(fault, NumericFault):
+                continue
+            lo = max(0, int(np.floor(fault.start)))
+            hi = min(num_slots, int(np.ceil(fault.end)))
+            mask[lo:hi] = True
+        return mask

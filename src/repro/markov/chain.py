@@ -15,6 +15,8 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
+from repro.errors import ValidationError
+
 __all__ = ["DTMC", "perron_pair"]
 
 _TOL = 1e-10
@@ -36,14 +38,14 @@ class DTMC:
     def __init__(self, transition: np.ndarray) -> None:
         matrix = np.asarray(transition, dtype=float)
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
-            raise ValueError(
+            raise ValidationError(
                 f"transition matrix must be square, got shape {matrix.shape}"
             )
         if np.any(matrix < -_TOL):
-            raise ValueError("transition probabilities must be non-negative")
+            raise ValidationError("transition probabilities must be non-negative")
         row_sums = matrix.sum(axis=1)
         if np.any(np.abs(row_sums - 1.0) > 1e-8):
-            raise ValueError(
+            raise ValidationError(
                 f"transition matrix rows must sum to 1, got {row_sums}"
             )
         matrix = np.clip(matrix, 0.0, None)
@@ -51,7 +53,7 @@ class DTMC:
         matrix.setflags(write=False)
         object.__setattr__(self, "transition", matrix)
         if not self._is_irreducible():
-            raise ValueError("transition matrix must be irreducible")
+            raise ValidationError("transition matrix must be irreducible")
 
     def _is_irreducible(self) -> bool:
         graph = nx.DiGraph()
@@ -112,7 +114,7 @@ def perron_pair(matrix: np.ndarray) -> tuple[float, np.ndarray]:
     """
     m = np.asarray(matrix, dtype=float)
     if np.any(m < 0.0):
-        raise ValueError("Perron theory requires a non-negative matrix")
+        raise ValidationError("Perron theory requires a non-negative matrix")
     eigenvalues, eigenvectors = np.linalg.eig(m)
     index = int(np.argmax(eigenvalues.real))
     z = float(eigenvalues[index].real)

@@ -24,6 +24,8 @@ from repro.markov.mmpp import MarkovModulatedSource
 from repro.utils.numeric import bisect_root
 from repro.utils.validation import check_positive
 
+from repro.errors import NumericalError, ValidationError
+
 __all__ = [
     "spectral_radius",
     "effective_bandwidth",
@@ -62,11 +64,11 @@ def decay_rate_for_rate(
     mean = source.mean_rate
     peak = source.peak_rate
     if rate <= mean:
-        raise ValueError(
+        raise ValidationError(
             f"rate {rate} must exceed the source mean rate {mean}"
         )
     if rate >= peak:
-        raise ValueError(
+        raise ValidationError(
             f"rate {rate} must be below the source peak rate {peak}; "
             "at or above the peak the burstiness tail is identically 0"
         )
@@ -87,14 +89,14 @@ def _solve_decay(gap, tol: float) -> float:
     while gap(lo) >= 0.0:
         lo /= 2.0
         if lo < 1e-300:
-            raise RuntimeError(
+            raise NumericalError(
                 "failed to bracket the effective-bandwidth root from below"
             )
     hi = 1.0
     while gap(hi) <= 0.0:
         hi *= 2.0
         if hi > 1e6:
-            raise RuntimeError(
+            raise NumericalError(
                 "failed to bracket the effective-bandwidth root from above"
             )
     return bisect_root(gap, lo, hi, tol=tol)
@@ -112,7 +114,7 @@ def total_effective_bandwidth(
     has tail decay at least ``theta``.
     """
     if not sources:
-        raise ValueError("need at least one source")
+        raise ValidationError("need at least one source")
     return sum(effective_bandwidth(s, theta) for s in sources)
 
 

@@ -25,6 +25,8 @@ import numpy as np
 from repro.markov.mmpp import MarkovModulatedSource
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = ["ExactQueueDistribution", "exact_queue_distribution"]
 
 
@@ -78,7 +80,7 @@ class ExactQueueDistribution:
         tail = np.cumsum(self.probabilities[::-1])[::-1]
         usable = np.flatnonzero((tail < 1e-4) & (tail > 1e-10))
         if usable.size < 4:
-            raise ValueError(
+            raise ValidationError(
                 "tail window too short to measure a decay rate; "
                 "increase max_levels"
             )
@@ -94,7 +96,7 @@ def _lattice_step(values: list[float], *, tol: float = 1e-9) -> float:
     approximation), or raise if they are incommensurable."""
     nonzero = [abs(v) for v in values if abs(v) > tol]
     if not nonzero:
-        raise ValueError("all increments are zero; queue is trivial")
+        raise ValidationError("all increments are zero; queue is trivial")
     # Rational approximation with a bounded denominator.
     from fractions import Fraction
 
@@ -103,7 +105,7 @@ def _lattice_step(values: list[float], *, tol: float = 1e-9) -> float:
     ]
     for fraction, value in zip(fractions, nonzero):
         if abs(float(fraction) - value) > tol:
-            raise ValueError(
+            raise ValidationError(
                 f"increment {value} is not commensurable with a "
                 "reasonable lattice; exact solution unavailable"
             )
@@ -116,7 +118,7 @@ def _lattice_step(values: list[float], *, tol: float = 1e-9) -> float:
         )
     step = float(common)
     if step <= tol:
-        raise ValueError("degenerate lattice step")
+        raise ValidationError("degenerate lattice step")
     return step
 
 
@@ -135,7 +137,7 @@ def exact_queue_distribution(
     """
     check_positive("service_rate", service_rate)
     if source.mean_rate >= service_rate:
-        raise ValueError(
+        raise ValidationError(
             f"unstable queue: mean rate {source.mean_rate} >= service "
             f"rate {service_rate}"
         )

@@ -22,6 +22,8 @@ from repro.markov.chain import DTMC
 from repro.markov.mmpp import MarkovModulatedSource
 from repro.markov.onoff import OnOffSource
 
+from repro.errors import ValidationError
+
 __all__ = ["OnOffFit", "fit_onoff", "MMSFit", "fit_mms"]
 
 
@@ -59,20 +61,20 @@ def fit_onoff(increments: np.ndarray, *, tol: float = 1e-9) -> OnOffFit:
     """
     arr = np.asarray(increments, dtype=float)
     if arr.size < 2:
-        raise ValueError("need at least 2 slots to fit transitions")
+        raise ValidationError("need at least 2 slots to fit transitions")
     if np.any(arr < -tol):
-        raise ValueError("arrivals must be non-negative")
+        raise ValidationError("arrivals must be non-negative")
     on = arr > tol
     if not on.any():
-        raise ValueError("trace never turns on; no on-off model fits")
+        raise ValidationError("trace never turns on; no on-off model fits")
     if on.all():
-        raise ValueError(
+        raise ValidationError(
             "trace never turns off; use a CBR model instead"
         )
     positive = arr[on]
     peak = float(positive.max())
     if float(positive.min()) < peak * (1.0 - 1e-6):
-        raise ValueError(
+        raise ValidationError(
             "trace carries multiple positive rates; it is not a "
             "two-state on-off sample path"
         )
@@ -84,7 +86,7 @@ def fit_onoff(increments: np.ndarray, *, tol: float = 1e-9) -> OnOffFit:
     off_to_on = int((~prev_on & next_on).sum())
     on_to_off = int((prev_on & ~next_on).sum())
     if off_slots == 0 or on_slots == 0:
-        raise ValueError("degenerate trace: a state is never revisited")
+        raise ValidationError("degenerate trace: a state is never revisited")
     p = off_to_on / off_slots
     q = on_to_off / on_slots
     # Clamp away from the degenerate boundary (a finite trace can
@@ -136,19 +138,19 @@ def fit_mms(
     """
     arr = np.asarray(increments, dtype=float)
     if arr.size < 10 * num_states:
-        raise ValueError(
+        raise ValidationError(
             f"need at least {10 * num_states} slots to fit "
             f"{num_states} states"
         )
     if num_states < 2:
-        raise ValueError(f"num_states must be >= 2, got {num_states}")
+        raise ValidationError(f"num_states must be >= 2, got {num_states}")
     if smoothing <= 0.0:
-        raise ValueError(
+        raise ValidationError(
             f"smoothing must be positive (irreducibility), got "
             f"{smoothing}"
         )
     if float(arr.max()) - float(arr.min()) <= 1e-12:
-        raise ValueError(
+        raise ValidationError(
             "trace has too little rate variation to define multiple "
             "states; use fit_onoff or a CBR model"
         )
@@ -159,7 +161,7 @@ def fit_mms(
     )
     actual_states = edges.size - 1
     if actual_states < 2:
-        raise ValueError(
+        raise ValidationError(
             "trace has too little rate variation to define multiple "
             "states; use fit_onoff or a CBR model"
         )

@@ -31,6 +31,8 @@ from repro.markov.effective_bandwidth import decay_rate_for_rate
 from repro.markov.mmpp import MarkovModulatedSource
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = [
     "ebb_prefactor",
     "ebb_characterization",
@@ -72,7 +74,7 @@ def ebb_prefactor(
     left = left / float(left @ h)
     limit = float(start @ h) * float(left.sum())
     if z > 1.0 + 1e-9:
-        raise ValueError(
+        raise ValidationError(
             f"scaled kernel has spectral radius {z} > 1: eb(alpha) "
             "exceeds rho, the supremum diverges"
         )

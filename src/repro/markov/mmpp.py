@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.markov.chain import DTMC
 
+from repro.errors import ValidationError
+
 __all__ = ["MarkovModulatedSource"]
 
 
@@ -41,14 +43,14 @@ class MarkovModulatedSource:
     def __init__(self, chain: DTMC, rates) -> None:
         rate_array = np.asarray(rates, dtype=float)
         if rate_array.ndim != 1 or rate_array.size != chain.num_states:
-            raise ValueError(
+            raise ValidationError(
                 f"need one rate per state ({chain.num_states}), got "
                 f"shape {rate_array.shape}"
             )
         if np.any(rate_array < 0.0):
-            raise ValueError("per-state rates must be non-negative")
+            raise ValidationError("per-state rates must be non-negative")
         if np.ptp(rate_array) == 0.0:
-            raise ValueError(
+            raise ValidationError(
                 "constant-rate source has no burstiness; use a CBR "
                 "source instead"
             )
@@ -86,7 +88,7 @@ class MarkovModulatedSource:
     def log_mgf(self, theta: float, duration: int) -> float:
         """Exact ``ln E[exp(theta A(0, duration))]`` (stationary start)."""
         if duration < 0:
-            raise ValueError(f"duration must be >= 0, got {duration}")
+            raise ValidationError(f"duration must be >= 0, got {duration}")
         if duration == 0:
             return 0.0
         pi = self.chain.stationary_distribution()

@@ -27,6 +27,8 @@ from repro.markov.chain import DTMC
 from repro.markov.mmpp import MarkovModulatedSource
 from repro.utils.validation import check_positive, check_probability
 
+from repro.errors import ValidationError
+
 __all__ = ["OnOffSource"]
 
 
@@ -52,9 +54,9 @@ class OnOffSource:
         check_probability("p", self.p)
         check_probability("q", self.q)
         if self.p == 0.0:
-            raise ValueError("p = 0 means the source never turns on")
+            raise ValidationError("p = 0 means the source never turns on")
         if self.q == 0.0:
-            raise ValueError("q = 0 means the source never turns off")
+            raise ValidationError("q = 0 means the source never turns off")
         check_positive("peak_rate", self.peak_rate)
 
     # ------------------------------------------------------------------
@@ -114,7 +116,7 @@ class OnOffSource:
         tail.  Dynamic programming over (state, count); O(duration^2).
         """
         if duration < 0:
-            raise ValueError(f"duration must be >= 0, got {duration}")
+            raise ValidationError(f"duration must be >= 0, got {duration}")
         if duration == 0:
             return np.array([1.0])
         pi_on = self.on_probability

@@ -15,6 +15,8 @@ from typing import Sequence
 from repro.core.ebb import EBB
 from repro.network.topology import Network, NetworkNode, NetworkSession
 
+from repro.errors import ValidationError
+
 __all__ = ["tandem_network", "tree_network", "ring_network"]
 
 
@@ -34,7 +36,7 @@ def tandem_network(
     route-length independence.
     """
     if num_hops < 1:
-        raise ValueError(f"num_hops must be >= 1, got {num_hops}")
+        raise ValidationError(f"num_hops must be >= 1, got {num_hops}")
     nodes = [
         NetworkNode(f"n{k}", node_rate) for k in range(num_hops)
     ]
@@ -67,12 +69,12 @@ def tree_network(
     ``tree_network([[s1, s2], [s3, s4]])``.
     """
     if not leaf_sessions:
-        raise ValueError("need at least one leaf")
+        raise ValidationError("need at least one leaf")
     nodes = [NetworkNode("root", node_rate)]
     sessions = []
     for k, arrivals in enumerate(leaf_sessions):
         if not arrivals:
-            raise ValueError(f"leaf {k} has no sessions")
+            raise ValidationError(f"leaf {k} has no sessions")
         nodes.append(NetworkNode(f"leaf{k}", node_rate))
         for j, ebb in enumerate(arrivals):
             sessions.append(
@@ -98,9 +100,9 @@ def ring_network(
     induction.
     """
     if num_nodes < 2:
-        raise ValueError(f"num_nodes must be >= 2, got {num_nodes}")
+        raise ValidationError(f"num_nodes must be >= 2, got {num_nodes}")
     if not 1 <= hops_per_session <= num_nodes:
-        raise ValueError(
+        raise ValidationError(
             f"hops_per_session must be in [1, {num_nodes}], got "
             f"{hops_per_session}"
         )

@@ -32,6 +32,8 @@ import networkx as nx
 from repro.core.feasible import FeasiblePartition, feasible_partition
 from repro.network.topology import Network
 
+from repro.errors import ValidationError
+
 __all__ = [
     "NotCRSTError",
     "node_partition",
@@ -52,7 +54,7 @@ def node_partition(network: Network, node_name: str) -> FeasiblePartition:
     """
     local = network.sessions_at(node_name)
     if not local:
-        raise ValueError(f"no sessions traverse node {node_name!r}")
+        raise ValidationError(f"no sessions traverse node {node_name!r}")
     return feasible_partition(
         [s.rho for s in local],
         [s.phi_at(node_name) for s in local],

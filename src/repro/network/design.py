@@ -28,6 +28,8 @@ from repro.core.admission import QoSTarget, required_rate_for_delay
 from repro.core.ebb import EBB
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = ["WeightDesign", "rpps_weights", "weights_for_delay_targets"]
 
 
@@ -54,7 +56,7 @@ class WeightDesign:
 def rpps_weights(arrivals: Sequence[EBB]) -> tuple[float, ...]:
     """The RPPS assignment ``phi_i = rho_i``."""
     if not arrivals:
-        raise ValueError("need at least one session")
+        raise ValidationError("need at least one session")
     return tuple(a.rho for a in arrivals)
 
 
@@ -75,9 +77,9 @@ def weights_for_delay_targets(
         some session must relax its target (or the server be upgraded).
     """
     if len(arrivals) != len(targets):
-        raise ValueError("one target per session required")
+        raise ValidationError("one target per session required")
     if not arrivals:
-        raise ValueError("need at least one session")
+        raise ValidationError("need at least one session")
     check_positive("server_rate", server_rate)
     required = [
         max(
@@ -88,7 +90,7 @@ def weights_for_delay_targets(
     ]
     total_required = sum(required)
     if total_required > server_rate:
-        raise ValueError(
+        raise ValidationError(
             f"infeasible targets: required rates sum to "
             f"{total_required} > server rate {server_rate}"
         )

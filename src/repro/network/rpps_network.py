@@ -32,6 +32,8 @@ from repro.markov.lnt94 import queue_tail_bound
 from repro.markov.mmpp import MarkovModulatedSource
 from repro.network.topology import Network
 
+from repro.errors import ValidationError
+
 __all__ = [
     "RPPSSessionReport",
     "rpps_network_bounds",
@@ -53,7 +55,7 @@ class RPPSSessionReport:
 
 def _check_rpps(network: Network) -> None:
     if not network.is_rpps():
-        raise ValueError(
+        raise ValidationError(
             "network is not RPPS: phi_i^m must be proportional to rho_i "
             "at every node (Theorem 15 also applies to any session with "
             "a guaranteed rate everywhere; use "

@@ -28,12 +28,14 @@ from typing import Any, Mapping
 from repro.core.ebb import EBB
 from repro.network.topology import Network, NetworkNode, NetworkSession
 
+from repro.errors import ValidationError
+
 __all__ = ["network_from_dict", "network_to_dict", "load_network", "save_network"]
 
 
 def _require(mapping: Mapping[str, Any], key: str, context: str):
     if key not in mapping:
-        raise ValueError(f"{context}: missing required key {key!r}")
+        raise ValidationError(f"{context}: missing required key {key!r}")
     return mapping[key]
 
 

@@ -20,6 +20,8 @@ import networkx as nx
 from repro.core.ebb import EBB
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = ["NetworkNode", "NetworkSession", "Network"]
 
 
@@ -32,7 +34,7 @@ class NetworkNode:
 
     def __post_init__(self) -> None:
         if not self.name:
-            raise ValueError("node name must be non-empty")
+            raise ValidationError("node name must be non-empty")
         check_positive("rate", self.rate)
 
 
@@ -66,9 +68,9 @@ class NetworkSession:
     ) -> None:
         route_tuple = tuple(route)
         if not route_tuple:
-            raise ValueError(f"session {name!r} needs a non-empty route")
+            raise ValidationError(f"session {name!r} needs a non-empty route")
         if len(set(route_tuple)) != len(route_tuple):
-            raise ValueError(
+            raise ValidationError(
                 f"session {name!r} visits a node twice: {route_tuple}"
             )
         if isinstance(phis, (int, float)):
@@ -76,14 +78,14 @@ class NetworkSession:
         else:
             phi_tuple = tuple(float(p) for p in phis)
         if len(phi_tuple) != len(route_tuple):
-            raise ValueError(
+            raise ValidationError(
                 f"session {name!r}: got {len(phi_tuple)} weights for "
                 f"{len(route_tuple)} hops"
             )
         for k, phi in enumerate(phi_tuple):
             check_positive(f"phis[{k}]", phi)
         if not name:
-            raise ValueError("session name must be non-empty")
+            raise ValidationError("session name must be non-empty")
         object.__setattr__(self, "name", name)
         object.__setattr__(self, "arrival", arrival)
         object.__setattr__(self, "route", route_tuple)
@@ -119,20 +121,20 @@ class Network:
         node_list = list(nodes)
         names = [n.name for n in node_list]
         if len(set(names)) != len(names):
-            raise ValueError(f"node names must be unique, got {names}")
+            raise ValidationError(f"node names must be unique, got {names}")
         self._nodes: Mapping[str, NetworkNode] = {
             n.name: n for n in node_list
         }
         session_list = list(sessions)
         session_names = [s.name for s in session_list]
         if len(set(session_names)) != len(session_names):
-            raise ValueError(
+            raise ValidationError(
                 f"session names must be unique, got {session_names}"
             )
         for session in session_list:
             for node_name in session.route:
                 if node_name not in self._nodes:
-                    raise ValueError(
+                    raise ValidationError(
                         f"session {session.name!r} routes through unknown "
                         f"node {node_name!r}"
                     )
@@ -145,7 +147,7 @@ class Network:
                 s.rho for s in self._sessions if node.name in s.route
             )
             if load >= node.rate:
-                raise ValueError(
+                raise ValidationError(
                     f"node {node.name!r} is overloaded: total upper rate "
                     f"{load} >= service rate {node.rate} (Theorem 13 "
                     "requires strict inequality at every node)"

@@ -24,6 +24,8 @@ import numpy as np
 from repro.sim.fluid import GPSSimResult
 from repro.utils.validation import check_positive, check_weights
 
+from repro.errors import ValidationError
+
 __all__ = [
     "FCFSServer",
     "StaticPriorityServer",
@@ -39,7 +41,7 @@ class _SlotServer:
     def __init__(self, rate: float, num_sessions: int) -> None:
         check_positive("rate", rate)
         if num_sessions <= 0:
-            raise ValueError("need at least one session")
+            raise ValidationError("need at least one session")
         self._rate = float(rate)
         self._num_sessions = num_sessions
 
@@ -68,7 +70,7 @@ class _SlotServer:
         """Simulate a whole arrival matrix; see FluidGPSServer.run."""
         arr = np.asarray(arrivals, dtype=float)
         if arr.ndim != 2 or arr.shape[0] != self._num_sessions:
-            raise ValueError(
+            raise ValidationError(
                 f"arrivals must have shape ({self._num_sessions}, T), "
                 f"got {arr.shape}"
             )

@@ -23,6 +23,8 @@ import numpy as np
 from repro.sim.fluid import GPSSimResult, gps_slot_allocation
 from repro.utils.validation import check_positive, check_weights
 
+from repro.errors import ValidationError
+
 __all__ = ["ClassBasedGPSServer"]
 
 _EPS = 1e-12
@@ -94,15 +96,15 @@ class ClassBasedGPSServer:
         check_positive("rate", rate)
         phis = check_weights("class_phis", list(class_phis))
         if len(phis) != len(class_members):
-            raise ValueError(
+            raise ValidationError(
                 "one weight per class required, got "
                 f"{len(phis)} weights for {len(class_members)} classes"
             )
         flat = [i for members in class_members for i in members]
         if not flat:
-            raise ValueError("need at least one session")
+            raise ValidationError("need at least one session")
         if sorted(flat) != list(range(len(flat))):
-            raise ValueError(
+            raise ValidationError(
                 "class_members must partition the session indices "
                 f"0..{len(flat) - 1}, got {class_members}"
             )
@@ -139,12 +141,12 @@ class ClassBasedGPSServer:
         """Advance one slot; returns per-session service amounts."""
         arr = np.asarray(arrivals, dtype=float)
         if arr.shape != (self._num_sessions,):
-            raise ValueError(
+            raise ValidationError(
                 f"expected {self._num_sessions} arrival entries, got "
                 f"shape {arr.shape}"
             )
         if np.any(arr < 0.0):
-            raise ValueError("arrivals must be non-negative")
+            raise ValidationError("arrivals must be non-negative")
         for queue in self._queues:
             queue.push(arr[queue.members])
         class_work = np.array(
@@ -162,7 +164,7 @@ class ClassBasedGPSServer:
         """Simulate a whole arrival matrix; see FluidGPSServer.run."""
         arr = np.asarray(arrivals, dtype=float)
         if arr.ndim != 2 or arr.shape[0] != self._num_sessions:
-            raise ValueError(
+            raise ValidationError(
                 f"arrivals must have shape ({self._num_sessions}, T), "
                 f"got {arr.shape}"
             )

@@ -20,6 +20,8 @@ import numpy as np
 
 from repro.sim.measurements import empirical_ccdf
 
+from repro.errors import ValidationError
+
 __all__ = ["DecayFit", "estimate_decay_rate"]
 
 
@@ -75,24 +77,24 @@ def estimate_decay_rate(
     """
     arr = np.asarray(samples, dtype=float)
     if arr.size < 100:
-        raise ValueError(
+        raise ValidationError(
             f"need at least 100 samples to fit a tail, got {arr.size}"
         )
     if not 0.0 < lower_quantile < 1.0:
-        raise ValueError(
+        raise ValidationError(
             f"lower_quantile must be in (0, 1), got {lower_quantile}"
         )
     start = float(np.quantile(arr, lower_quantile))
     stop = float(arr.max())
     if stop <= start:
-        raise ValueError(
+        raise ValidationError(
             "degenerate tail: the quantile equals the maximum"
         )
     xs = np.linspace(start, stop, num_points)
     ccdf = empirical_ccdf(arr, xs)
     usable = ccdf >= upper_probability
     if usable.sum() < 3:
-        raise ValueError(
+        raise ValidationError(
             "not enough tail mass to fit; lower upper_probability or "
             "use a longer trace"
         )

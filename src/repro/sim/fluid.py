@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.utils.validation import check_positive, check_weights
 
+from repro.errors import ValidationError
+
 __all__ = [
     "gps_slot_allocation",
     "FluidGPSServer",
@@ -52,9 +54,9 @@ def gps_slot_allocation(
     work_arr = np.asarray(work, dtype=float)
     phi_arr = np.asarray(phis, dtype=float)
     if work_arr.shape != phi_arr.shape:
-        raise ValueError("work and phis must have matching shapes")
+        raise ValidationError("work and phis must have matching shapes")
     if np.any(work_arr < -_EPS):
-        raise ValueError("work amounts must be non-negative")
+        raise ValidationError("work amounts must be non-negative")
     served = np.zeros_like(work_arr)
     remaining_capacity = float(capacity)
     active = work_arr > _EPS
@@ -101,6 +103,7 @@ class GPSSimResult:
     backlog: np.ndarray
     rate: float
     phis: tuple[float, ...]
+    capacities: np.ndarray | None = None
 
     @property
     def num_sessions(self) -> int:
@@ -116,9 +119,22 @@ class GPSSimResult:
         """System backlog per slot (sum over sessions)."""
         return self.backlog.sum(axis=0)
 
+    def effective_capacities(self) -> np.ndarray:
+        """Per-slot server capacity actually offered.
+
+        Equals ``rate`` everywhere for an unfaulted run; under fault
+        injection it reflects the degraded/outage windows.
+        """
+        if self.capacities is not None:
+            return self.capacities
+        return np.full(self.num_slots, self.rate)
+
     def utilization(self) -> float:
-        """Fraction of server capacity actually used."""
-        return float(self.served.sum()) / (self.rate * self.num_slots)
+        """Fraction of offered server capacity actually used."""
+        offered = float(self.effective_capacities().sum())
+        if offered <= 0.0:
+            return 0.0
+        return float(self.served.sum()) / offered
 
     def session_delays(self, session: int) -> np.ndarray:
         """The delay process ``D_i(t)`` in slots, for each slot ``t``.
@@ -150,7 +166,7 @@ def clearing_delays(
     arr = np.asarray(cumulative_arrivals, dtype=float)
     srv = np.asarray(cumulative_service, dtype=float)
     if arr.shape != srv.shape:
-        raise ValueError("cumulative curves must have matching shapes")
+        raise ValidationError("cumulative curves must have matching shapes")
     horizon = arr.size
     delays = np.full(horizon, np.nan)
     pointer = 0
@@ -206,38 +222,66 @@ class FluidGPSServer:
         """Empty all queues."""
         self._backlog[:] = 0.0
 
-    def step(self, arrivals) -> np.ndarray:
-        """Advance one slot; returns per-session service amounts."""
+    def step(self, arrivals, *, capacity: float | None = None) -> np.ndarray:
+        """Advance one slot; returns per-session service amounts.
+
+        ``capacity`` overrides the server rate for this slot only — the
+        hook used by fault injection to model degraded or failed servers
+        (``capacity=0`` is a full outage; the backlog simply accrues).
+        """
         arr = np.asarray(arrivals, dtype=float)
         if arr.shape != self._backlog.shape:
-            raise ValueError(
+            raise ValidationError(
                 f"expected {self._backlog.size} arrival entries, got "
                 f"shape {arr.shape}"
             )
         if np.any(arr < 0.0):
-            raise ValueError("arrivals must be non-negative")
+            raise ValidationError("arrivals must be non-negative")
+        if capacity is None:
+            capacity = self._rate
+        elif not np.isfinite(capacity) or capacity < 0.0:
+            raise ValidationError(
+                f"capacity must be finite and non-negative, got {capacity}"
+            )
         work = self._backlog + arr
-        served = gps_slot_allocation(work, self._phis, self._rate)
+        served = gps_slot_allocation(work, self._phis, float(capacity))
         self._backlog = np.clip(work - served, 0.0, None)
         return served
 
-    def run(self, arrivals: np.ndarray) -> GPSSimResult:
+    def run(
+        self,
+        arrivals: np.ndarray,
+        *,
+        capacities: np.ndarray | None = None,
+    ) -> GPSSimResult:
         """Simulate a whole arrival matrix ``(num_sessions, num_slots)``.
 
         The server state is reset first, so ``run`` is reproducible.
+        ``capacities`` (length ``num_slots``) overrides the per-slot
+        server capacity, e.g. a degraded-rate window produced by
+        :meth:`repro.faults.FaultSchedule.node_capacities`.
         """
         arr = np.asarray(arrivals, dtype=float)
         if arr.ndim != 2 or arr.shape[0] != self.num_sessions:
-            raise ValueError(
+            raise ValidationError(
                 f"arrivals must have shape ({self.num_sessions}, T), got "
                 f"{arr.shape}"
             )
         self.reset()
         num_slots = arr.shape[1]
+        caps = None
+        if capacities is not None:
+            caps = np.asarray(capacities, dtype=float)
+            if caps.shape != (num_slots,):
+                raise ValidationError(
+                    f"capacities must have shape ({num_slots},), got "
+                    f"{caps.shape}"
+                )
         served = np.zeros_like(arr)
         backlog = np.zeros_like(arr)
         for t in range(num_slots):
-            served[:, t] = self.step(arr[:, t])
+            capacity = None if caps is None else caps[t]
+            served[:, t] = self.step(arr[:, t], capacity=capacity)
             backlog[:, t] = self._backlog
         return GPSSimResult(
             arrivals=arr,
@@ -245,4 +289,5 @@ class FluidGPSServer:
             backlog=backlog,
             rate=self._rate,
             phis=tuple(self._phis.tolist()),
+            capacities=caps,
         )

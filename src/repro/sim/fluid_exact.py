@@ -28,6 +28,8 @@ import numpy as np
 
 from repro.utils.validation import check_positive, check_weights
 
+from repro.errors import ValidationError
+
 __all__ = [
     "RateSegment",
     "FluidTrajectory",
@@ -151,10 +153,10 @@ def simulate_exact_gps(
     phi_arr = np.asarray(check_weights("phis", list(phis)))
     num = phi_arr.size
     if not segments:
-        raise ValueError("need at least one input segment")
+        raise ValidationError("need at least one input segment")
     starts = [seg.start_time for seg in segments]
     if starts != sorted(starts):
-        raise ValueError("segments must be sorted by start_time")
+        raise ValidationError("segments must be sorted by start_time")
     check_positive("horizon", horizon)
 
     times = [segments[0].start_time]

@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.core.bounds import TailBound
 
+from repro.errors import ValidationError
+
 __all__ = [
     "empirical_ccdf",
     "tail_quantile",
@@ -38,7 +40,7 @@ def empirical_ccdf(samples: np.ndarray, xs: np.ndarray) -> np.ndarray:
 def tail_quantile(samples: np.ndarray, epsilon: float) -> float:
     """Smallest ``x`` with empirical ``Pr{X >= x} <= epsilon``."""
     if not 0.0 < epsilon <= 1.0:
-        raise ValueError(f"epsilon must be in (0, 1], got {epsilon}")
+        raise ValidationError(f"epsilon must be in (0, 1], got {epsilon}")
     data = np.sort(np.asarray(samples, dtype=float))
     # Pr{X >= data[k]} = (n - k) / n; find the first k with
     # (n - k) / n <= epsilon.

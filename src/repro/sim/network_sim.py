@@ -24,6 +24,8 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
+from repro.errors import SimulationFaultError, ValidationError
+from repro.faults.schedule import FaultSchedule
 from repro.network.topology import Network
 from repro.sim.fluid import FluidGPSServer, clearing_delays
 
@@ -44,12 +46,20 @@ class NetworkSimResult:
         ``{(session, node): per-slot backlog at that node}``.
     node_served:
         ``{(session, node): per-slot service at that node}``.
+    node_capacities:
+        ``{node: per-slot capacity offered}`` when the run was fault
+        injected, else ``None``.
+    fault_schedule:
+        The :class:`repro.faults.FaultSchedule` the run was subjected
+        to, else ``None``.
     """
 
     external_arrivals: dict[str, np.ndarray]
     egress: dict[str, np.ndarray]
     node_backlog: dict[tuple[str, str], np.ndarray]
     node_served: dict[tuple[str, str], np.ndarray]
+    node_capacities: dict[str, np.ndarray] | None = None
+    fault_schedule: FaultSchedule | None = None
 
     @property
     def num_slots(self) -> int:
@@ -78,16 +88,32 @@ class NetworkSimResult:
 
 
 class FluidNetworkSimulator:
-    """Simulate a network of fluid GPS servers slot by slot."""
+    """Simulate a network of fluid GPS servers slot by slot.
 
-    def __init__(self, network: Network, *, link_delay: int | None = None):
+    ``faults`` injects a :class:`repro.faults.FaultSchedule`: server
+    rate faults scale each node's per-slot capacity, burst faults
+    perturb session ingress, and link faults hold or delay traffic
+    between hops.  The simulation runs *through* every fault — degraded
+    windows accrue backlog instead of raising — and the result records
+    the capacities actually offered so degraded-mode reports can split
+    violations by fault window.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        *,
+        link_delay: int | None = None,
+        faults: FaultSchedule | None = None,
+    ):
         self._network = network
+        self._faults = faults if faults is not None else FaultSchedule()
         if link_delay is None:
             link_delay = 0 if network.is_feedforward() else 1
         if link_delay < 0:
-            raise ValueError(f"link_delay must be >= 0, got {link_delay}")
+            raise ValidationError(f"link_delay must be >= 0, got {link_delay}")
         if link_delay == 0 and not network.is_feedforward():
-            raise ValueError(
+            raise ValidationError(
                 "link_delay=0 needs a feedforward (acyclic) network; "
                 "use link_delay >= 1 for cyclic route graphs"
             )
@@ -120,17 +146,30 @@ class FluidNetworkSimulator:
         network = self._network
         sessions = {s.name: s for s in network.sessions}
         if set(external_arrivals) != set(sessions):
-            raise ValueError(
+            raise ValidationError(
                 "external_arrivals must cover exactly the network "
                 f"sessions {sorted(sessions)}, got "
                 f"{sorted(external_arrivals)}"
             )
         lengths = {arr.shape[0] for arr in external_arrivals.values()}
         if len(lengths) != 1:
-            raise ValueError(
+            raise ValidationError(
                 f"all arrival arrays must share a length, got {lengths}"
             )
         (num_slots,) = lengths
+
+        faults = self._faults
+        if faults.has_burst_faults:
+            external_arrivals = {
+                name: faults.adjusted_arrivals(name, arr)
+                for name, arr in external_arrivals.items()
+            }
+        capacities = {
+            name: faults.node_capacities(
+                name, network.nodes[name].rate, num_slots
+            )
+            for name in self._node_order
+        }
 
         servers = {
             name: FluidGPSServer(
@@ -143,7 +182,8 @@ class FluidNetworkSimulator:
             for name in self._node_order
         }
         # in_transit[(session, node)]: FIFO of (due_slot, amount)
-        # for link_delay >= 1; for link_delay == 0 a same-slot buffer.
+        # for link_delay >= 1 and for link-faulted traffic; for
+        # link_delay == 0 a same-slot buffer handles the healthy path.
         pending: dict[tuple[str, str], list[tuple[int, float]]] = {}
         node_backlog = {
             (s, n): np.zeros(num_slots)
@@ -170,11 +210,23 @@ class FluidNetworkSimulator:
                         slot_arrivals[k] += same_slot.pop(
                             (session_name, node_name), 0.0
                         )
-                    else:
-                        queue = pending.get((session_name, node_name), [])
-                        while queue and queue[0][0] <= t:
-                            slot_arrivals[k] += queue.pop(0)[1]
-                served = servers[node_name].step(slot_arrivals)
+                    queue = pending.get((session_name, node_name))
+                    if queue:
+                        # Link faults can put a held blob (due at the
+                        # window end) ahead of later healthy traffic,
+                        # so scan the whole queue rather than the head.
+                        still_in_transit = []
+                        for due, amount in queue:
+                            if due <= t:
+                                slot_arrivals[k] += amount
+                            else:
+                                still_in_transit.append((due, amount))
+                        pending[(session_name, node_name)] = (
+                            still_in_transit
+                        )
+                served = servers[node_name].step(
+                    slot_arrivals, capacity=capacities[node_name][t]
+                )
                 backlog = servers[node_name].backlog
                 for k, session_name in enumerate(local):
                     node_served[(session_name, node_name)][t] = served[k]
@@ -188,7 +240,21 @@ class FluidNetworkSimulator:
                         egress[session_name][t] += amount
                     else:
                         next_node = session.route[hop + 1]
-                        if self._link_delay == 0:
+                        delivery = faults.link_delivery_time(
+                            session_name, node_name, t
+                        )
+                        if delivery > t:
+                            # Link down or delayed: hold the traffic
+                            # until the fault clears, then add the
+                            # nominal link latency.
+                            due = (
+                                int(np.ceil(delivery))
+                                + self._link_delay
+                            )
+                            pending.setdefault(
+                                (session_name, next_node), []
+                            ).append((max(due, t + 1), amount))
+                        elif self._link_delay == 0:
                             same_slot[(session_name, next_node)] = (
                                 same_slot.get(
                                     (session_name, next_node), 0.0
@@ -202,7 +268,7 @@ class FluidNetworkSimulator:
             if self._link_delay == 0 and same_slot:
                 leftovers = {k: v for k, v in same_slot.items() if v > 0}
                 if leftovers:
-                    raise RuntimeError(
+                    raise SimulationFaultError(
                         "same-slot traffic was not consumed; processing "
                         f"order is inconsistent: {leftovers}"
                     )
@@ -214,4 +280,6 @@ class FluidNetworkSimulator:
             egress=egress,
             node_backlog=node_backlog,
             node_served=node_served,
+            node_capacities=capacities if len(faults) else None,
+            fault_schedule=faults if len(faults) else None,
         )

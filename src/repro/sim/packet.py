@@ -30,6 +30,8 @@ import numpy as np
 
 from repro.utils.validation import check_positive, check_weights
 
+from repro.errors import ValidationError
+
 __all__ = ["Packet", "ScheduledPacket", "WFQResult", "WFQServer"]
 
 _EPS = 1e-12
@@ -46,10 +48,10 @@ class Packet:
 
     def __post_init__(self) -> None:
         if self.session < 0:
-            raise ValueError(f"session must be >= 0, got {self.session}")
+            raise ValidationError(f"session must be >= 0, got {self.session}")
         check_positive("size", self.size)
         if self.arrival_time < 0.0 or not math.isfinite(self.arrival_time):
-            raise ValueError(
+            raise ValidationError(
                 f"arrival_time must be finite and >= 0, got "
                 f"{self.arrival_time}"
             )
@@ -197,7 +199,7 @@ class _VirtualClock:
             self._index_values, virtual_value - 1e-9
         )
         if k >= len(segments):
-            raise ValueError(
+            raise ValidationError(
                 f"virtual value {virtual_value} was never reached; "
                 "call drain() first"
             )
@@ -233,7 +235,7 @@ class WFQServer:
         """Schedule all packets; returns stamps in departure order."""
         for packet in packets:
             if packet.session >= self.num_sessions:
-                raise ValueError(
+                raise ValidationError(
                     f"packet session {packet.session} out of range "
                     f"(server has {self.num_sessions} sessions)"
                 )

@@ -27,6 +27,8 @@ import numpy as np
 from repro.sim.packet import Packet
 from repro.utils.validation import check_positive, check_weights
 
+from repro.errors import ValidationError
+
 __all__ = [
     "TaggedPacket",
     "TaggedResult",
@@ -107,7 +109,7 @@ class _TagOrderedServer:
         """Schedule all packets; returns stamps in departure order."""
         for packet in packets:
             if packet.session >= self._num_sessions:
-                raise ValueError(
+                raise ValidationError(
                     f"packet session {packet.session} out of range"
                 )
         self._reset()
@@ -191,7 +193,7 @@ class VirtualClockServer(_TagOrderedServer):
         for k, r in enumerate(reserved):
             check_positive(f"reserved_rates[{k}]", r)
         if sum(reserved) > rate + 1e-12:
-            raise ValueError(
+            raise ValidationError(
                 f"reserved rates sum to {sum(reserved)} > server rate "
                 f"{rate}"
             )

@@ -16,6 +16,8 @@ from dataclasses import dataclass
 import networkx as nx
 import numpy as np
 
+from repro.errors import ValidationError
+from repro.faults.schedule import FaultSchedule, LinkFault
 from repro.network.topology import Network
 from repro.sim.packet import Packet, WFQServer
 
@@ -74,12 +76,35 @@ class PacketNetworkSimulator:
     Nodes are processed in topological order; since WFQ is
     work-conserving and causal, simulating an upstream node completely
     before its downstream neighbors is exact for feedforward routes.
+
+    ``faults`` injects a :class:`repro.faults.FaultSchedule` of
+    :class:`repro.faults.LinkFault` events: packets leaving a faulted
+    node are held until the down window closes and/or shifted by the
+    extra latency before entering the next hop.
     """
 
-    def __init__(self, network: Network) -> None:
+    def __init__(
+        self,
+        network: Network,
+        *,
+        faults: FaultSchedule | None = None,
+    ) -> None:
         if not network.is_feedforward():
-            raise ValueError(
+            raise ValidationError(
                 "packet networks require a feedforward route graph"
+            )
+        self._faults = faults if faults is not None else FaultSchedule()
+        unsupported = [
+            type(f).__name__
+            for f in self._faults
+            if not isinstance(f, LinkFault)
+        ]
+        if unsupported:
+            raise ValidationError(
+                "the packet-network simulator supports only LinkFault "
+                f"models (WFQ runs each node as one batch at a fixed "
+                f"rate); got {sorted(set(unsupported))}. Use the fluid "
+                "network simulator for rate/burst faults."
             )
         self._network = network
         order = list(nx.topological_sort(network.route_graph()))
@@ -100,7 +125,7 @@ class PacketNetworkSimulator:
         network = self._network
         sessions = {s.name: s for s in network.sessions}
         if set(ingress) != set(sessions):
-            raise ValueError(
+            raise ValidationError(
                 "ingress must cover exactly the network sessions "
                 f"{sorted(sessions)}, got {sorted(ingress)}"
             )
@@ -180,11 +205,18 @@ class PacketNetworkSimulator:
                     )
                 )
                 if hop + 1 < session.num_hops:
+                    # A faulty link holds the packet (down window) or
+                    # adds latency before it reaches the next hop.
+                    handoff = self._faults.link_delivery_time(
+                        session_name,
+                        node_name,
+                        scheduled.pgps_finish,
+                    )
                     pending.setdefault(
                         (session_name, session.route[hop + 1]), []
                     ).append(
                         (
-                            scheduled.pgps_finish,
+                            handoff,
                             scheduled.packet.size,
                         )
                     )

@@ -15,6 +15,8 @@ import numpy as np
 from repro.sim.packet import Packet
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = ["packetize_trace", "packetize_traces"]
 
 
@@ -33,10 +35,10 @@ def packetize_trace(
     """
     check_positive("packet_size", packet_size)
     if session < 0:
-        raise ValueError(f"session must be >= 0, got {session}")
+        raise ValidationError(f"session must be >= 0, got {session}")
     arr = np.asarray(increments, dtype=float)
     if np.any(arr < 0.0):
-        raise ValueError("arrivals must be non-negative")
+        raise ValidationError("arrivals must be non-negative")
     packets: list[Packet] = []
     cumulative = 0.0
     next_boundary = packet_size
@@ -69,7 +71,7 @@ def packetize_traces(
     """
     matrix = np.asarray(traces, dtype=float)
     if matrix.ndim != 2:
-        raise ValueError(
+        raise ValidationError(
             f"traces must be 2-D (sessions x slots), got {matrix.shape}"
         )
     packets: list[Packet] = []

@@ -19,6 +19,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import stats
 
+from repro.errors import ValidationError
+
 __all__ = ["BatchMeansEstimate", "batch_means_tail", "dominance_check"]
 
 
@@ -61,16 +63,16 @@ def batch_means_tail(
     """
     arr = np.asarray(samples, dtype=float)
     if num_batches < 2:
-        raise ValueError(
+        raise ValidationError(
             f"need at least 2 batches, got {num_batches}"
         )
     if not 0.0 < confidence < 1.0:
-        raise ValueError(
+        raise ValidationError(
             f"confidence must be in (0, 1), got {confidence}"
         )
     batch_size = arr.size // num_batches
     if batch_size < 1:
-        raise ValueError(
+        raise ValidationError(
             f"too few samples ({arr.size}) for {num_batches} batches"
         )
     usable = arr[: batch_size * num_batches]

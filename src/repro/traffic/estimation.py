@@ -24,6 +24,8 @@ import numpy as np
 from repro.core.ebb import EBB
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = [
     "interval_excess_tail",
     "pooled_excess_tail",
@@ -50,7 +52,7 @@ def interval_excess_tail(
     check_positive("rho", rho)
     arr = np.asarray(increments, dtype=float)
     if not 1 <= window <= arr.size:
-        raise ValueError(f"window must be in [1, {arr.size}], got {window}")
+        raise ValidationError(f"window must be in [1, {arr.size}], got {window}")
     sums = _window_sums(arr, window)
     thresholds = rho * window + np.asarray(excesses, dtype=float)
     return np.array(
@@ -140,7 +142,7 @@ def fit_ebb(
     check_positive("rho", rho)
     mean_rate = float(arr.mean())
     if rho <= mean_rate:
-        raise ValueError(
+        raise ValidationError(
             f"rho={rho} must exceed the empirical mean rate {mean_rate}"
         )
     if windows is None:
@@ -169,7 +171,7 @@ def fit_ebb(
     tail = pooled_excess_tail(arr, rho, windows, grid)
     positive = tail > 0.0
     if positive.sum() < 2:
-        raise ValueError(
+        raise ValidationError(
             "not enough positive tail mass to fit; use a longer trace "
             "or a smaller rho"
         )

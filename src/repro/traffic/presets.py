@@ -31,6 +31,8 @@ from repro.traffic.sources import (
 )
 from repro.utils.validation import check_positive
 
+from repro.errors import ValidationError
+
 __all__ = [
     "voice_model",
     "voice_traffic",
@@ -52,7 +54,7 @@ def voice_model(
     """
     check_positive("peak_rate", peak_rate)
     if not 0.0 < activity < 1.0:
-        raise ValueError(
+        raise ValidationError(
             f"activity must be in (0, 1), got {activity}"
         )
     check_positive("mean_talk_spurt", mean_talk_spurt)
@@ -60,7 +62,7 @@ def voice_model(
     # activity = p / (p + q)  =>  p = q * activity / (1 - activity)
     p = q * activity / (1.0 - activity)
     if p >= 1.0:
-        raise ValueError(
+        raise ValidationError(
             "inconsistent parameters: implied off->on probability "
             f"{p} >= 1; lengthen the talk spurt or lower activity"
         )
@@ -86,10 +88,10 @@ def video_model(
     ``level_change_probability`` each).
     """
     if num_levels < 2:
-        raise ValueError(f"num_levels must be >= 2, got {num_levels}")
+        raise ValidationError(f"num_levels must be >= 2, got {num_levels}")
     check_positive("peak_rate", peak_rate)
     if not 0.0 < level_change_probability <= 0.5:
-        raise ValueError(
+        raise ValidationError(
             "level_change_probability must be in (0, 0.5], got "
             f"{level_change_probability}"
         )

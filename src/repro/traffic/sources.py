@@ -22,6 +22,8 @@ from repro.utils.validation import (
     check_probability,
 )
 
+from repro.errors import ValidationError
+
 __all__ = [
     "TrafficSource",
     "OnOffTraffic",
@@ -68,7 +70,7 @@ class OnOffTraffic(TrafficSource):
         self, num_slots: int, rng: np.random.Generator
     ) -> np.ndarray:
         if num_slots <= 0:
-            raise ValueError(f"num_slots must be positive, got {num_slots}")
+            raise ValidationError(f"num_slots must be positive, got {num_slots}")
         p, q = self.model.p, self.model.q
         uniforms = rng.random(num_slots)
         states = np.empty(num_slots, dtype=bool)
@@ -100,7 +102,7 @@ class MarkovModulatedTraffic(TrafficSource):
         self, num_slots: int, rng: np.random.Generator
     ) -> np.ndarray:
         if num_slots <= 0:
-            raise ValueError(f"num_slots must be positive, got {num_slots}")
+            raise ValidationError(f"num_slots must be positive, got {num_slots}")
         transition = self.model.chain.transition
         pi = self.model.chain.stationary_distribution()
         num_states = self.model.num_states
@@ -137,7 +139,7 @@ class ConstantBitRateTraffic(TrafficSource):
     ) -> np.ndarray:
         del rng
         if num_slots <= 0:
-            raise ValueError(f"num_slots must be positive, got {num_slots}")
+            raise ValidationError(f"num_slots must be positive, got {num_slots}")
         return np.full(num_slots, self.rate)
 
     @property
@@ -170,7 +172,7 @@ class BernoulliBurstTraffic(TrafficSource):
         self, num_slots: int, rng: np.random.Generator
     ) -> np.ndarray:
         if num_slots <= 0:
-            raise ValueError(f"num_slots must be positive, got {num_slots}")
+            raise ValidationError(f"num_slots must be positive, got {num_slots}")
         hits = rng.random(num_slots) < self.burst_probability
         return np.where(hits, self.burst_size, 0.0)
 
@@ -197,7 +199,7 @@ class UniformNoiseTraffic(TrafficSource):
     def __post_init__(self) -> None:
         check_nonnegative("low", self.low)
         if self.high <= self.low:
-            raise ValueError(
+            raise ValidationError(
                 f"need high > low, got [{self.low}, {self.high}]"
             )
 
@@ -205,7 +207,7 @@ class UniformNoiseTraffic(TrafficSource):
         self, num_slots: int, rng: np.random.Generator
     ) -> np.ndarray:
         if num_slots <= 0:
-            raise ValueError(f"num_slots must be positive, got {num_slots}")
+            raise ValidationError(f"num_slots must be positive, got {num_slots}")
         return rng.uniform(self.low, self.high, size=num_slots)
 
     @property
@@ -229,7 +231,7 @@ class CompoundTraffic(TrafficSource):
 
     def __post_init__(self) -> None:
         if not self.components:
-            raise ValueError("CompoundTraffic needs at least one component")
+            raise ValidationError("CompoundTraffic needs at least one component")
 
     def generate(
         self, num_slots: int, rng: np.random.Generator

@@ -12,6 +12,8 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from repro.errors import NumericalError, ValidationError
+
 __all__ = [
     "safe_exp",
     "log1mexp",
@@ -42,7 +44,7 @@ def log1mexp(x: float) -> float:
     use ``log(-expm1(-x))``; for large ``x`` use ``log1p(-exp(-x))``.
     """
     if x <= 0.0:
-        raise ValueError(f"log1mexp requires x > 0, got {x}")
+        raise ValidationError(f"log1mexp requires x > 0, got {x}")
     if x <= math.log(2.0):
         return math.log(-math.expm1(-x))
     return math.log1p(-math.exp(-x))
@@ -51,7 +53,7 @@ def log1mexp(x: float) -> float:
 def expm1_neg(x: float) -> float:
     """Return ``1 - exp(-x)`` accurately for ``x >= 0``."""
     if x < 0.0:
-        raise ValueError(f"expm1_neg requires x >= 0, got {x}")
+        raise ValidationError(f"expm1_neg requires x >= 0, got {x}")
     return -math.expm1(-x)
 
 
@@ -70,10 +72,31 @@ def geometric_tail_factor(decay: float) -> float:
 
     This is the sum of the geometric series ``sum_{k>=0} exp(-k*decay)``
     that appears in every discretized supremum bound (Lemmas 5 and 6).
+
+    Raises
+    ------
+    NumericalError
+        If ``decay`` is so small that the factor overflows a double
+        (``decay`` below roughly ``1e-308``).  Silently returning
+        ``inf`` would poison every bound prefactor built from it.
     """
     if decay <= 0.0:
-        raise ValueError(f"geometric tail requires decay > 0, got {decay}")
-    return 1.0 / expm1_neg(decay)
+        raise ValidationError(
+            f"geometric tail requires decay > 0, got {decay}"
+        )
+    denominator = expm1_neg(decay)
+    if denominator <= 0.0:
+        raise NumericalError(
+            f"geometric tail factor: 1 - exp(-decay) underflowed to 0 "
+            f"for decay={decay}"
+        )
+    factor = 1.0 / denominator
+    if not math.isfinite(factor):
+        raise NumericalError(
+            f"geometric tail factor overflowed for decay={decay}: "
+            "the discretization is too fine to represent in a double"
+        )
+    return factor
 
 
 def bisect_root(
@@ -89,6 +112,12 @@ def bisect_root(
     ``func(lo)`` and ``func(hi)`` must have opposite signs.  Bisection is
     preferred over Newton here because the effective-bandwidth equations
     we solve are smooth but their derivatives are awkward near zero.
+
+    Raises
+    ------
+    NumericalError
+        If the endpoints do not bracket a root, or the interval fails
+        to shrink below ``tol`` within ``max_iter`` iterations.
     """
     f_lo = func(lo)
     f_hi = func(hi)
@@ -97,7 +126,7 @@ def bisect_root(
     if f_hi == 0.0:
         return hi
     if f_lo * f_hi > 0.0:
-        raise ValueError(
+        raise NumericalError(
             f"bisect_root: func({lo})={f_lo} and func({hi})={f_hi} "
             "do not bracket a root"
         )
@@ -110,7 +139,10 @@ def bisect_root(
             hi = mid
         else:
             lo, f_lo = mid, f_mid
-    return 0.5 * (lo + hi)
+    raise NumericalError(
+        f"bisect_root did not converge in {max_iter} iterations: "
+        f"interval [{lo}, {hi}] is still wider than tol={tol}"
+    )
 
 
 def minimize_scalar_bounded(
@@ -128,7 +160,7 @@ def minimize_scalar_bounded(
     parameter ``xi`` in the bound prefactors.
     """
     if not lo < hi:
-        raise ValueError(f"need lo < hi, got [{lo}, {hi}]")
+        raise ValidationError(f"need lo < hi, got [{lo}, {hi}]")
     inv_phi = (math.sqrt(5.0) - 1.0) / 2.0
     a, b = lo, hi
     c = b - inv_phi * (b - a)

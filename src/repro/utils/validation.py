@@ -1,15 +1,18 @@
 """Argument-validation helpers.
 
 All public constructors in the library validate their inputs eagerly and
-raise ``ValueError`` with a message naming the offending parameter, so
-that a mis-specified session or GPS assignment fails at construction
-time rather than deep inside a bound computation.
+raise :class:`repro.errors.ValidationError` (a ``ValueError`` subclass)
+with a message naming the offending parameter, so that a mis-specified
+session or GPS assignment fails at construction time rather than deep
+inside a bound computation.
 """
 
 from __future__ import annotations
 
 import math
 from typing import Sequence, Sized
+
+from repro.errors import ValidationError
 
 __all__ = [
     "check_positive",
@@ -22,46 +25,52 @@ __all__ = [
 
 
 def check_positive(name: str, value: float) -> float:
-    """Raise ``ValueError`` unless ``value`` is finite and > 0."""
+    """Raise :class:`ValidationError` unless ``value`` is finite and > 0."""
     if not math.isfinite(value) or value <= 0.0:
-        raise ValueError(f"{name} must be finite and positive, got {value}")
+        raise ValidationError(
+            f"{name} must be finite and positive, got {value}"
+        )
     return value
 
 
 def check_nonnegative(name: str, value: float) -> float:
-    """Raise ``ValueError`` unless ``value`` is finite and >= 0."""
+    """Raise :class:`ValidationError` unless ``value`` is finite and >= 0."""
     if not math.isfinite(value) or value < 0.0:
-        raise ValueError(f"{name} must be finite and non-negative, got {value}")
+        raise ValidationError(
+            f"{name} must be finite and non-negative, got {value}"
+        )
     return value
 
 
 def check_probability(name: str, value: float) -> float:
-    """Raise ``ValueError`` unless ``value`` lies in ``[0, 1]``."""
+    """Raise :class:`ValidationError` unless ``value`` lies in ``[0, 1]``."""
     if not math.isfinite(value) or not 0.0 <= value <= 1.0:
-        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+        raise ValidationError(
+            f"{name} must be a probability in [0, 1], got {value}"
+        )
     return value
 
 
 def check_in_open_interval(
     name: str, value: float, lo: float, hi: float
 ) -> float:
-    """Raise ``ValueError`` unless ``lo < value < hi``."""
+    """Raise :class:`ValidationError` unless ``lo < value < hi``."""
     if not math.isfinite(value) or not lo < value < hi:
-        raise ValueError(f"{name} must lie in ({lo}, {hi}), got {value}")
+        raise ValidationError(f"{name} must lie in ({lo}, {hi}), got {value}")
     return value
 
 
 def check_finite(name: str, value: float) -> float:
-    """Raise ``ValueError`` unless ``value`` is finite."""
+    """Raise :class:`ValidationError` unless ``value`` is finite."""
     if not math.isfinite(value):
-        raise ValueError(f"{name} must be finite, got {value}")
+        raise ValidationError(f"{name} must be finite, got {value}")
     return value
 
 
 def check_same_length(name_a: str, a: Sized, name_b: str, b: Sized) -> None:
-    """Raise ``ValueError`` unless two sequences have equal length."""
+    """Raise :class:`ValidationError` unless two sequences have equal length."""
     if len(a) != len(b):
-        raise ValueError(
+        raise ValidationError(
             f"{name_a} (length {len(a)}) and {name_b} (length {len(b)}) "
             "must have the same length"
         )
@@ -70,7 +79,7 @@ def check_same_length(name_a: str, a: Sized, name_b: str, b: Sized) -> None:
 def check_weights(name: str, weights: Sequence[float]) -> list[float]:
     """Validate a GPS weight vector: non-empty, all entries positive."""
     if len(weights) == 0:
-        raise ValueError(f"{name} must be non-empty")
+        raise ValidationError(f"{name} must be non-empty")
     out = []
     for k, w in enumerate(weights):
         check_positive(f"{name}[{k}]", w)

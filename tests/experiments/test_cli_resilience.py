@@ -1,0 +1,124 @@
+"""CLI hardening tests: --seed/--trials/--fail-fast and `repro all` exits."""
+
+import json
+
+import pytest
+
+import repro.cli
+from repro.cli import main
+from repro.errors import ReproError
+
+
+class TestSimulateFlags:
+    def test_rejects_nonpositive_trials(self, capsys):
+        assert main(["simulate", "--trials", "0"]) == 2
+        assert "--trials" in capsys.readouterr().err
+
+    def test_single_trial_uses_seed(self, capsys):
+        assert main(["simulate", "--slots", "3000", "--seed", "7"]) == 0
+        first = capsys.readouterr().out
+        assert main(["simulate", "--slots", "3000", "--seed", "7"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_supervised_run_reports_trials(self, capsys, tmp_path):
+        checkpoint = tmp_path / "sim.json"
+        code = main(
+            [
+                "simulate",
+                "--slots",
+                "2000",
+                "--trials",
+                "2",
+                "--seed",
+                "3",
+                "--checkpoint",
+                str(checkpoint),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 completed" in out
+        payload = json.loads(checkpoint.read_text())
+        assert set(payload["completed"]) == {"0", "1"}
+
+    def test_supervised_failure_exits_nonzero(self, capsys, monkeypatch):
+        from repro.experiments import runner as runner_module
+        from repro.experiments.supervisor import RunManifest
+
+        manifest = RunManifest(base_seed=0, num_trials=2)
+        manifest.completed = {0: {}}
+        manifest.failed = {1: "NumericalError: injected"}
+        monkeypatch.setattr(
+            repro.cli,
+            "render_supervised_simulation",
+            lambda **kwargs: ("report text", manifest),
+        )
+        assert runner_module is not None
+        assert main(["simulate", "--trials", "2"]) == 1
+        assert "report text" in capsys.readouterr().out
+
+    def test_fail_fast_flag_reaches_runner(self, capsys, monkeypatch):
+        captured = {}
+
+        def fake_render(**kwargs):
+            captured.update(kwargs)
+            raise ReproError("fail-fast abort")
+
+        monkeypatch.setattr(
+            repro.cli, "render_supervised_simulation", fake_render
+        )
+        assert main(["simulate", "--trials", "3", "--fail-fast"]) == 1
+        assert captured["fail_fast"] is True
+        assert "fail-fast abort" in capsys.readouterr().err
+
+
+class TestAllCommand:
+    def test_exits_nonzero_when_any_artifact_fails(
+        self, capsys, monkeypatch
+    ):
+        def fake_run_all(output_dir):
+            return (
+                {"table1": "ok"},
+                {"figure4": ReproError("bound blew up")},
+            )
+
+        monkeypatch.setattr(repro.cli, "run_all_resilient", fake_run_all)
+        assert main(["all"]) == 1
+        output = capsys.readouterr()
+        assert "table1" in output.out
+        assert "figure4" in output.err
+        assert "bound blew up" in output.err
+
+    def test_exits_zero_when_all_render(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            repro.cli,
+            "run_all_resilient",
+            lambda output_dir: ({"table1": "ok"}, {}),
+        )
+        assert main(["all"]) == 0
+
+
+class TestRunAllResilient:
+    def test_partial_failure_keeps_other_artifacts(self, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.setattr(
+            runner,
+            "render_table2",
+            lambda: (_ for _ in ()).throw(ReproError("broken")),
+        )
+        artifacts, errors = runner.run_all_resilient(None)
+        assert "table1" in artifacts
+        assert "table2" in errors
+        assert isinstance(errors["table2"], ReproError)
+
+    def test_run_all_raises_on_failure(self, monkeypatch):
+        from repro.experiments import runner
+
+        monkeypatch.setattr(
+            runner,
+            "render_table1",
+            lambda: (_ for _ in ()).throw(ReproError("broken")),
+        )
+        with pytest.raises(ReproError):
+            runner.run_all(None)

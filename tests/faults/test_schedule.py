@@ -1,0 +1,153 @@
+"""Tests for the fault models and FaultSchedule queries."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, ValidationError
+from repro.faults import (
+    BurstFault,
+    FaultSchedule,
+    LinkFault,
+    NumericFault,
+    RateFault,
+)
+
+
+class TestFaultValidation:
+    def test_window_must_be_ordered(self):
+        with pytest.raises(ValidationError):
+            RateFault("n", 10, 10, 0.5)
+        with pytest.raises(ValidationError):
+            RateFault("n", 10, 5, 0.5)
+
+    def test_window_must_be_nonnegative(self):
+        with pytest.raises(ValidationError):
+            RateFault("n", -1, 5, 0.5)
+
+    def test_rate_factor_must_be_nonnegative(self):
+        with pytest.raises(ValidationError):
+            RateFault("n", 0, 5, -0.1)
+        with pytest.raises(ValidationError):
+            RateFault("n", 0, 5, float("nan"))
+
+    def test_link_fault_must_do_something(self):
+        with pytest.raises(ValidationError):
+            LinkFault("n", 0, 5)
+
+    def test_burst_parameters_validated(self):
+        with pytest.raises(ValidationError):
+            BurstFault("s", 0, 5, multiplier=-1.0)
+        with pytest.raises(ValidationError):
+            BurstFault("s", 0, 5, extra=-2.0)
+
+    def test_numeric_mode_validated(self):
+        with pytest.raises(ValidationError):
+            NumericFault("t", 0, 5, mode="garbage")
+
+    def test_schedule_rejects_foreign_objects(self):
+        with pytest.raises(ValidationError):
+            FaultSchedule([object()])
+
+    def test_all_validation_errors_are_repro_errors(self):
+        with pytest.raises(ReproError):
+            RateFault("n", 3, 1, 0.5)
+
+
+class TestScheduleQueries:
+    def test_rate_factor_composes_multiplicatively(self):
+        schedule = FaultSchedule(
+            [
+                RateFault("a", 0, 10, 0.5),
+                RateFault("a", 5, 15, 0.5),
+                RateFault("b", 0, 10, 0.0),
+            ]
+        )
+        assert schedule.rate_factor("a", 2) == 0.5
+        assert schedule.rate_factor("a", 7) == 0.25
+        assert schedule.rate_factor("a", 12) == 0.5
+        assert schedule.rate_factor("a", 20) == 1.0
+        assert schedule.rate_factor("b", 3) == 0.0
+        assert schedule.rate_factor("c", 3) == 1.0
+
+    def test_node_capacities_trace(self):
+        schedule = FaultSchedule([RateFault("n", 2, 4, 0.5)])
+        caps = schedule.node_capacities("n", 2.0, 6)
+        assert caps.tolist() == [2.0, 2.0, 1.0, 1.0, 2.0, 2.0]
+
+    def test_link_delivery_time_extra_delay(self):
+        schedule = FaultSchedule(
+            [LinkFault("n", 10, 20, extra_delay=3)]
+        )
+        assert schedule.link_delivery_time("s", "n", 5) == 5
+        assert schedule.link_delivery_time("s", "n", 12) == 15
+        assert schedule.link_delivery_time("s", "n", 25) == 25
+
+    def test_link_down_holds_until_window_end(self):
+        schedule = FaultSchedule([LinkFault("n", 10, 20, down=True)])
+        assert schedule.link_delivery_time("s", "n", 12) == 20
+        assert schedule.link_delivery_time("s", "n", 20) == 20
+
+    def test_link_fault_session_filter(self):
+        schedule = FaultSchedule(
+            [LinkFault("n", 0, 10, extra_delay=2, session="s1")]
+        )
+        assert schedule.link_delivery_time("s1", "n", 5) == 7
+        assert schedule.link_delivery_time("s2", "n", 5) == 5
+
+    def test_faults_judged_at_emission_time(self):
+        # The down window delivers at 20; the delay window starting at
+        # 20 does NOT re-apply — only faults active at emission count.
+        schedule = FaultSchedule(
+            [
+                LinkFault("n", 10, 20, down=True),
+                LinkFault("n", 20, 30, extra_delay=5),
+            ]
+        )
+        assert schedule.link_delivery_time("s", "n", 12) == 20
+        # Overlapping faults at emission take the latest delivery.
+        overlapping = FaultSchedule(
+            [
+                LinkFault("n", 10, 20, down=True),
+                LinkFault("n", 10, 20, extra_delay=15),
+            ]
+        )
+        assert overlapping.link_delivery_time("s", "n", 12) == 27
+
+    def test_arrival_adjustment(self):
+        schedule = FaultSchedule(
+            [BurstFault("s", 5, 10, multiplier=2.0, extra=1.5)]
+        )
+        assert schedule.arrival_adjustment("s", 2) == (1.0, 0.0)
+        assert schedule.arrival_adjustment("s", 7) == (2.0, 1.5)
+        assert schedule.arrival_adjustment("other", 7) == (1.0, 0.0)
+
+    def test_adjusted_arrivals_window(self):
+        schedule = FaultSchedule(
+            [BurstFault("s", 1, 3, multiplier=0.0, extra=2.0)]
+        )
+        out = schedule.adjusted_arrivals("s", np.ones(5))
+        assert out.tolist() == [1.0, 2.0, 2.0, 1.0, 1.0]
+
+    def test_numeric_mode_by_call_index(self):
+        schedule = FaultSchedule([NumericFault("bound", 2, 4)])
+        assert schedule.numeric_mode("bound", 1) is None
+        assert schedule.numeric_mode("bound", 2) == "nan"
+        assert schedule.numeric_mode("bound", 3) == "nan"
+        assert schedule.numeric_mode("bound", 4) is None
+        assert schedule.numeric_mode("other", 2) is None
+
+    def test_fault_mask_excludes_numeric_faults(self):
+        schedule = FaultSchedule(
+            [
+                RateFault("n", 2, 4, 0.5),
+                NumericFault("bound", 0, 100),
+            ]
+        )
+        mask = schedule.fault_mask(6)
+        assert mask.tolist() == [False, False, True, True, False, False]
+
+    def test_extended_is_persistent(self):
+        base = FaultSchedule()
+        grown = base.extended(RateFault("n", 0, 1, 0.5))
+        assert len(base) == 0
+        assert len(grown) == 1

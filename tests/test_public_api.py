@@ -19,11 +19,13 @@ PACKAGES = [
     "repro.sim",
     "repro.network",
     "repro.experiments",
+    "repro.faults",
     "repro.utils",
 ]
 
 MODULES = [
     "repro.cli",
+    "repro.errors",
     "repro.core.admission",
     "repro.core.bounds",
     "repro.core.decomposition",
@@ -41,7 +43,11 @@ MODULES = [
     "repro.experiments.paper_example",
     "repro.experiments.runner",
     "repro.experiments.sensitivity",
+    "repro.experiments.supervisor",
     "repro.experiments.tables",
+    "repro.faults.injection",
+    "repro.faults.report",
+    "repro.faults.schedule",
     "repro.markov.chain",
     "repro.markov.effective_bandwidth",
     "repro.markov.exact_queue",

@@ -1,0 +1,153 @@
+"""Regression tests for numeric helpers at the edges of double precision.
+
+The bound prefactors divide by ``1 - exp(-theta * eps)``; as theta -> 0
+that denominator underflows, and the naive evaluation silently returns
+``inf`` which then poisons every downstream bound.  These tests pin the
+behavior near ``_EXP_MAX``, near ``theta = 0``, and at denominator
+underflow.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import NumericalError, ReproError, ValidationError
+from repro.utils.numeric import (
+    _EXP_MAX,
+    bisect_root,
+    expm1_neg,
+    geometric_tail_factor,
+    log1mexp,
+    logsumexp_pair,
+    safe_exp,
+)
+
+
+class TestSafeExpEdges:
+    def test_saturates_to_inf_above_exp_max(self):
+        assert safe_exp(_EXP_MAX + 1.0) == math.inf
+        assert safe_exp(1e9) == math.inf
+
+    def test_saturates_to_zero_below_negative_exp_max(self):
+        assert safe_exp(-_EXP_MAX - 1.0) == 0.0
+        assert safe_exp(-1e9) == 0.0
+
+    def test_exact_at_the_threshold(self):
+        # _EXP_MAX itself is still representable (exp(700) ~ 1e304).
+        value = safe_exp(_EXP_MAX)
+        assert math.isfinite(value)
+        assert value == pytest.approx(math.exp(700.0))
+        assert math.isfinite(safe_exp(-_EXP_MAX))
+
+    def test_agrees_with_exp_in_the_interior(self):
+        for x in (-100.0, -1.0, 0.0, 1.0, 100.0, 650.0):
+            assert safe_exp(x) == pytest.approx(math.exp(x))
+
+
+class TestLog1mexpEdges:
+    def test_tiny_argument_branch(self):
+        # Near x = 0 the result is ~ log(x); the naive log(1 - exp(-x))
+        # would lose all precision.
+        for x in (1e-15, 1e-10, 1e-5):
+            assert log1mexp(x) == pytest.approx(
+                math.log(x) - x / 2.0, rel=1e-6
+            )
+
+    def test_large_argument_branch(self):
+        # For large x the result approaches 0 from below as -exp(-x).
+        for x in (50.0, 700.0):
+            assert log1mexp(x) == pytest.approx(-math.exp(-x), abs=1e-300)
+        assert log1mexp(800.0) == 0.0  # exp(-800) underflows entirely
+
+    def test_branch_point_is_continuous(self):
+        split = math.log(2.0)
+        below = log1mexp(split - 1e-12)
+        above = log1mexp(split + 1e-12)
+        assert below == pytest.approx(above, abs=1e-9)
+
+    def test_domain_errors_are_typed(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ValidationError):
+                log1mexp(bad)
+        with pytest.raises(ReproError):
+            log1mexp(-5.0)
+
+
+class TestExpm1NegEdges:
+    def test_small_argument_precision(self):
+        # 1 - exp(-x) ~ x - x^2/2 for tiny x; naive evaluation returns 0.
+        assert expm1_neg(1e-300) == pytest.approx(1e-300)
+        assert expm1_neg(1e-18) == pytest.approx(1e-18)
+
+    def test_saturates_at_one(self):
+        assert expm1_neg(800.0) == 1.0
+
+    def test_domain_error_is_typed(self):
+        with pytest.raises(ValidationError):
+            expm1_neg(-1e-12)
+
+
+class TestGeometricTailFactorEdges:
+    def test_moderate_decay(self):
+        assert geometric_tail_factor(1.0) == pytest.approx(
+            1.0 / (1.0 - math.exp(-1.0))
+        )
+
+    def test_small_decay_stays_accurate(self):
+        # factor ~ 1/decay as decay -> 0; must not lose precision.
+        for decay in (1e-6, 1e-12):
+            assert geometric_tail_factor(decay) == pytest.approx(
+                1.0 / decay, rel=1e-5
+            )
+
+    def test_theta_to_zero_raises_instead_of_inf(self):
+        """Denominator underflow must raise, never return silent inf."""
+        with pytest.raises(NumericalError):
+            geometric_tail_factor(5e-324)
+        with pytest.raises((NumericalError, ValidationError)):
+            geometric_tail_factor(0.0)
+
+    def test_never_returns_nonfinite(self):
+        # Scan decades down to the underflow region: every call either
+        # returns a finite factor or raises a typed error.
+        decay = 1.0
+        while decay > 1e-320:
+            try:
+                factor = geometric_tail_factor(decay)
+            except NumericalError:
+                pass
+            else:
+                assert math.isfinite(factor)
+            decay /= 10.0
+
+    def test_nonpositive_decay_rejected(self):
+        with pytest.raises(ValidationError):
+            geometric_tail_factor(-1.0)
+
+
+class TestLogsumexpPairEdges:
+    def test_large_arguments_do_not_overflow(self):
+        assert logsumexp_pair(710.0, 710.0) == pytest.approx(
+            710.0 + math.log(2.0)
+        )
+
+    def test_neg_inf_identity(self):
+        assert logsumexp_pair(-math.inf, 3.0) == 3.0
+        assert logsumexp_pair(3.0, -math.inf) == 3.0
+
+
+class TestBisectRootEdges:
+    def test_no_bracket_raises_numerical_error(self):
+        with pytest.raises(NumericalError):
+            bisect_root(lambda x: x * x + 1.0, -1.0, 1.0)
+
+    def test_non_convergence_raises_instead_of_guessing(self):
+        with pytest.raises(NumericalError, match="converge"):
+            bisect_root(lambda x: x, -1.0, 2.0, max_iter=3)
+
+    def test_errors_are_repro_and_value_errors(self):
+        # Back-compat: callers that caught ValueError keep working.
+        with pytest.raises(ValueError):
+            bisect_root(lambda x: x * x + 1.0, -1.0, 1.0)
+        with pytest.raises(ReproError):
+            bisect_root(lambda x: x * x + 1.0, -1.0, 1.0)
