@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Benchmark the batched fluid GPS engine against the scalar server.
+
+Measures three throughputs on the same workload (a heterogeneous
+on-off / Bernoulli / CBR session mix sampled from one ``Scenario``):
+
+* **scalar** — ``FluidGPSServer.run`` once per trial; the baseline
+  slot rate (trial-slots per second);
+* **batched** — ``BatchFluidGPSServer.run`` over the whole ``(B, N,
+  T)`` stack; the tentpole speedup this PR exists to demonstrate;
+* **supervised** — ``SupervisedRunner`` trial throughput, serial vs
+  process fan-out, on a smaller per-trial horizon (the packet/network
+  path that cannot batch).
+
+Writes ``BENCH_engine.json`` (see ``--out``) with raw timings and the
+derived speedups; the CI bench job uploads it as a non-gating
+artifact so regressions are visible without blocking merges.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.markov.onoff import OnOffSource
+from repro.scenario import Scenario
+from repro.traffic.sources import (
+    BernoulliBurstTraffic,
+    ConstantBitRateTraffic,
+    OnOffTraffic,
+)
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def build_scenario(num_slots: int) -> Scenario:
+    """The benchmark workload: 8 heterogeneous sessions at ~72% load."""
+    sources = (
+        OnOffTraffic(OnOffSource(p=0.2, q=0.4, peak_rate=0.30)),
+        OnOffTraffic(OnOffSource(p=0.3, q=0.5, peak_rate=0.25)),
+        OnOffTraffic(OnOffSource(p=0.1, q=0.6, peak_rate=0.40)),
+        BernoulliBurstTraffic(burst_probability=0.25, burst_size=0.30),
+        BernoulliBurstTraffic(burst_probability=0.40, burst_size=0.20),
+        ConstantBitRateTraffic(rate=0.05),
+        OnOffTraffic(OnOffSource(p=0.25, q=0.35, peak_rate=0.20)),
+        BernoulliBurstTraffic(burst_probability=0.30, burst_size=0.25),
+    )
+    return Scenario(
+        rate=1.0,
+        phis=(2.0, 2.0, 1.5, 1.0, 1.0, 0.5, 1.0, 1.0),
+        sources=sources,
+        horizon=num_slots,
+        seed=42,
+    )
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Best wall-clock seconds over ``repeats`` runs (min is the
+    standard low-noise estimator for single-process benchmarks)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_fluid(
+    scenario: Scenario, num_trials: int, repeats: int
+) -> dict:
+    """Scalar-vs-batched slot throughput on identical sample paths."""
+    batch_arrivals = scenario.sample_arrival_batch(num_trials)
+    per_trial = [batch_arrivals[b] for b in range(num_trials)]
+    trial_slots = num_trials * scenario.horizon
+
+    def run_scalar() -> None:
+        for arrivals in per_trial:
+            scenario.server().run(arrivals)
+
+    def run_batched() -> None:
+        scenario.batch_server().run(batch_arrivals)
+
+    # One warm-up apiece, then timed repeats.
+    run_scalar()
+    run_batched()
+    scalar_s = _best_of(repeats, run_scalar)
+    batched_s = _best_of(repeats, run_batched)
+    return {
+        "num_trials": num_trials,
+        "num_sessions": scenario.num_sessions,
+        "num_slots": scenario.horizon,
+        "scalar_seconds": scalar_s,
+        "batched_seconds": batched_s,
+        "scalar_slots_per_sec": trial_slots / scalar_s,
+        "batched_slots_per_sec": trial_slots / batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def bench_supervised(
+    scenario: Scenario, num_trials: int, workers: int
+) -> dict:
+    """Serial vs process-pool trial throughput of SupervisedRunner."""
+    from repro.experiments.supervisor import SupervisedRunner
+
+    def timed(max_workers: int | None) -> float:
+        runner = SupervisedRunner(
+            scenario=scenario,
+            num_trials=num_trials,
+            max_workers=max_workers,
+        )
+        start = time.perf_counter()
+        manifest = runner.run()
+        elapsed = time.perf_counter() - start
+        assert manifest.num_completed == num_trials
+        return elapsed
+
+    serial_s = timed(None)
+    parallel_s = timed(workers)
+    return {
+        "num_trials": num_trials,
+        "num_slots": scenario.horizon,
+        "workers": workers,
+        "serial_seconds": serial_s,
+        "parallel_seconds": parallel_s,
+        "serial_trials_per_sec": num_trials / serial_s,
+        "parallel_trials_per_sec": num_trials / parallel_s,
+        "speedup": serial_s / parallel_s,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--slots", type=int, default=2_000, help="slots per trial"
+    )
+    parser.add_argument(
+        "--batch-sizes",
+        type=int,
+        nargs="+",
+        default=[16, 64, 256],
+        help="batch sizes to sweep for the fluid engine",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timed repeats (best-of)"
+    )
+    parser.add_argument(
+        "--supervised-trials",
+        type=int,
+        default=8,
+        help="trials for the supervised-runner comparison",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="process-pool size for the supervised comparison",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    args = parser.parse_args()
+
+    scenario = build_scenario(args.slots)
+    fluid_rows = []
+    for num_trials in args.batch_sizes:
+        row = bench_fluid(scenario, num_trials, args.repeats)
+        fluid_rows.append(row)
+        print(
+            f"fluid  B={num_trials:4d}: scalar "
+            f"{row['scalar_slots_per_sec']:,.0f} slots/s, batched "
+            f"{row['batched_slots_per_sec']:,.0f} slots/s "
+            f"({row['speedup']:.1f}x)"
+        )
+
+    # Fan-out only pays once a trial outweighs process startup, so the
+    # supervised comparison runs a longer horizon per trial.
+    supervised_scenario = build_scenario(args.slots * 8)
+    supervised = bench_supervised(
+        supervised_scenario, args.supervised_trials, args.workers
+    )
+    print(
+        f"supervised n={supervised['num_trials']}: serial "
+        f"{supervised['serial_trials_per_sec']:.2f} trials/s, "
+        f"{supervised['workers']} workers "
+        f"{supervised['parallel_trials_per_sec']:.2f} trials/s "
+        f"({supervised['speedup']:.1f}x)"
+    )
+
+    payload = {
+        "benchmark": "batched fluid GPS engine",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "fluid": fluid_rows,
+        "supervised": supervised,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

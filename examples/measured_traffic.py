@@ -105,7 +105,7 @@ def main() -> None:
             video_gen.generate(VALIDATE_SLOTS, rng),
         ]
     )
-    result = FluidGPSServer(1.0, list(config.phis)).run(fresh)
+    result = FluidGPSServer(rate=1.0, phis=list(config.phis)).run(fresh)
     qs = np.array([2.0, 5.0, 10.0])
     rows = []
     for i, name in enumerate(("voice", "video")):

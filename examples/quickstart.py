@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Quickstart: statistical bounds for one GPS server, validated by
-simulation.
+simulation through the :class:`repro.Scenario` API.
 
 Three steps:
 
@@ -8,21 +8,24 @@ Three steps:
    via the effective-bandwidth machinery for on-off Markov sources);
 2. compute per-session backlog/delay tail bounds with the
    feasible-partition theorem (Theorem 11);
-3. simulate the fluid GPS server and check the bounds dominate the
-   empirical tail.
+3. declare the whole setup as one frozen ``Scenario`` and let it drive
+   the batched fluid simulation, then check the bounds dominate the
+   empirical tail pooled across trials.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import GPSConfig, Session, theorem11_family
+from repro import Scenario
+from repro.core import theorem11_family
 from repro.experiments.tables import format_table
 from repro.markov import OnOffSource, ebb_characterization
-from repro.sim import FluidGPSServer, empirical_ccdf
+from repro.sim import empirical_ccdf
 from repro.traffic import OnOffTraffic
 
-NUM_SLOTS = 100_000
+NUM_SLOTS = 20_000
+NUM_TRIALS = 5
 SERVER_RATE = 1.0
 
 
@@ -36,47 +39,53 @@ def main() -> None:
     upper_rates = {"voice": 0.25, "video": 0.3, "data": 0.25}
     weights = {"voice": 2.0, "video": 2.0, "data": 1.0}
 
-    sessions = []
+    ebbs = {}
     for name, model in models.items():
         ebb = ebb_characterization(model.as_mms(), upper_rates[name])
-        sessions.append(Session(name, ebb, weights[name]))
+        ebbs[name] = ebb
         print(
             f"{name}: rho={ebb.rho}, Lambda={ebb.prefactor:.3f}, "
             f"alpha={ebb.decay_rate:.3f}"
         )
-    config = GPSConfig(SERVER_RATE, sessions)
+
+    # --- 2. one Scenario declares the whole experiment --------------
+    scenario = Scenario(
+        rate=SERVER_RATE,
+        phis=tuple(weights[name] for name in models),
+        sources=tuple(OnOffTraffic(models[name]) for name in models),
+        horizon=NUM_SLOTS,
+        seed=0,
+        names=tuple(models),
+        ebbs=tuple(ebbs[name] for name in models),
+    )
+    config = scenario.gps_config()
     print(
         "feasible partition:",
         [tuple(cls) for cls in config.partition().classes],
     )
-
-    # --- 2. Theorem 11 bounds ---------------------------------------
     families = {
         name: theorem11_family(config, config.index_of(name))
         for name in models
     }
 
-    # --- 3. simulate and compare ------------------------------------
-    rng = np.random.default_rng(0)
-    arrivals = np.vstack(
-        [
-            OnOffTraffic(models[s.name]).generate(NUM_SLOTS, rng)
-            for s in sessions
-        ]
+    # --- 3. batched simulation, bounds vs pooled empirical tail -----
+    batch = scenario.simulate_batch(NUM_TRIALS)
+    print(
+        f"\nsimulated {batch.num_trials} trials x "
+        f"{batch.num_slots} slots, mean utilization "
+        f"{batch.utilization().mean():.3f}"
     )
-    result = FluidGPSServer(
-        SERVER_RATE, [s.phi for s in sessions]
-    ).run(arrivals)
 
     qs = np.array([0.5, 1.0, 2.0, 3.0])
     rows = []
-    for i, session in enumerate(sessions):
-        empirical = empirical_ccdf(result.backlog[i][1000:], qs)
+    for i, name in enumerate(scenario.names):
+        pooled = batch.backlog[:, i, 1000:].ravel()
+        empirical = empirical_ccdf(pooled, qs)
         for q, emp in zip(qs, empirical):
-            bound = families[session.name].optimized_backlog(
+            bound = families[name].optimized_backlog(
                 float(q)
             ).evaluate(float(q))
-            rows.append([session.name, float(q), emp, bound])
+            rows.append([name, float(q), emp, bound])
     print()
     print(
         format_table(

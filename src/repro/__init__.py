@@ -24,6 +24,9 @@ Discipline" (SIGCOMM '94 / UMass CMPSCI TR 95-10):
   failures, bursts, numeric corruption) and degraded-mode reports.
 * :mod:`repro.errors` — the typed error hierarchy every public API
   raises from.
+* :mod:`repro.scenario` — the frozen :class:`~repro.scenario.Scenario`
+  description that drives fluid, batched, packet and fault-injected
+  simulations from one declaration.
 """
 
 from repro.core import (
@@ -56,6 +59,7 @@ from repro.network import (
     crst_partition,
     rpps_network_bounds,
 )
+from repro.scenario import Scenario
 
 __version__ = "1.0.0"
 
@@ -78,6 +82,7 @@ __all__ = [
     "analyze_crst_network",
     "crst_partition",
     "rpps_network_bounds",
+    "Scenario",
     "ReproError",
     "ValidationError",
     "FeasibilityError",

@@ -13,6 +13,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -77,6 +78,24 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "JSON checkpoint file for the supervised run; completed "
             "trials are skipped on rerun"
+        ),
+    )
+    simulate.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "process-pool size for the supervised run; > 1 fans "
+            "trials out across processes (results stay identical to "
+            "a serial run)"
+        ),
+    )
+    simulate.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit a JSON payload (the unified result protocol) "
+            "instead of the text report"
         ),
     )
     everything = sub.add_parser(
@@ -197,7 +216,12 @@ def _run_simulate(args) -> int:
     if args.trials < 1:
         print("error: --trials must be >= 1", file=sys.stderr)
         return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
     if args.trials == 1:
+        if args.json:
+            return _simulate_single_json(args)
         print(
             render_simulation_check(
                 num_slots=args.slots, seed=args.seed
@@ -211,9 +235,46 @@ def _run_simulate(args) -> int:
             base_seed=args.seed,
             checkpoint_path=args.checkpoint,
             fail_fast=args.fail_fast,
+            max_workers=args.workers,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    print(report)
+    if args.json:
+        from repro.experiments.runner import aggregate_frequencies
+        from repro.sim.results import to_jsonable
+
+        payload = {
+            "kind": "supervised_simulation",
+            "summary": manifest.summary(),
+            "num_trials": manifest.num_trials,
+            "base_seed": manifest.base_seed,
+            "num_slots": args.slots,
+            "completed": sorted(manifest.completed),
+            "failed": manifest.failed,
+            "skipped": manifest.skipped,
+            "aggregate": aggregate_frequencies(manifest.results),
+        }
+        print(json.dumps(to_jsonable(payload), indent=2))
+    else:
+        print(report)
     return 1 if manifest.failed else 0
+
+
+def _simulate_single_json(args) -> int:
+    """One trial, emitted via the unified result protocol."""
+    from repro.experiments.paper_example import simulate_example_network
+    from repro.experiments.runner import delay_frequencies
+    from repro.sim.results import to_jsonable
+
+    try:
+        simulation = simulate_example_network(
+            1, args.slots, seed=args.seed
+        )
+        payload = simulation.summary()
+        payload["delay_frequencies"] = delay_frequencies(simulation)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(to_jsonable(payload), indent=2))
+    return 0

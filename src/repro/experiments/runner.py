@@ -8,6 +8,7 @@ the ``python -m repro`` command line.
 
 from __future__ import annotations
 
+import functools
 from pathlib import Path
 
 import numpy as np
@@ -36,6 +37,8 @@ __all__ = [
     "render_figure4",
     "render_simulation_check",
     "simulation_trial",
+    "delay_frequencies",
+    "aggregate_frequencies",
     "render_supervised_simulation",
     "run_all",
     "run_all_resilient",
@@ -155,21 +158,13 @@ def render_simulation_check(
     )
 
 
-def simulation_trial(
-    trial: int, seed: int, *, num_slots: int = 60_000
-) -> dict[str, dict[str, float]]:
-    """One Monte-Carlo trial: per-session delay-exceedance frequencies.
+def delay_frequencies(simulation) -> dict[str, dict[str, float]]:
+    """Per-session delay-exceedance frequencies of a network run.
 
-    Returns ``{session: {str(d): Pr-hat{D_net >= d}}}`` — a
-    JSON-serializable record suitable for
-    :class:`repro.experiments.supervisor.SupervisedRunner`
-    checkpointing.  Frequencies are guarded: a non-finite value (e.g.
-    from an injected numeric fault) raises
-    :class:`repro.errors.NumericalError`, which the supervisor treats
-    as retryable.  The ``trial`` index is unused beyond labeling.
+    ``{session: {str(d): Pr-hat{D_net >= d}}}`` over the post-warm-up
+    slots, guarded: a non-finite frequency (e.g. from an injected
+    numeric fault) raises :class:`repro.errors.NumericalError`.
     """
-    del trial
-    simulation = simulate_example_network(1, num_slots, seed=seed)
     frequencies: dict[str, dict[str, float]] = {}
     for name in SESSION_NAMES:
         delays = simulation.end_to_end_delays(name)[_WARMUP_SLOTS:]
@@ -184,6 +179,42 @@ def simulation_trial(
     return frequencies
 
 
+def aggregate_frequencies(
+    results,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Mean/std of per-trial exceedance frequencies across trials.
+
+    ``results`` is a list of :func:`simulation_trial` records;
+    returns ``{session: {str(d): {"mean": ..., "std": ...}}}``.
+    """
+    aggregate: dict[str, dict[str, dict[str, float]]] = {}
+    for name in SESSION_NAMES:
+        aggregate[name] = {}
+        for d in _CHECK_DELAYS:
+            samples = [r[name][str(d)] for r in results]
+            aggregate[name][str(d)] = {
+                "mean": float(np.mean(samples)) if samples else float("nan"),
+                "std": float(np.std(samples)) if samples else float("nan"),
+            }
+    return aggregate
+
+
+def simulation_trial(
+    trial: int, seed: int, *, num_slots: int = 60_000
+) -> dict[str, dict[str, float]]:
+    """One Monte-Carlo trial: per-session delay-exceedance frequencies.
+
+    Returns ``{session: {str(d): Pr-hat{D_net >= d}}}`` — a
+    JSON-serializable record suitable for
+    :class:`repro.experiments.supervisor.SupervisedRunner`
+    checkpointing (see :func:`delay_frequencies` for the guarding).
+    The ``trial`` index is unused beyond labeling.
+    """
+    del trial
+    simulation = simulate_example_network(1, num_slots, seed=seed)
+    return delay_frequencies(simulation)
+
+
 def render_supervised_simulation(
     *,
     num_trials: int,
@@ -192,24 +223,27 @@ def render_supervised_simulation(
     checkpoint_path: str | Path | None = None,
     fail_fast: bool = False,
     timeout: float | None = None,
+    max_workers: int | None = None,
 ) -> tuple[str, RunManifest]:
     """Supervised multi-trial Monte-Carlo check of the Section 6.3 bounds.
 
     Runs ``num_trials`` independent simulations under
     :class:`SupervisedRunner` (deterministic per-trial seeds, retries,
-    optional checkpoint/resume), aggregates the per-trial exceedance
+    optional checkpoint/resume, process fan-out with
+    ``max_workers > 1``), aggregates the per-trial exceedance
     frequencies of the completed trials, and renders them against the
     Figure 3/4 bounds.  Returns ``(report text, manifest)``.
     """
+    # functools.partial keeps the trial function picklable, which the
+    # max_workers > 1 process pool requires.
     runner = SupervisedRunner(
-        lambda trial, seed: simulation_trial(
-            trial, seed, num_slots=num_slots
-        ),
-        num_trials,
+        trial_fn=functools.partial(simulation_trial, num_slots=num_slots),
+        num_trials=num_trials,
         base_seed=base_seed,
         checkpoint_path=checkpoint_path,
         fail_fast=fail_fast,
         timeout=timeout,
+        max_workers=max_workers,
     )
     manifest = runner.run()
     fig3 = figure3_delay_bounds(1)

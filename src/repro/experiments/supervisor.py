@@ -21,6 +21,12 @@ with the standard production defenses:
 * **JSON checkpoint/resume** — completed and failed trials are flushed
   to a checkpoint file after every trial (atomic rename), and a rerun
   with the same ``checkpoint_path`` skips finished work;
+* **process fan-out** — ``max_workers > 1`` runs trials concurrently in
+  a ``concurrent.futures.ProcessPoolExecutor``; per-trial seeds keep
+  the aggregate identical to a serial run, so fan-out is purely a
+  wall-clock lever for the packet/network simulators that stay scalar
+  (the batched fluid engine covers the single-node case without
+  processes);
 * **graceful degradation** — trials that exhaust their retries are
   recorded in the manifest's ``failed`` map and the run continues
   (unless ``fail_fast``), so a 1000-trial campaign with three bad seeds
@@ -34,7 +40,13 @@ import json
 import os
 import tempfile
 import time
-from concurrent.futures import ThreadPoolExecutor
+import warnings
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,6 +61,7 @@ from repro.errors import (
     SimulationFaultError,
     ValidationError,
 )
+from repro.sim.results import to_jsonable
 
 __all__ = [
     "trial_seed",
@@ -117,27 +130,34 @@ class RunManifest:
         )
 
 
-def _to_jsonable(value: Any) -> Any:
-    """Convert numpy containers/scalars to plain JSON types."""
-    if isinstance(value, np.ndarray):
-        return [_to_jsonable(v) for v in value.tolist()]
-    if isinstance(value, (np.floating, np.integer, np.bool_)):
-        return value.item()
-    if isinstance(value, dict):
-        return {str(k): _to_jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_to_jsonable(v) for v in value]
-    return value
+# Shared with the unified result protocol; kept under the old private
+# name for callers that imported it from here.
+_to_jsonable = to_jsonable
 
 
 class SupervisedRunner:
     """Run ``num_trials`` Monte-Carlo trials under supervision.
+
+    Preferred construction is keyword-only::
+
+        SupervisedRunner(trial_fn=fn, num_trials=64, ...)
+        SupervisedRunner(scenario=s, num_trials=64, ...)
+
+    The historical positional form ``SupervisedRunner(fn, n, ...)``
+    still works but emits a :class:`DeprecationWarning`.
 
     Parameters
     ----------
     trial_fn:
         Called as ``trial_fn(trial_index, seed)``; must return a
         JSON-serializable result (numpy scalars/arrays are converted).
+        With ``max_workers > 1`` it must also be picklable (a
+        module-level function, ``functools.partial`` of one, or a bound
+        method of a picklable object).
+    scenario:
+        A :class:`repro.scenario.Scenario`; its
+        :meth:`~repro.scenario.Scenario.trial_result` becomes the
+        ``trial_fn``.  Mutually exclusive with ``trial_fn``.
     num_trials, base_seed:
         The campaign size and the seed the per-trial seeds derive from.
     max_retries:
@@ -147,7 +167,13 @@ class SupervisedRunner:
         trial immediately (still recorded as failed, no retries burned).
     timeout:
         Wall-clock seconds per attempt, enforced via a worker thread;
-        ``None`` disables the thread and runs inline.
+        ``None`` disables the thread and runs inline.  Not supported
+        together with ``max_workers > 1``.
+    max_workers:
+        ``> 1`` fans trials out to a process pool of that size.
+        Per-trial seeding keeps the completed results identical to a
+        serial run; retry backoff sleeps are skipped (a retried trial
+        simply re-enters the queue).
     backoff_base, backoff_cap, jitter:
         Attempt ``a`` sleeps ``min(cap, base * 2**a) * (1 + U*jitter)``
         before retrying, with ``U`` drawn from a deterministic
@@ -165,13 +191,15 @@ class SupervisedRunner:
 
     def __init__(
         self,
-        trial_fn: Callable[[int, int], Any],
-        num_trials: int,
-        *,
+        *args,
+        trial_fn: Callable[[int, int], Any] | None = None,
+        num_trials: int | None = None,
+        scenario=None,
         base_seed: int = 0,
         max_retries: int = 2,
         retry_on: Sequence[type] = _DEFAULT_RETRYABLE,
         timeout: float | None = None,
+        max_workers: int | None = None,
         backoff_base: float = 0.1,
         backoff_cap: float = 5.0,
         jitter: float = 0.25,
@@ -179,6 +207,45 @@ class SupervisedRunner:
         fail_fast: bool = False,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
+        if args:
+            warnings.warn(
+                "positional SupervisedRunner(trial_fn, num_trials) is "
+                "deprecated; use SupervisedRunner(trial_fn=..., "
+                "num_trials=...) or SupervisedRunner(scenario=..., "
+                "num_trials=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2 or trial_fn is not None or (
+                len(args) == 2 and num_trials is not None
+            ):
+                raise TypeError(
+                    "SupervisedRunner takes at most the two legacy "
+                    "positional arguments (trial_fn, num_trials)"
+                )
+            trial_fn = args[0]
+            if len(args) == 2:
+                num_trials = args[1]
+        if scenario is not None:
+            if trial_fn is not None:
+                raise ValidationError(
+                    "pass either scenario= or trial_fn=, not both"
+                )
+            trial_fn = scenario.trial_result
+        if trial_fn is None or num_trials is None:
+            raise ValidationError(
+                "SupervisedRunner requires trial_fn= (or scenario=) "
+                "and num_trials="
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValidationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        if max_workers is not None and max_workers > 1 and timeout is not None:
+            raise ValidationError(
+                "per-attempt timeout is not supported with "
+                "max_workers > 1; drop one of the two"
+            )
         if num_trials <= 0:
             raise ValidationError(
                 f"num_trials must be positive, got {num_trials}"
@@ -204,6 +271,7 @@ class SupervisedRunner:
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
         self._fail_fast = bool(fail_fast)
+        self._max_workers = int(max_workers) if max_workers is not None else 1
         self._sleep = sleep
 
     # ------------------------------------------------------------------
@@ -335,6 +403,8 @@ class SupervisedRunner:
         # Failed trials from a previous run get a fresh chance.
         for k in indices:
             manifest.failed.pop(k, None)
+        if self._max_workers > 1:
+            return self._run_parallel(manifest, indices)
         aborted = False
         for trial in indices:
             if aborted:
@@ -371,6 +441,69 @@ class SupervisedRunner:
                     manifest.attempts[trial] = attempts_used
                     self._write_checkpoint(manifest)
                     break
+        if aborted and self._fail_fast:
+            failed = sorted(manifest.failed)
+            raise SimulationFaultError(
+                f"fail-fast abort: trial {failed[-1]} exhausted its "
+                f"retries; manifest: {manifest.summary()}"
+            )
+        return manifest
+
+    def _run_parallel(
+        self, manifest: RunManifest, indices: list[int]
+    ) -> RunManifest:
+        """Process-pool variant of :meth:`run`.
+
+        Seeds are the same per-(trial, attempt) values the serial path
+        uses, so ``manifest.completed`` is identical to a serial run.
+        Retryable failures re-enter the submission queue immediately
+        (no backoff sleep — the pool's other workers keep the wall
+        clock busy); checkpoints are written as completions arrive.
+        """
+        aborted = False
+        attempts: dict[int, int] = {trial: 0 for trial in indices}
+        with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
+
+            def submit(trial: int):
+                attempt = attempts[trial]
+                attempts[trial] += 1
+                seed = trial_seed(self._base_seed, trial, attempt)
+                return pool.submit(self._trial_fn, trial, seed)
+
+            pending = {submit(trial): trial for trial in indices}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    trial = pending.pop(future)
+                    if aborted:
+                        if trial not in manifest.failed:
+                            manifest.skipped.append(trial)
+                        continue
+                    error = future.exception()
+                    if error is None:
+                        manifest.completed[trial] = future.result()
+                        manifest.attempts[trial] = attempts[trial]
+                        self._write_checkpoint(manifest)
+                        continue
+                    retryable = isinstance(error, self._retry_on)
+                    if retryable and attempts[trial] <= self._max_retries:
+                        new_future = submit(trial)
+                        pending[new_future] = trial
+                        continue
+                    manifest.failed[trial] = (
+                        f"{type(error).__name__}: {error}"
+                    )
+                    manifest.attempts[trial] = attempts[trial]
+                    self._write_checkpoint(manifest)
+                    if self._fail_fast:
+                        aborted = True
+                        for other in pending.values():
+                            manifest.skipped.append(other)
+                        for other_future in pending:
+                            other_future.cancel()
+                        pending = {}
+                        break
+        manifest.skipped.sort()
         if aborted and self._fail_fast:
             failed = sorted(manifest.failed)
             raise SimulationFaultError(

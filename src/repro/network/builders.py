@@ -6,10 +6,17 @@ route graphs, exercising the arbitrary-topology side of Theorem 13).
 All builders produce RPPS assignments (``phi = rho`` everywhere) so the
 closed-form Theorem 15 bounds apply, and are used by the
 route-independence bench and property tests.
+
+Builders are keyword-only and accept either explicit E.B.B.
+characterizations or a :class:`repro.scenario.Scenario` (whose ``ebbs``
+supply the per-session envelopes and whose ``rate`` becomes the node
+rate).  The historical positional call forms still work but emit a
+:class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
 from repro.core.ebb import EBB
@@ -20,12 +27,44 @@ from repro.errors import ValidationError
 __all__ = ["tandem_network", "tree_network", "ring_network"]
 
 
+def _positional_shim(name: str, args: tuple, names: tuple[str, ...], kwargs: dict) -> None:
+    """Map legacy positional ``args`` onto keyword ``kwargs`` in place."""
+    if not args:
+        return
+    warnings.warn(
+        f"positional {name}(...) is deprecated; pass "
+        f"{', '.join(f'{n}=' for n in names)} as keywords (or scenario=)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if len(args) > len(names):
+        raise TypeError(
+            f"{name} takes at most {len(names)} legacy positional "
+            f"arguments ({', '.join(names)})"
+        )
+    for value, key in zip(args, names):
+        if kwargs.get(key) is not None:
+            raise TypeError(f"{name}() got duplicate argument {key!r}")
+        kwargs[key] = value
+
+
+def _scenario_ebbs(scenario) -> tuple:
+    ebbs = getattr(scenario, "ebbs", None)
+    if ebbs is None:
+        raise ValidationError(
+            "scenario has no E.B.B. characterizations (ebbs=None); "
+            "network builders need per-session envelopes"
+        )
+    return tuple(ebbs)
+
+
 def tandem_network(
-    num_hops: int,
-    through: EBB,
-    cross: EBB,
-    *,
-    node_rate: float = 1.0,
+    *args,
+    num_hops: int | None = None,
+    through: EBB | None = None,
+    cross: EBB | None = None,
+    scenario=None,
+    node_rate: float | None = None,
 ) -> Network:
     """A chain of ``num_hops`` nodes.
 
@@ -34,7 +73,46 @@ def tandem_network(
     enters and leaves.  The through session's bottleneck is identical at
     every hop, making this the canonical testbed for Theorem 15's
     route-length independence.
+
+    With ``scenario=``: ``ebbs[0]`` is the through session, ``ebbs[1]``
+    the cross session, ``num_hops`` defaults to ``num_sessions - 1``
+    (the remaining sessions become the per-hop cross traffic), and the
+    node rate defaults to the scenario's server rate.
     """
+    _positional_shim(
+        "tandem_network",
+        args,
+        ("num_hops", "through", "cross"),
+        locals_ := {"num_hops": num_hops, "through": through, "cross": cross},
+    )
+    num_hops, through, cross = (
+        locals_["num_hops"],
+        locals_["through"],
+        locals_["cross"],
+    )
+    if scenario is not None:
+        if through is not None or cross is not None:
+            raise ValidationError(
+                "pass either scenario= or through=/cross=, not both"
+            )
+        ebbs = _scenario_ebbs(scenario)
+        if len(ebbs) < 2:
+            raise ValidationError(
+                "tandem_network(scenario=...) needs at least two "
+                "sessions (through and cross)"
+            )
+        through, cross = ebbs[0], ebbs[1]
+        if num_hops is None:
+            num_hops = max(1, scenario.num_sessions - 1)
+        if node_rate is None:
+            node_rate = scenario.rate
+    if num_hops is None or through is None or cross is None:
+        raise ValidationError(
+            "tandem_network requires num_hops=, through= and cross= "
+            "(or scenario=)"
+        )
+    if node_rate is None:
+        node_rate = 1.0
     if num_hops < 1:
         raise ValidationError(f"num_hops must be >= 1, got {num_hops}")
     nodes = [
@@ -58,16 +136,41 @@ def tandem_network(
 
 
 def tree_network(
-    leaf_sessions: Sequence[Sequence[EBB]],
-    *,
-    node_rate: float = 1.0,
+    *args,
+    leaf_sessions: Sequence[Sequence[EBB]] | None = None,
+    scenario=None,
+    node_rate: float | None = None,
 ) -> Network:
     """A two-level tree: one leaf node per entry, all feeding a root.
 
     ``leaf_sessions[k]`` lists the arrivals entering at leaf ``k``;
     every session's route is (leaf_k, root).  The paper's Figure 2 is
-    ``tree_network([[s1, s2], [s3, s4]])``.
+    ``tree_network(leaf_sessions=[[s1, s2], [s3, s4]])``.
+
+    With ``scenario=``: each session becomes its own leaf feeding the
+    root, and the node rate defaults to the scenario's server rate.
     """
+    _positional_shim(
+        "tree_network",
+        args,
+        ("leaf_sessions",),
+        locals_ := {"leaf_sessions": leaf_sessions},
+    )
+    leaf_sessions = locals_["leaf_sessions"]
+    if scenario is not None:
+        if leaf_sessions is not None:
+            raise ValidationError(
+                "pass either scenario= or leaf_sessions=, not both"
+            )
+        leaf_sessions = [[ebb] for ebb in _scenario_ebbs(scenario)]
+        if node_rate is None:
+            node_rate = scenario.rate
+    if leaf_sessions is None:
+        raise ValidationError(
+            "tree_network requires leaf_sessions= (or scenario=)"
+        )
+    if node_rate is None:
+        node_rate = 1.0
     if not leaf_sessions:
         raise ValidationError("need at least one leaf")
     nodes = [NetworkNode("root", node_rate)]
@@ -86,11 +189,12 @@ def tree_network(
 
 
 def ring_network(
-    num_nodes: int,
-    arrival: EBB,
-    *,
+    *args,
+    num_nodes: int | None = None,
+    arrival: EBB | None = None,
+    scenario=None,
     hops_per_session: int = 2,
-    node_rate: float = 1.0,
+    node_rate: float | None = None,
 ) -> Network:
     """A ring: session ``k`` enters at node ``k`` and traverses the
     next ``hops_per_session`` nodes clockwise.
@@ -98,7 +202,34 @@ def ring_network(
     For ``hops_per_session >= 2`` the route graph is cyclic — the case
     where stability genuinely needs Theorem 13 rather than feedforward
     induction.
+
+    With ``scenario=``: a homogeneous ring of ``num_sessions`` nodes
+    built from ``ebbs[0]``, node rate defaulting to the scenario's
+    server rate.
     """
+    _positional_shim(
+        "ring_network",
+        args,
+        ("num_nodes", "arrival"),
+        locals_ := {"num_nodes": num_nodes, "arrival": arrival},
+    )
+    num_nodes, arrival = locals_["num_nodes"], locals_["arrival"]
+    if scenario is not None:
+        if arrival is not None:
+            raise ValidationError(
+                "pass either scenario= or arrival=, not both"
+            )
+        arrival = _scenario_ebbs(scenario)[0]
+        if num_nodes is None:
+            num_nodes = scenario.num_sessions
+        if node_rate is None:
+            node_rate = scenario.rate
+    if num_nodes is None or arrival is None:
+        raise ValidationError(
+            "ring_network requires num_nodes= and arrival= (or scenario=)"
+        )
+    if node_rate is None:
+        node_rate = 1.0
     if num_nodes < 2:
         raise ValidationError(f"num_nodes must be >= 2, got {num_nodes}")
     if not 1 <= hops_per_session <= num_nodes:

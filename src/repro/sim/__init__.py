@@ -6,6 +6,7 @@ from repro.sim.baselines import (
     StaticPriorityServer,
     WeightedRoundRobinServer,
 )
+from repro.sim.batch import BatchFluidGPSServer, BatchGPSSimResult
 from repro.sim.class_based import ClassBasedGPSServer
 from repro.sim.decay import DecayFit, estimate_decay_rate
 from repro.sim.fluid_exact import (
@@ -17,6 +18,7 @@ from repro.sim.fluid_exact import (
 from repro.sim.fluid import (
     FluidGPSServer,
     GPSSimResult,
+    batch_gps_slot_allocation,
     clearing_delays,
     gps_slot_allocation,
 )
@@ -40,6 +42,7 @@ from repro.sim.packet_baselines import (
     VirtualClockServer,
 )
 from repro.sim.packetize import packetize_trace, packetize_traces
+from repro.sim.results import SimResult, to_jsonable
 from repro.sim.statistics import (
     BatchMeansEstimate,
     batch_means_tail,
@@ -52,8 +55,13 @@ __all__ = [
     "WeightedRoundRobinServer",
     "FluidGPSServer",
     "GPSSimResult",
+    "BatchFluidGPSServer",
+    "BatchGPSSimResult",
+    "SimResult",
+    "to_jsonable",
     "clearing_delays",
     "gps_slot_allocation",
+    "batch_gps_slot_allocation",
     "BoundComparison",
     "busy_periods",
     "compare_bound_to_samples",

@@ -1,0 +1,340 @@
+"""Batched fluid GPS engine: ``B`` independent trials per step.
+
+Monte-Carlo campaigns over a single GPS node spend essentially all of
+their time in the per-slot water-filling; stepping each trial through
+:class:`repro.sim.fluid.FluidGPSServer` pays the Python interpreter
+cost ``B * T`` times.  :class:`BatchFluidGPSServer` stacks the trials
+into ``(B, N, T)`` arrays and applies the *same* water-filling kernel
+across the whole batch at once, so the interpreter cost is paid ``T``
+times regardless of ``B``.
+
+Because the scalar server is the ``B = 1`` slice of the shared kernel
+(:func:`repro.sim.fluid.batch_gps_slot_allocation`), the batched traces
+are bit-for-bit identical to running the scalar server on each trial —
+the equivalence suite in ``tests/sim/test_batch.py`` asserts exact
+equality, not closeness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sim.fluid import GPSSimResult, _batch_water_fill
+from repro.utils.validation import check_positive, check_weights
+
+__all__ = ["BatchFluidGPSServer", "BatchGPSSimResult"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class BatchGPSSimResult:
+    """Stacked traces of ``B`` independent fluid GPS trials.
+
+    All trace arrays have shape ``(num_trials, num_sessions,
+    num_slots)``; ``capacities`` — when the run was fault-injected —
+    has shape ``(num_trials, num_slots)``.
+    """
+
+    arrivals: np.ndarray
+    served: np.ndarray
+    backlog: np.ndarray
+    rate: float
+    phis: tuple[float, ...]
+    capacities: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        shape = self.arrivals.shape
+        if len(shape) != 3:
+            raise ValidationError(
+                f"traces must be 3-D (B, N, T), got {shape}"
+            )
+        if self.served.shape != shape or self.backlog.shape != shape:
+            raise ValidationError(
+                "arrivals/served/backlog shapes differ: "
+                f"{shape}, {self.served.shape}, {self.backlog.shape}"
+            )
+        if self.capacities is not None and self.capacities.shape != (
+            shape[0],
+            shape[2],
+        ):
+            raise ValidationError(
+                f"capacities must have shape ({shape[0]}, {shape[2]}), "
+                f"got {self.capacities.shape}"
+            )
+
+    @property
+    def num_trials(self) -> int:
+        """Batch size ``B``."""
+        return self.arrivals.shape[0]
+
+    @property
+    def num_sessions(self) -> int:
+        """Number of sessions."""
+        return self.arrivals.shape[1]
+
+    @property
+    def num_slots(self) -> int:
+        """Number of simulated slots."""
+        return self.arrivals.shape[2]
+
+    def trial(self, index: int) -> GPSSimResult:
+        """One trial's traces as a scalar :class:`GPSSimResult`.
+
+        The arrays are views into the batch; they compare bit-for-bit
+        equal to running :class:`repro.sim.fluid.FluidGPSServer` on the
+        same arrivals.
+        """
+        if not 0 <= index < self.num_trials:
+            raise ValidationError(
+                f"trial index must be in [0, {self.num_trials}), got "
+                f"{index}"
+            )
+        return GPSSimResult(
+            arrivals=self.arrivals[index],
+            served=self.served[index],
+            backlog=self.backlog[index],
+            rate=self.rate,
+            phis=self.phis,
+            capacities=(
+                None if self.capacities is None else self.capacities[index]
+            ),
+        )
+
+    def total_backlog(self) -> np.ndarray:
+        """System backlog per trial and slot, shape ``(B, T)``."""
+        return self.backlog.sum(axis=1)
+
+    def utilization(self) -> np.ndarray:
+        """Per-trial fraction of offered capacity actually used."""
+        if self.capacities is not None:
+            offered = self.capacities.sum(axis=1)
+        else:
+            offered = np.full(
+                self.num_trials, self.rate * self.num_slots
+            )
+        used = self.served.sum(axis=(1, 2))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(offered > 0.0, used / offered, 0.0)
+        return out
+
+    def busy_fraction(self, session: int) -> np.ndarray:
+        """Per-trial fraction of slots the session is backlogged."""
+        return np.mean(self.backlog[:, session, :] > _EPS, axis=1)
+
+    # ------------------------------------------------------------------
+    # unified result protocol (repro.sim.results.SimResult)
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """JSON-serializable scalar summary across the batch."""
+        total = self.total_backlog()
+        return {
+            "kind": "batch_fluid_gps",
+            "num_trials": self.num_trials,
+            "num_sessions": self.num_sessions,
+            "num_slots": self.num_slots,
+            "rate": self.rate,
+            "phis": list(self.phis),
+            "mean_utilization": float(self.utilization().mean()),
+            "total_arrived": float(self.arrivals.sum()),
+            "total_served": float(self.served.sum()),
+            "max_total_backlog": float(total.max()),
+            "mean_final_backlog": [
+                float(b) for b in self.backlog[:, :, -1].mean(axis=0)
+            ],
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full JSON-serializable dump: summary plus all traces."""
+        payload = self.summary()
+        payload["arrivals"] = self.arrivals.tolist()
+        payload["served"] = self.served.tolist()
+        payload["backlog"] = self.backlog.tolist()
+        if self.capacities is not None:
+            payload["capacities"] = self.capacities.tolist()
+        return payload
+
+
+class BatchFluidGPSServer:
+    """Vectorized fluid GPS server over ``B`` independent trials.
+
+    Keyword-only construction, mirroring
+    :class:`repro.sim.fluid.FluidGPSServer`::
+
+        BatchFluidGPSServer(rate=1.0, phis=[2.0, 1.0])
+        BatchFluidGPSServer(scenario=scenario)
+
+    All trials share the server rate and weight vector (they are
+    independent repetitions of one scenario, not different scenarios);
+    per-trial capacity traces may still differ, e.g. under fault
+    injection.  Validation happens at construction and once per
+    :meth:`run`; the slot loop runs on the no-copy float64 kernel.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float | None = None,
+        phis=None,
+        scenario=None,
+    ) -> None:
+        if scenario is not None:
+            if rate is not None or phis is not None:
+                raise ValidationError(
+                    "pass either scenario= or explicit rate=/phis=, "
+                    "not both"
+                )
+            rate = scenario.rate
+            phis = scenario.phis
+        if rate is None or phis is None:
+            raise ValidationError(
+                "BatchFluidGPSServer requires rate= and phis= "
+                "(or scenario=)"
+            )
+        check_positive("rate", rate)
+        self._phis = np.ascontiguousarray(
+            check_weights("phis", list(phis)), dtype=float
+        )
+        self._rate = float(rate)
+        self._backlog: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def rate(self) -> float:
+        """Server capacity per slot."""
+        return self._rate
+
+    @property
+    def num_sessions(self) -> int:
+        """Number of sessions."""
+        return self._phis.size
+
+    @property
+    def backlog(self) -> np.ndarray | None:
+        """Current ``(B, N)`` backlog (copy), or ``None`` before any
+        step."""
+        return None if self._backlog is None else self._backlog.copy()
+
+    def reset(self, num_trials: int | None = None) -> None:
+        """Empty all queues (and fix the batch size, when given)."""
+        if num_trials is None:
+            self._backlog = None
+        else:
+            if num_trials <= 0:
+                raise ValidationError(
+                    f"num_trials must be positive, got {num_trials}"
+                )
+            self._backlog = np.zeros((num_trials, self.num_sessions))
+
+    def step(self, arrivals, *, capacity=None) -> np.ndarray:
+        """Advance every trial one slot; returns ``(B, N)`` service.
+
+        ``arrivals`` is ``(B, N)``; the batch size is fixed by the
+        first step after a :meth:`reset`.  ``capacity`` overrides the
+        rate for this slot — a scalar applies to every trial, a
+        ``(B,)`` array sets per-trial capacities.
+        """
+        arr = np.ascontiguousarray(arrivals, dtype=float)
+        if arr.ndim != 2 or arr.shape[1] != self.num_sessions:
+            raise ValidationError(
+                f"arrivals must have shape (B, {self.num_sessions}), "
+                f"got {arr.shape}"
+            )
+        if np.any(arr < 0.0):
+            raise ValidationError("arrivals must be non-negative")
+        if self._backlog is None:
+            self._backlog = np.zeros_like(arr)
+        elif self._backlog.shape != arr.shape:
+            raise ValidationError(
+                f"expected batch shape {self._backlog.shape}, got "
+                f"{arr.shape}"
+            )
+        if capacity is None:
+            caps = np.full(arr.shape[0], self._rate)
+        else:
+            caps = np.broadcast_to(
+                np.asarray(capacity, dtype=float), (arr.shape[0],)
+            ).copy()
+            if np.any(~np.isfinite(caps)) or np.any(caps < 0.0):
+                raise ValidationError(
+                    "capacity must be finite and non-negative"
+                )
+        return self._step_fast(arr, caps)
+
+    def _step_fast(
+        self, arrivals: np.ndarray, capacities: np.ndarray
+    ) -> np.ndarray:
+        work = self._backlog + arrivals
+        served = _batch_water_fill(work, self._phis, capacities)
+        self._backlog = np.clip(work - served, 0.0, None)
+        return served
+
+    def run(
+        self,
+        arrivals: np.ndarray,
+        *,
+        capacities: np.ndarray | None = None,
+    ) -> BatchGPSSimResult:
+        """Simulate a stacked arrival tensor ``(B, num_sessions, T)``.
+
+        State is reset first, so ``run`` is reproducible.
+        ``capacities`` optionally overrides the per-slot capacity:
+        shape ``(T,)`` applies the same trace to every trial (the
+        common fault-injection case), shape ``(B, T)`` sets per-trial
+        traces.
+
+        Trial ``b`` of the result is bit-for-bit
+        ``FluidGPSServer(rate=..., phis=...).run(arrivals[b],
+        capacities=...)``.
+        """
+        arr = np.ascontiguousarray(arrivals, dtype=float)
+        if arr.ndim != 3 or arr.shape[1] != self.num_sessions:
+            raise ValidationError(
+                f"arrivals must have shape (B, {self.num_sessions}, T), "
+                f"got {arr.shape}"
+            )
+        if np.any(arr < 0.0):
+            raise ValidationError("arrivals must be non-negative")
+        num_trials, _, num_slots = arr.shape
+        if num_trials == 0 or num_slots == 0:
+            raise ValidationError(
+                f"need at least one trial and one slot, got {arr.shape}"
+            )
+        caps = None
+        if capacities is not None:
+            caps = np.ascontiguousarray(capacities, dtype=float)
+            if caps.shape == (num_slots,):
+                caps = np.broadcast_to(
+                    caps, (num_trials, num_slots)
+                ).copy()
+            if caps.shape != (num_trials, num_slots):
+                raise ValidationError(
+                    f"capacities must have shape ({num_slots},) or "
+                    f"({num_trials}, {num_slots}), got {caps.shape}"
+                )
+            if np.any(~np.isfinite(caps)) or np.any(caps < 0.0):
+                raise ValidationError(
+                    "capacities must be finite and non-negative"
+                )
+        self.reset(num_trials)
+        served = np.zeros_like(arr)
+        backlog = np.zeros_like(arr)
+        full_rate = np.full(num_trials, self._rate)
+        for t in range(num_slots):
+            slot_caps = full_rate if caps is None else caps[:, t]
+            served[:, :, t] = self._step_fast(
+                np.ascontiguousarray(arr[:, :, t]), slot_caps
+            )
+            backlog[:, :, t] = self._backlog
+        return BatchGPSSimResult(
+            arrivals=arr,
+            served=served,
+            backlog=backlog,
+            rate=self._rate,
+            phis=tuple(self._phis.tolist()),
+            capacities=caps,
+        )

@@ -14,11 +14,19 @@ network simulation) with a batch :meth:`FluidGPSServer.run` convenience
 returning a :class:`GPSSimResult` with per-session served/backlog
 traces and the paper's delay process ``D_i(t)`` (the time for the
 session-``i`` backlog present at ``t`` to clear).
+
+The water-filling itself is implemented once, as a *batched* kernel
+over stacked ``(B, N)`` work matrices (:func:`batch_gps_slot_allocation`);
+the scalar server is the ``B = 1`` slice of that kernel, so the batched
+engine in :mod:`repro.sim.batch` is bit-for-bit identical to stepping
+this server trial by trial.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -28,12 +36,65 @@ from repro.errors import ValidationError
 
 __all__ = [
     "gps_slot_allocation",
+    "batch_gps_slot_allocation",
     "FluidGPSServer",
     "GPSSimResult",
     "clearing_delays",
 ]
 
 _EPS = 1e-12
+
+
+def _batch_water_fill(
+    work: np.ndarray, phis: np.ndarray, capacity: np.ndarray
+) -> np.ndarray:
+    """GPS water-filling over a batch of independent trials.
+
+    ``work`` is ``(B, N)`` available work, ``phis`` a shared ``(N,)``
+    weight vector, ``capacity`` the ``(B,)`` per-trial slot capacities.
+    All inputs must already be validated, float64 and C-contiguous —
+    this is the hot kernel and performs no checks or copies.
+
+    Every floating-point operation applied to row ``b`` is independent
+    of the other rows (elementwise arithmetic plus row-wise
+    reductions), so the result for each row is bit-for-bit the result
+    of running the kernel on that row alone.
+    """
+    served = np.zeros_like(work)
+    remaining = capacity.astype(float, copy=True)
+    active = work > _EPS
+    while True:
+        live = (remaining > _EPS) & active.any(axis=1)
+        if not live.any():
+            break
+        total_phi = np.where(active, phis, 0.0).sum(axis=1)
+        # Inactive-only rows would divide by zero; their shares are
+        # masked out, the guard merely keeps the arithmetic finite.
+        denom = np.where(total_phi > 0.0, total_phi, 1.0)
+        shares = np.where(
+            active, remaining[:, None] * phis / denom[:, None], 0.0
+        )
+        deficit = work - served
+        finishing = active & (deficit <= shares + _EPS) & live[:, None]
+        granting = finishing.any(axis=1)
+        if granting.any():
+            # Fully serve the finishing sessions of granting rows and
+            # redistribute their surplus on the next round.
+            grants = np.where(finishing, deficit, 0.0)
+            served += grants
+            remaining = np.where(
+                granting, remaining - grants.sum(axis=1), remaining
+            )
+            active &= ~finishing
+        flat = live & ~granting
+        if flat.any():
+            # Rows whose active sessions all absorb their full share:
+            # spend the rest of the capacity proportionally and stop.
+            served = np.where(
+                flat[:, None] & active, served + shares, served
+            )
+            remaining = np.where(flat, 0.0, remaining)
+    return served
 
 
 def gps_slot_allocation(
@@ -51,31 +112,44 @@ def gps_slot_allocation(
     Returns the per-session service amounts; their total equals
     ``min(capacity, total work)`` (work conservation).
     """
-    work_arr = np.asarray(work, dtype=float)
-    phi_arr = np.asarray(phis, dtype=float)
+    work_arr = np.ascontiguousarray(work, dtype=float)
+    phi_arr = np.ascontiguousarray(phis, dtype=float)
     if work_arr.shape != phi_arr.shape:
         raise ValidationError("work and phis must have matching shapes")
     if np.any(work_arr < -_EPS):
         raise ValidationError("work amounts must be non-negative")
-    served = np.zeros_like(work_arr)
-    remaining_capacity = float(capacity)
-    active = work_arr > _EPS
-    while remaining_capacity > _EPS and active.any():
-        total_phi = phi_arr[active].sum()
-        shares = np.zeros_like(work_arr)
-        shares[active] = remaining_capacity * phi_arr[active] / total_phi
-        deficit = work_arr - served
-        finishing = active & (deficit <= shares + _EPS)
-        if finishing.any():
-            # Fully serve the finishing sessions and redistribute.
-            grant = deficit[finishing]
-            served[finishing] += grant
-            remaining_capacity -= float(grant.sum())
-            active &= ~finishing
-        else:
-            served[active] += shares[active]
-            remaining_capacity = 0.0
-    return served
+    return _batch_water_fill(
+        work_arr[None, :], phi_arr, np.array([float(capacity)])
+    )[0]
+
+
+def batch_gps_slot_allocation(
+    work: np.ndarray, phis: np.ndarray, capacity
+) -> np.ndarray:
+    """Vectorized :func:`gps_slot_allocation` over a ``(B, N)`` batch.
+
+    ``work[b]`` is trial ``b``'s available work, ``phis`` the shared
+    weight vector and ``capacity`` either a scalar (same for every
+    trial) or a ``(B,)`` array.  Row ``b`` of the result equals
+    ``gps_slot_allocation(work[b], phis, capacity[b])`` bit for bit.
+    """
+    work_arr = np.ascontiguousarray(work, dtype=float)
+    phi_arr = np.ascontiguousarray(phis, dtype=float)
+    if work_arr.ndim != 2:
+        raise ValidationError(
+            f"work must be 2-D (trials x sessions), got {work_arr.shape}"
+        )
+    if phi_arr.shape != (work_arr.shape[1],):
+        raise ValidationError(
+            f"phis must have shape ({work_arr.shape[1]},), got "
+            f"{phi_arr.shape}"
+        )
+    if np.any(work_arr < -_EPS):
+        raise ValidationError("work amounts must be non-negative")
+    caps = np.broadcast_to(
+        np.asarray(capacity, dtype=float), (work_arr.shape[0],)
+    ).copy()
+    return _batch_water_fill(work_arr, phi_arr, caps)
 
 
 @dataclass(frozen=True)
@@ -153,6 +227,34 @@ class GPSSimResult:
         """Fraction of slots in which the session is backlogged."""
         return float(np.mean(self.backlog[session] > _EPS))
 
+    # ------------------------------------------------------------------
+    # unified result protocol (repro.sim.results.SimResult)
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """JSON-serializable scalar summary of the run."""
+        return {
+            "kind": "fluid_gps",
+            "num_sessions": self.num_sessions,
+            "num_slots": self.num_slots,
+            "rate": self.rate,
+            "phis": list(self.phis),
+            "utilization": self.utilization(),
+            "total_arrived": float(self.arrivals.sum()),
+            "total_served": float(self.served.sum()),
+            "final_backlog": [float(b) for b in self.backlog[:, -1]],
+            "max_total_backlog": float(self.total_backlog().max()),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full JSON-serializable dump: summary plus all traces."""
+        payload = self.summary()
+        payload["arrivals"] = self.arrivals.tolist()
+        payload["served"] = self.served.tolist()
+        payload["backlog"] = self.backlog.tolist()
+        if self.capacities is not None:
+            payload["capacities"] = self.capacities.tolist()
+        return payload
+
 
 def clearing_delays(
     cumulative_arrivals: np.ndarray, cumulative_service: np.ndarray
@@ -188,17 +290,69 @@ def clearing_delays(
 class FluidGPSServer:
     """Stateful slot-stepped fluid GPS server.
 
+    Preferred construction is keyword-only::
+
+        FluidGPSServer(rate=1.0, phis=[2.0, 1.0])
+        FluidGPSServer(scenario=scenario)       # repro.scenario.Scenario
+
+    The historical positional form ``FluidGPSServer(rate, phis)`` still
+    works but emits a :class:`DeprecationWarning`.
+
     Parameters
     ----------
     rate:
         Server capacity per slot.
     phis:
         GPS weights, one per session.
+    scenario:
+        A :class:`repro.scenario.Scenario` (or any object exposing
+        ``rate`` and ``phis``); mutually exclusive with the explicit
+        parameters.
+
+    All argument validation happens here, at construction time; the
+    per-slot stepping then runs on a fast no-copy path for contiguous
+    float64 arrays.
     """
 
-    def __init__(self, rate: float, phis) -> None:
+    def __init__(
+        self,
+        *args,
+        rate: float | None = None,
+        phis=None,
+        scenario=None,
+    ) -> None:
+        if args:
+            warnings.warn(
+                "positional FluidGPSServer(rate, phis) is deprecated; "
+                "use FluidGPSServer(rate=..., phis=...) or "
+                "FluidGPSServer(scenario=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if len(args) > 2 or (rate is not None or phis is not None):
+                raise TypeError(
+                    "FluidGPSServer takes at most the two legacy "
+                    "positional arguments (rate, phis)"
+                )
+            rate = args[0]
+            if len(args) == 2:
+                phis = args[1]
+        if scenario is not None:
+            if rate is not None or phis is not None:
+                raise ValidationError(
+                    "pass either scenario= or explicit rate=/phis=, "
+                    "not both"
+                )
+            rate = scenario.rate
+            phis = scenario.phis
+        if rate is None or phis is None:
+            raise ValidationError(
+                "FluidGPSServer requires rate= and phis= (or scenario=)"
+            )
         check_positive("rate", rate)
-        self._phis = np.asarray(check_weights("phis", list(phis)))
+        self._phis = np.ascontiguousarray(
+            check_weights("phis", list(phis)), dtype=float
+        )
         self._rate = float(rate)
         self._backlog = np.zeros(self._phis.size)
 
@@ -222,6 +376,21 @@ class FluidGPSServer:
         """Empty all queues."""
         self._backlog[:] = 0.0
 
+    def _step_fast(self, arrivals: np.ndarray, capacity: float) -> np.ndarray:
+        """One slot on the validated hot path.
+
+        ``arrivals`` must be a float64 ``(N,)`` array of non-negative
+        entries and ``capacity`` a finite non-negative float — the
+        checks were hoisted to the callers (:meth:`step` validates per
+        call, :meth:`run` validates the whole matrix once).
+        """
+        work = self._backlog + arrivals
+        served = _batch_water_fill(
+            work[None, :], self._phis, np.array([capacity])
+        )[0]
+        self._backlog = np.clip(work - served, 0.0, None)
+        return served
+
     def step(self, arrivals, *, capacity: float | None = None) -> np.ndarray:
         """Advance one slot; returns per-session service amounts.
 
@@ -229,7 +398,7 @@ class FluidGPSServer:
         hook used by fault injection to model degraded or failed servers
         (``capacity=0`` is a full outage; the backlog simply accrues).
         """
-        arr = np.asarray(arrivals, dtype=float)
+        arr = np.ascontiguousarray(arrivals, dtype=float)
         if arr.shape != self._backlog.shape:
             raise ValidationError(
                 f"expected {self._backlog.size} arrival entries, got "
@@ -243,10 +412,7 @@ class FluidGPSServer:
             raise ValidationError(
                 f"capacity must be finite and non-negative, got {capacity}"
             )
-        work = self._backlog + arr
-        served = gps_slot_allocation(work, self._phis, float(capacity))
-        self._backlog = np.clip(work - served, 0.0, None)
-        return served
+        return self._step_fast(arr, float(capacity))
 
     def run(
         self,
@@ -260,28 +426,38 @@ class FluidGPSServer:
         ``capacities`` (length ``num_slots``) overrides the per-slot
         server capacity, e.g. a degraded-rate window produced by
         :meth:`repro.faults.FaultSchedule.node_capacities`.
+
+        Validation happens once, up front, on the whole matrix (no
+        per-slot re-checks); an already-contiguous float64 input is
+        used as-is, without a copy.
         """
-        arr = np.asarray(arrivals, dtype=float)
+        arr = np.ascontiguousarray(arrivals, dtype=float)
         if arr.ndim != 2 or arr.shape[0] != self.num_sessions:
             raise ValidationError(
                 f"arrivals must have shape ({self.num_sessions}, T), got "
                 f"{arr.shape}"
             )
+        if np.any(arr < 0.0):
+            raise ValidationError("arrivals must be non-negative")
         self.reset()
         num_slots = arr.shape[1]
         caps = None
         if capacities is not None:
-            caps = np.asarray(capacities, dtype=float)
+            caps = np.ascontiguousarray(capacities, dtype=float)
             if caps.shape != (num_slots,):
                 raise ValidationError(
                     f"capacities must have shape ({num_slots},), got "
                     f"{caps.shape}"
                 )
+            if np.any(~np.isfinite(caps)) or np.any(caps < 0.0):
+                raise ValidationError(
+                    "capacities must be finite and non-negative"
+                )
         served = np.zeros_like(arr)
         backlog = np.zeros_like(arr)
         for t in range(num_slots):
-            capacity = None if caps is None else caps[t]
-            served[:, t] = self.step(arr[:, t], capacity=capacity)
+            capacity = self._rate if caps is None else caps[t]
+            served[:, t] = self._step_fast(arr[:, t], float(capacity))
             backlog[:, t] = self._backlog
         return GPSSimResult(
             arrivals=arr,

@@ -28,6 +28,7 @@ from repro.errors import SimulationFaultError, ValidationError
 from repro.faults.schedule import FaultSchedule
 from repro.network.topology import Network
 from repro.sim.fluid import FluidGPSServer, clearing_delays
+from repro.sim.results import to_jsonable
 
 __all__ = ["NetworkSimResult", "FluidNetworkSimulator"]
 
@@ -85,6 +86,44 @@ class NetworkSimResult:
     ) -> np.ndarray:
         """Per-slot backlog of one session at one node."""
         return self.node_backlog[(session_name, node_name)]
+
+    def summary(self) -> dict:
+        """Scalar facts about the run (the :class:`SimResult` protocol)."""
+        sessions = sorted(self.external_arrivals)
+        return {
+            "kind": "fluid_network",
+            "num_sessions": len(sessions),
+            "num_slots": self.num_slots,
+            "num_nodes": len({node for _, node in self.node_backlog}),
+            "total_arrivals": {
+                name: float(self.external_arrivals[name].sum())
+                for name in sessions
+            },
+            "total_egress": {
+                name: float(self.egress[name].sum())
+                for name in sessions
+            },
+            "final_network_backlog": {
+                name: float(self.network_backlog(name)[-1])
+                for name in sessions
+            },
+            "max_network_backlog": {
+                name: float(self.network_backlog(name).max())
+                for name in sessions
+            },
+            "fault_injected": self.fault_schedule is not None,
+        }
+
+    def to_dict(self) -> dict:
+        """Full JSON-serializable dump: summary plus traces."""
+        payload = self.summary()
+        payload["external_arrivals"] = to_jsonable(self.external_arrivals)
+        payload["egress"] = to_jsonable(self.egress)
+        payload["node_backlog"] = to_jsonable(self.node_backlog)
+        payload["node_served"] = to_jsonable(self.node_served)
+        if self.node_capacities is not None:
+            payload["node_capacities"] = to_jsonable(self.node_capacities)
+        return payload
 
 
 class FluidNetworkSimulator:
@@ -173,8 +212,8 @@ class FluidNetworkSimulator:
 
         servers = {
             name: FluidGPSServer(
-                network.nodes[name].rate,
-                [
+                rate=network.nodes[name].rate,
+                phis=[
                     sessions[s].phi_at(name)
                     for s in self._node_sessions[name]
                 ],

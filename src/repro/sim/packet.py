@@ -109,6 +109,43 @@ class WFQResult:
             default=0.0,
         )
 
+    def summary(self) -> dict:
+        """Scalar facts about the run (the :class:`SimResult` protocol)."""
+        delays = [p.pgps_delay for p in self.packets]
+        return {
+            "kind": "wfq_packet",
+            "num_packets": len(self.packets),
+            "num_sessions": len(self.phis),
+            "rate": self.rate,
+            "phis": list(self.phis),
+            "total_size": float(
+                sum(p.packet.size for p in self.packets)
+            ),
+            "mean_pgps_delay": (
+                float(np.mean(delays)) if delays else 0.0
+            ),
+            "max_pgps_delay": float(max(delays)) if delays else 0.0,
+            "max_pgps_gps_gap": float(self.max_pgps_gps_gap()),
+        }
+
+    def to_dict(self) -> dict:
+        """Full JSON-serializable dump: summary plus per-packet stamps."""
+        payload = self.summary()
+        payload["packets"] = [
+            {
+                "session": p.packet.session,
+                "size": p.packet.size,
+                "arrival_time": p.packet.arrival_time,
+                "virtual_start": p.virtual_start,
+                "virtual_finish": p.virtual_finish,
+                "pgps_start": p.pgps_start,
+                "pgps_finish": p.pgps_finish,
+                "gps_finish": p.gps_finish,
+            }
+            for p in self.packets
+        ]
+        return payload
+
 
 class _VirtualClock:
     """Piecewise-linear virtual time with crossing-aware advancement."""

@@ -73,6 +73,36 @@ class TaggedResult:
             [p.delay for p in self.session_packets(session)]
         )
 
+    def summary(self) -> dict:
+        """Scalar facts about the run (the :class:`SimResult` protocol)."""
+        delays = [p.delay for p in self.packets]
+        return {
+            "kind": "tagged_packet",
+            "num_packets": len(self.packets),
+            "rate": self.rate,
+            "total_size": float(
+                sum(p.packet.size for p in self.packets)
+            ),
+            "mean_delay": float(np.mean(delays)) if delays else 0.0,
+            "max_delay": float(max(delays)) if delays else 0.0,
+        }
+
+    def to_dict(self) -> dict:
+        """Full JSON-serializable dump: summary plus per-packet stamps."""
+        payload = self.summary()
+        payload["packets"] = [
+            {
+                "session": p.packet.session,
+                "size": p.packet.size,
+                "arrival_time": p.packet.arrival_time,
+                "tag": p.tag,
+                "start": p.start,
+                "finish": p.finish,
+            }
+            for p in self.packets
+        ]
+        return payload
+
 
 class _TagOrderedServer:
     """Shared engine: admit arrived packets, stamp them with a

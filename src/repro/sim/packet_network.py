@@ -69,6 +69,46 @@ class PacketNetworkResult:
         )
         return np.array([j.end_to_end_delay for j in mine])
 
+    def summary(self) -> dict:
+        """Scalar facts about the run (the :class:`SimResult` protocol)."""
+        sessions = sorted({j.session for j in self.journeys})
+        delays = [j.end_to_end_delay for j in self.journeys]
+        return {
+            "kind": "packet_network",
+            "num_packets": len(self.journeys),
+            "num_sessions": len(sessions),
+            "max_packet_size": self.max_packet_size,
+            "mean_end_to_end_delay": (
+                float(np.mean(delays)) if delays else 0.0
+            ),
+            "max_end_to_end_delay": (
+                float(max(delays)) if delays else 0.0
+            ),
+            "sessions": sessions,
+        }
+
+    def to_dict(self) -> dict:
+        """Full JSON-serializable dump: summary plus packet journeys."""
+        payload = self.summary()
+        payload["journeys"] = [
+            {
+                "session": j.session,
+                "size": j.size,
+                "ingress_time": j.ingress_time,
+                "egress_time": j.egress_time,
+                "hops": [
+                    {
+                        "node": h.node,
+                        "arrival_time": h.arrival_time,
+                        "departure_time": h.departure_time,
+                    }
+                    for h in j.hops
+                ],
+            }
+            for j in self.journeys
+        ]
+        return payload
+
 
 class PacketNetworkSimulator:
     """Per-node WFQ over a feedforward network of GPS nodes.

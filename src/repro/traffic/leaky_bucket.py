@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ValidationError
 from repro.utils.validation import check_nonnegative, check_positive
 
 __all__ = [
@@ -77,6 +78,36 @@ class LeakyBucketShaper:
             queued -= out
             tokens -= out
             backlog[t] = queued
+        return released, backlog
+
+    def shape_batch(
+        self, arrivals: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Shape a ``(num_trials, num_slots)`` batch of sample paths.
+
+        Vectorized across the trial axis (one token update per slot
+        for the whole batch); row ``b`` of the result equals
+        ``shape(arrivals[b])``.
+        """
+        arr = np.asarray(arrivals, dtype=float)
+        if arr.ndim != 2:
+            raise ValidationError(
+                f"arrivals must be 2-D (trials x slots), got {arr.shape}"
+            )
+        num_trials, num_slots = arr.shape
+        released = np.empty_like(arr)
+        backlog = np.empty_like(arr)
+        tokens = np.full(num_trials, self.bucket_size)
+        queued = np.zeros(num_trials)
+        cap = self.bucket_size + self.rate
+        for t in range(num_slots):
+            queued += arr[:, t]
+            tokens = np.minimum(tokens + self.rate, cap)
+            out = np.minimum(queued, tokens)
+            released[:, t] = out
+            queued -= out
+            tokens -= out
+            backlog[:, t] = queued
         return released, backlog
 
 

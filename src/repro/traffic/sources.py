@@ -44,6 +44,24 @@ class TrafficSource(ABC):
     ) -> np.ndarray:
         """Return ``num_slots`` per-slot arrival amounts."""
 
+    def generate_batch(
+        self, num_trials: int, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return ``(num_trials, num_slots)`` independent sample paths.
+
+        The base implementation stacks :meth:`generate` calls on the
+        shared generator; vectorized sources override it to draw the
+        whole batch at once (same marginal law, different stream
+        layout) for the batched simulation engine.
+        """
+        if num_trials <= 0:
+            raise ValidationError(
+                f"num_trials must be positive, got {num_trials}"
+            )
+        return np.stack(
+            [self.generate(num_slots, rng) for _ in range(num_trials)]
+        )
+
     @property
     @abstractmethod
     def mean_rate(self) -> float:
@@ -83,6 +101,27 @@ class OnOffTraffic(TrafficSource):
             states[t] = state
         return np.where(states, self.model.peak_rate, 0.0)
 
+    def generate_batch(
+        self, num_trials: int, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorized across trials: one chain step per slot for the
+        whole ``(num_trials,)`` state vector."""
+        if num_trials <= 0:
+            raise ValidationError(
+                f"num_trials must be positive, got {num_trials}"
+            )
+        if num_slots <= 0:
+            raise ValidationError(f"num_slots must be positive, got {num_slots}")
+        p, q = self.model.p, self.model.q
+        state = rng.random(num_trials) < self.model.on_probability
+        uniforms = rng.random((num_trials, num_slots))
+        states = np.empty((num_trials, num_slots), dtype=bool)
+        for t in range(num_slots):
+            u = uniforms[:, t]
+            state = np.where(state, u >= q, u < p)
+            states[:, t] = state
+        return np.where(states, self.model.peak_rate, 0.0)
+
     @property
     def mean_rate(self) -> float:
         return self.model.mean_rate
@@ -116,6 +155,31 @@ class MarkovModulatedTraffic(TrafficSource):
             states[t] = state
         return self.model.rates[states]
 
+    def generate_batch(
+        self, num_trials: int, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorized across trials: the whole batch of chains steps
+        together, one row-wise inverse-CDF lookup per slot."""
+        if num_trials <= 0:
+            raise ValidationError(
+                f"num_trials must be positive, got {num_trials}"
+            )
+        if num_slots <= 0:
+            raise ValidationError(f"num_slots must be positive, got {num_slots}")
+        transition = self.model.chain.transition
+        pi = self.model.chain.stationary_distribution()
+        cumulative = np.cumsum(transition, axis=1)
+        state = rng.choice(
+            self.model.num_states, size=num_trials, p=pi
+        )
+        uniforms = rng.random((num_trials, num_slots))
+        states = np.empty((num_trials, num_slots), dtype=np.int64)
+        for t in range(num_slots):
+            rows = cumulative[state]
+            state = (rows < uniforms[:, t, None]).sum(axis=1)
+            states[:, t] = state
+        return self.model.rates[states]
+
     @property
     def mean_rate(self) -> float:
         return self.model.mean_rate
@@ -141,6 +205,18 @@ class ConstantBitRateTraffic(TrafficSource):
         if num_slots <= 0:
             raise ValidationError(f"num_slots must be positive, got {num_slots}")
         return np.full(num_slots, self.rate)
+
+    def generate_batch(
+        self, num_trials: int, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        del rng
+        if num_trials <= 0:
+            raise ValidationError(
+                f"num_trials must be positive, got {num_trials}"
+            )
+        if num_slots <= 0:
+            raise ValidationError(f"num_slots must be positive, got {num_slots}")
+        return np.full((num_trials, num_slots), self.rate)
 
     @property
     def mean_rate(self) -> float:
@@ -174,6 +250,18 @@ class BernoulliBurstTraffic(TrafficSource):
         if num_slots <= 0:
             raise ValidationError(f"num_slots must be positive, got {num_slots}")
         hits = rng.random(num_slots) < self.burst_probability
+        return np.where(hits, self.burst_size, 0.0)
+
+    def generate_batch(
+        self, num_trials: int, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if num_trials <= 0:
+            raise ValidationError(
+                f"num_trials must be positive, got {num_trials}"
+            )
+        if num_slots <= 0:
+            raise ValidationError(f"num_slots must be positive, got {num_slots}")
+        hits = rng.random((num_trials, num_slots)) < self.burst_probability
         return np.where(hits, self.burst_size, 0.0)
 
     @property
@@ -210,6 +298,19 @@ class UniformNoiseTraffic(TrafficSource):
             raise ValidationError(f"num_slots must be positive, got {num_slots}")
         return rng.uniform(self.low, self.high, size=num_slots)
 
+    def generate_batch(
+        self, num_trials: int, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if num_trials <= 0:
+            raise ValidationError(
+                f"num_trials must be positive, got {num_trials}"
+            )
+        if num_slots <= 0:
+            raise ValidationError(f"num_slots must be positive, got {num_slots}")
+        return rng.uniform(
+            self.low, self.high, size=(num_trials, num_slots)
+        )
+
     @property
     def mean_rate(self) -> float:
         return 0.5 * (self.low + self.high)
@@ -239,6 +340,18 @@ class CompoundTraffic(TrafficSource):
         total = np.zeros(num_slots)
         for component in self.components:
             total += component.generate(num_slots, rng)
+        return total
+
+    def generate_batch(
+        self, num_trials: int, num_slots: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        if num_trials <= 0:
+            raise ValidationError(
+                f"num_trials must be positive, got {num_trials}"
+            )
+        total = np.zeros((num_trials, num_slots))
+        for component in self.components:
+            total += component.generate_batch(num_trials, num_slots, rng)
         return total
 
     @property

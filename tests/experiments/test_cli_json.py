@@ -1,0 +1,65 @@
+"""The ``repro simulate --json`` / ``--workers`` surface."""
+
+import json
+
+from repro.cli import main
+
+
+class TestSimulateJson:
+    def test_single_trial_json_payload(self, capsys):
+        code = main(
+            ["simulate", "--slots", "2000", "--json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "fluid_network"
+        assert payload["num_slots"] == 2000
+        assert "delay_frequencies" in payload
+        for frequencies in payload["delay_frequencies"].values():
+            for value in frequencies.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_supervised_json_payload(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--slots",
+                "1500",
+                "--trials",
+                "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "supervised_simulation"
+        assert payload["completed"] == [0, 1]
+        assert payload["failed"] == {}
+        for per_session in payload["aggregate"].values():
+            for stats in per_session.values():
+                assert set(stats) == {"mean", "std"}
+
+    def test_json_deterministic_for_seed(self, capsys):
+        main(["simulate", "--slots", "1500", "--seed", "3", "--json"])
+        first = capsys.readouterr().out
+        main(["simulate", "--slots", "1500", "--seed", "3", "--json"])
+        assert capsys.readouterr().out == first
+
+    def test_rejects_bad_workers(self, capsys):
+        assert main(["simulate", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_workers_flag_accepted(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--slots",
+                "1200",
+                "--trials",
+                "2",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "2 completed" in capsys.readouterr().out

@@ -1,0 +1,122 @@
+"""Every simulator result implements the unified SimResult protocol,
+and the FluidGPSServer keyword/scenario shim behaves."""
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim.fluid import FluidGPSServer
+from repro.sim.packet import Packet, WFQServer
+from repro.sim.packet_baselines import SCFQServer
+from repro.sim.results import SimResult, to_jsonable
+
+
+def _packets():
+    return [
+        Packet(session=0, size=1.0, arrival_time=0.0),
+        Packet(session=1, size=0.5, arrival_time=0.2),
+        Packet(session=0, size=1.0, arrival_time=1.1),
+    ]
+
+
+def _all_results():
+    rng = np.random.default_rng(0)
+    arrivals = rng.uniform(0.0, 0.8, size=(2, 50))
+    fluid = FluidGPSServer(rate=1.0, phis=[1.0, 1.0]).run(arrivals)
+    wfq = WFQServer(1.0, [1.0, 1.0]).simulate(_packets())
+    tagged = SCFQServer(1.0, [1.0, 1.0]).simulate(_packets())
+
+    from repro.core.ebb import EBB
+    from repro.network.builders import tree_network
+    from repro.sim.network_sim import FluidNetworkSimulator
+    from repro.sim.packet_network import PacketNetworkSimulator
+
+    network = tree_network(
+        leaf_sessions=[[EBB(0.2, 1.0, 1.5)], [EBB(0.2, 1.0, 1.5)]]
+    )
+    ingress = {
+        s.name: rng.uniform(0.0, 0.4, size=30)
+        for s in network.sessions
+    }
+    net = FluidNetworkSimulator(network).run(ingress)
+    pkt_net = PacketNetworkSimulator(network).run(
+        {
+            s.name: [Packet(session=0, size=0.5, arrival_time=0.0)]
+            for s in network.sessions
+        }
+    )
+    return {
+        "fluid_gps": fluid,
+        "wfq_packet": wfq,
+        "tagged_packet": tagged,
+        "fluid_network": net,
+        "packet_network": pkt_net,
+    }
+
+
+class TestProtocol:
+    def test_every_result_satisfies_protocol(self):
+        for kind, result in _all_results().items():
+            assert isinstance(result, SimResult), kind
+            summary = result.summary()
+            assert summary["kind"] == kind
+            json.dumps(summary)
+            json.dumps(to_jsonable(result.to_dict()))
+
+    def test_to_dict_extends_summary(self):
+        for kind, result in _all_results().items():
+            summary = result.summary()
+            payload = result.to_dict()
+            for key, value in summary.items():
+                assert payload[key] == value, (kind, key)
+            assert len(payload) > len(summary), kind
+
+
+class TestToJsonable:
+    def test_numpy_and_tuple_keys(self):
+        payload = to_jsonable(
+            {
+                ("s1", "n0"): np.arange(3),
+                "x": np.float64(1.5),
+                2: (np.int64(1), [np.bool_(True)]),
+            }
+        )
+        assert payload == {
+            "s1/n0": [0, 1, 2],
+            "x": 1.5,
+            "2": [1, [True]],
+        }
+        json.dumps(payload)
+
+
+class TestFluidServerShim:
+    def test_positional_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="positional"):
+            server = FluidGPSServer(1.0, [1.0, 2.0])
+        assert server.rate == 1.0
+        assert server.num_sessions == 2
+
+    def test_keyword_form_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            FluidGPSServer(rate=1.0, phis=[1.0, 2.0])
+
+    def test_requires_rate_and_phis(self):
+        with pytest.raises(ValidationError):
+            FluidGPSServer(rate=1.0)
+        with pytest.raises(ValidationError):
+            FluidGPSServer(phis=[1.0])
+
+    def test_positional_and_keyword_mix_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                FluidGPSServer(1.0, [1.0], rate=2.0)
+
+    def test_validation_hoisted_to_construction(self):
+        with pytest.raises(ValidationError):
+            FluidGPSServer(rate=-1.0, phis=[1.0])
+        with pytest.raises(ValidationError):
+            FluidGPSServer(rate=1.0, phis=[0.0])

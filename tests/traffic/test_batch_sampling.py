@@ -1,0 +1,90 @@
+"""Tests for the vectorized batch samplers (generate_batch /
+shape_batch)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.markov.chain import DTMC
+from repro.markov.mmpp import MarkovModulatedSource
+from repro.markov.onoff import OnOffSource
+from repro.traffic.leaky_bucket import LeakyBucketShaper
+from repro.traffic.sources import (
+    BernoulliBurstTraffic,
+    CompoundTraffic,
+    ConstantBitRateTraffic,
+    MarkovModulatedTraffic,
+    OnOffTraffic,
+    UniformNoiseTraffic,
+)
+
+SOURCES = [
+    OnOffTraffic(OnOffSource(p=0.3, q=0.5, peak_rate=1.0)),
+    MarkovModulatedTraffic(
+        MarkovModulatedSource(
+            chain=DTMC(
+                np.array([[0.8, 0.2, 0.0], [0.1, 0.8, 0.1], [0.0, 0.3, 0.7]])
+            ),
+            rates=np.array([0.0, 0.5, 1.0]),
+        )
+    ),
+    ConstantBitRateTraffic(rate=0.4),
+    BernoulliBurstTraffic(burst_probability=0.2, burst_size=1.5),
+    UniformNoiseTraffic(low=0.1, high=0.9),
+    CompoundTraffic(
+        components=(
+            ConstantBitRateTraffic(rate=0.1),
+            BernoulliBurstTraffic(burst_probability=0.5, burst_size=0.3),
+        )
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "source", SOURCES, ids=[type(s).__name__ for s in SOURCES]
+)
+class TestGenerateBatch:
+    def test_shape_and_nonnegativity(self, source):
+        rng = np.random.default_rng(0)
+        batch = source.generate_batch(12, 64, rng)
+        assert batch.shape == (12, 64)
+        assert np.all(batch >= 0.0)
+        assert np.all(batch <= source.peak_rate + 1e-12)
+
+    def test_mean_rate_statistically_close(self, source):
+        rng = np.random.default_rng(1)
+        batch = source.generate_batch(64, 2000, rng)
+        assert batch.mean() == pytest.approx(
+            source.mean_rate, abs=0.05
+        )
+
+    def test_rows_are_distinct_streams(self, source):
+        if isinstance(source, ConstantBitRateTraffic):
+            pytest.skip("CBR is deterministic")
+        rng = np.random.default_rng(2)
+        batch = source.generate_batch(4, 500, rng)
+        assert not np.array_equal(batch[0], batch[1])
+
+    def test_rejects_bad_sizes(self, source):
+        rng = np.random.default_rng(3)
+        with pytest.raises(ValidationError):
+            source.generate_batch(0, 10, rng)
+        with pytest.raises(ValidationError):
+            source.generate_batch(2, 0, rng)
+
+
+class TestShapeBatch:
+    def test_rows_equal_scalar_shape(self):
+        shaper = LeakyBucketShaper(rate=0.5, bucket_size=1.0)
+        rng = np.random.default_rng(4)
+        arrivals = rng.uniform(0.0, 1.2, size=(8, 100))
+        released, backlog = shaper.shape_batch(arrivals)
+        for b in range(8):
+            rel, back = shaper.shape(arrivals[b])
+            np.testing.assert_array_equal(released[b], rel)
+            np.testing.assert_array_equal(backlog[b], back)
+
+    def test_rejects_non_2d(self):
+        shaper = LeakyBucketShaper(rate=0.5, bucket_size=1.0)
+        with pytest.raises(ValidationError):
+            shaper.shape_batch(np.zeros(10))
