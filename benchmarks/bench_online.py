@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Benchmark the online streaming GPS engine.
+
+Measures sustained event throughput (events per second) of
+``repro.online.engine.StreamingGPSServer`` as the active-session count
+grows from one thousand to one hundred thousand:
+
+* **join** — cold-start churn: registering ``N`` sessions
+  (amortized O(1) appends into the registry vectors);
+* **arrival** — the steady-state hot path: a stream of single-session
+  arrival events spread over many slots, each an O(1) accumulation,
+  with the O(active) water-filling paid once per slot close.
+
+The load-bearing number is ``events_per_sec`` at 10k active sessions —
+the acceptance floor is 10k events/sec sustained.  Writes
+``BENCH_online.json`` (see ``--out``); the CI bench job uploads it as
+a non-gating artifact so regressions are visible without blocking
+merges.
+
+Run:  PYTHONPATH=src python benchmarks/bench_online.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.online.engine import StreamingGPSServer
+from repro.online.events import ArrivalEvent, SessionJoin
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_online.json"
+
+
+def build_events(
+    num_sessions: int, num_arrivals: int, num_slots: int, seed: int = 0
+) -> tuple[list[SessionJoin], list[ArrivalEvent]]:
+    """A join burst plus a slot-ordered arrival stream.
+
+    Arrivals hit uniformly random sessions, ``num_arrivals /
+    num_slots`` per slot, at ~80% offered load so the backlog neither
+    empties nor diverges.
+    """
+    names = [f"s{k}" for k in range(num_sessions)]
+    joins = [
+        SessionJoin(time=0.0, name=name, phi=1.0) for name in names
+    ]
+    rng = np.random.default_rng(seed)
+    per_slot = num_arrivals // num_slots
+    mean_amount = 0.8 / per_slot  # rate-1.0 server at 80% load
+    sessions = rng.integers(0, num_sessions, size=num_arrivals)
+    amounts = rng.uniform(0.5, 1.5, size=num_arrivals) * mean_amount
+    arrivals = [
+        ArrivalEvent(
+            time=float(i // per_slot),
+            session=names[sessions[i]],
+            amount=float(amounts[i]),
+        )
+        for i in range(num_arrivals)
+    ]
+    return joins, arrivals
+
+
+def bench_population(
+    num_sessions: int, num_arrivals: int, num_slots: int
+) -> dict:
+    """Join + arrival throughput for one active-session count."""
+    joins, arrivals = build_events(num_sessions, num_arrivals, num_slots)
+    engine = StreamingGPSServer(rate=1.0)
+
+    start = time.perf_counter()
+    for event in joins:
+        engine.process(event)
+    join_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for event in arrivals:
+        engine.process(event)
+    engine.advance_to(num_slots)
+    arrival_s = time.perf_counter() - start
+
+    assert engine.num_active == num_sessions
+    return {
+        "num_sessions": num_sessions,
+        "num_arrival_events": num_arrivals,
+        "num_slots": num_slots,
+        "join_seconds": join_s,
+        "joins_per_sec": num_sessions / join_s,
+        "arrival_seconds": arrival_s,
+        "events_per_sec": num_arrivals / arrival_s,
+        "final_backlog": engine.total_backlog(),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--session-counts",
+        type=int,
+        nargs="+",
+        default=[1_000, 10_000, 100_000],
+        help="active-session counts to sweep",
+    )
+    parser.add_argument(
+        "--arrivals",
+        type=int,
+        default=100_000,
+        help="arrival events per sweep point",
+    )
+    parser.add_argument(
+        "--slots",
+        type=int,
+        default=200,
+        help="slots the arrival stream spans",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    args = parser.parse_args()
+
+    rows = []
+    for num_sessions in args.session_counts:
+        row = bench_population(num_sessions, args.arrivals, args.slots)
+        rows.append(row)
+        print(
+            f"online N={num_sessions:7,d}: "
+            f"{row['joins_per_sec']:,.0f} joins/s, "
+            f"{row['events_per_sec']:,.0f} events/s over "
+            f"{row['num_slots']} slots"
+        )
+
+    payload = {
+        "benchmark": "online streaming GPS engine",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "throughput": rows,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

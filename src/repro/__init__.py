@@ -27,6 +27,9 @@ Discipline" (SIGCOMM '94 / UMass CMPSCI TR 95-10):
 * :mod:`repro.scenario` — the frozen :class:`~repro.scenario.Scenario`
   description that drives fluid, batched, packet and fault-injected
   simulations from one declaration.
+* :mod:`repro.online` — the event-driven streaming GPS engine with
+  session churn, live E.B.B. admission control, JSONL trace
+  record/replay and the ``repro serve`` ingestion loop.
 """
 
 from repro.core import (
@@ -44,6 +47,7 @@ from repro.core import (
     theorem12_family,
 )
 from repro.errors import (
+    AdmissionError,
     CheckpointError,
     FeasibilityError,
     NumericalError,
@@ -89,5 +93,6 @@ __all__ = [
     "NumericalError",
     "SimulationFaultError",
     "CheckpointError",
+    "AdmissionError",
     "__version__",
 ]

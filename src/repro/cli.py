@@ -8,6 +8,11 @@ Commands
     Monte-Carlo validation of the Section 6.3 bounds.
 ``all``
     Render every artifact, optionally into ``--output-dir``.
+``analyze``
+    Analyze a user network described in a JSON file.
+``serve``
+    Run the online streaming GPS engine over a JSONL event stream,
+    optionally gated by the live E.B.B. admission controller.
 """
 
 from __future__ import annotations
@@ -117,6 +122,61 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.7,
         help="per-hop Chernoff fraction for the CRST recursion",
     )
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run the online streaming GPS engine over a JSONL event "
+            "stream (file or '-' for stdin)"
+        ),
+    )
+    serve.add_argument(
+        "stream",
+        help="path to a JSONL event trace, or '-' to read stdin",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        required=True,
+        help="server capacity per slot",
+    )
+    serve.add_argument(
+        "--out",
+        default="-",
+        help=(
+            "where per-event decision/backlog records go "
+            "(default: stdout)"
+        ),
+    )
+    serve.add_argument(
+        "--admission",
+        action="store_true",
+        help=(
+            "gate joins through the live E.B.B. admission controller "
+            "(join events must carry ebb and target declarations)"
+        ),
+    )
+    serve.add_argument(
+        "--no-diagnostics",
+        action="store_true",
+        help=(
+            "skip the feasible-ordering / Theorem 11 diagnostics on "
+            "admission decisions (faster for large populations)"
+        ),
+    )
+    serve.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "abort on malformed lines or session errors instead of "
+            "emitting error records and continuing"
+        ),
+    )
+    serve.add_argument(
+        "--drain-slots",
+        type=int,
+        default=100_000,
+        help="maximum empty slots served during the closing drain",
+    )
     return parser
 
 
@@ -209,7 +269,54 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 1 if errors else 0
     elif args.command == "analyze":
         return _run_analyze(args)
+    elif args.command == "serve":
+        return _run_serve(args)
     return 0
+
+
+def _run_serve(args) -> int:
+    """Drive the online engine from a JSONL stream (see ``repro serve``)."""
+    import contextlib
+
+    from repro.online.admission import AdmissionController
+    from repro.online.engine import StreamingGPSServer
+    from repro.online.service import OnlineService
+
+    if args.drain_slots < 1:
+        print("error: --drain-slots must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        admission = None
+        if args.admission:
+            admission = AdmissionController(
+                rate=args.rate,
+                diagnostics=not args.no_diagnostics,
+            )
+        engine = StreamingGPSServer(rate=args.rate, admission=admission)
+        with contextlib.ExitStack() as stack:
+            if args.stream == "-":
+                lines = sys.stdin
+            else:
+                lines = stack.enter_context(
+                    open(args.stream, "r", encoding="utf-8")
+                )
+            if args.out == "-":
+                sink = sys.stdout
+            else:
+                sink = stack.enter_context(
+                    open(args.out, "w", encoding="utf-8")
+                )
+            service = OnlineService(
+                engine,
+                sink=sink,
+                strict=args.strict,
+                drain_slots=args.drain_slots,
+            )
+            result = service.serve(lines)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0 if service.errors == 0 and result.drained else 1
 
 
 def _run_simulate(args) -> int:

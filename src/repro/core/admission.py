@@ -78,17 +78,29 @@ def required_rate_for_delay(
     *,
     discrete: bool = True,
     rate_cap: float = 1e6,
+    max_iter: int = 200,
 ) -> float:
     """Smallest guaranteed rate meeting the target, by bisection.
 
     The Theorem 10 delay bound is monotone in ``g`` (larger rate means
     both a faster decay ``alpha g`` and a smaller prefactor), so the
     admissible set of rates is an interval ``[g*, inf)``; we return
-    ``g*``.  Raises ``ValueError`` if even ``rate_cap`` cannot meet the
-    target (an extremely lax cap only fails for epsilon below the
-    bound's intrinsic prefactor floor).
+    ``g*``.  The bisection is capped at ``max_iter`` iterations.
+
+    Raises
+    ------
+    ValidationError
+        If even ``rate_cap`` cannot meet the target (an extremely lax
+        cap only fails for epsilon below the bound's intrinsic
+        prefactor floor).
+    NumericalError
+        If the bracket ``[rho, rate_cap]`` does not straddle the
+        target (inconsistent bound evaluations on non-bracketing
+        inputs) or the bisection fails to converge within
+        ``max_iter`` iterations — the search never loops unboundedly.
     """
     check_positive("rate_cap", rate_cap)
+    check_positive("max_iter", max_iter)
     if meets_target(arrival, arrival.rho * (1.0 + 1e-12), target):
         return arrival.rho
     if not meets_target(arrival, rate_cap, target, discrete=discrete):
@@ -107,7 +119,7 @@ def required_rate_for_delay(
         )
 
     lo = arrival.rho * (1.0 + 1e-9)
-    return bisect_root(gap, lo, rate_cap, tol=1e-10)
+    return bisect_root(gap, lo, rate_cap, tol=1e-10, max_iter=int(max_iter))
 
 
 def admissible(

@@ -27,9 +27,15 @@ actually treat differently:
   graceful degradation.
 * :class:`CheckpointError` — a checkpoint file is missing a field,
   corrupt, or inconsistent with the run being resumed.
+* :class:`AdmissionError` — an online session-management operation is
+  invalid (duplicate join, unknown leave) or an admission decision was
+  rejected and the caller asked for rejection to raise.  Carries the
+  :class:`repro.online.admission.AdmissionDecision` when one exists.
 """
 
 from __future__ import annotations
+
+from typing import Any
 
 __all__ = [
     "ReproError",
@@ -38,6 +44,7 @@ __all__ = [
     "NumericalError",
     "SimulationFaultError",
     "CheckpointError",
+    "AdmissionError",
 ]
 
 
@@ -73,3 +80,19 @@ class SimulationFaultError(ReproError, RuntimeError):
 
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint file is corrupt or inconsistent with the resumed run."""
+
+
+class AdmissionError(ReproError):
+    """An online admission/session-management operation failed.
+
+    Raised for stream-level session errors (joining a name that is
+    already active, leaving or renegotiating an unknown session) and by
+    ``AdmissionDecision.raise_if_rejected()`` when a caller wants a
+    rejected join to be an exception rather than a returned decision.
+    The offending decision, when one exists, is attached as
+    :attr:`decision`.
+    """
+
+    def __init__(self, message: str, *, decision: Any = None) -> None:
+        super().__init__(message)
+        self.decision = decision

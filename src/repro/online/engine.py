@@ -1,0 +1,545 @@
+"""Event-driven streaming fluid GPS server.
+
+The offline engines (:mod:`repro.sim.fluid`, :mod:`repro.sim.batch`)
+materialize a fixed population over a fixed horizon as full ``(N, T)``
+/ ``(B, N, T)`` arrays.  :class:`StreamingGPSServer` is the online
+counterpart: it consumes an ordered stream of
+:mod:`repro.online.events` — session churn, arrivals, capacity changes
+— and keeps only O(active sessions) state (the
+:class:`repro.online.session.SessionRegistry` vectors).  Horizons are
+unbounded; memory does not grow with time unless per-slot recording is
+explicitly requested.
+
+Each slot is served by the *same* water-filling kernel as the offline
+engines (``repro.sim.fluid._batch_water_fill`` through the identical
+``work = backlog + arrivals`` / ``clip(work - served, 0, None)``
+sequence of ``FluidGPSServer._step_fast``), so replaying an event
+stream produced by :meth:`repro.scenario.Scenario.to_event_stream`
+reproduces the offline backlog/served trajectories *bit for bit* —
+``np.array_equal``, not ``allclose`` — which the equivalence suite in
+``tests/online/test_engine.py`` asserts.
+
+Slot semantics match the offline convention: arrivals stamped inside
+slot ``t`` are available at the start of the slot; the slot is served
+when the clock advances past it (an event stamped in a later slot,
+:meth:`StreamingGPSServer.advance_to`, or :meth:`~StreamingGPSServer.drain`).
+With an :class:`repro.online.admission.AdmissionController` attached,
+join/renegotiate events are gated and every decision is recorded.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import AdmissionError, ValidationError
+from repro.online.admission import AdmissionController
+from repro.online.events import (
+    ArrivalEvent,
+    CapacityEvent,
+    Event,
+    Renegotiate,
+    SessionJoin,
+    SessionLeave,
+)
+from repro.online.session import SessionRegistry
+from repro.sim.fluid import _batch_water_fill
+from repro.utils.validation import check_positive
+
+__all__ = ["StreamingGPSServer", "OnlineResult"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Summary of one streaming run (the ``repro.sim.results.SimResult``
+    protocol).
+
+    Unlike the offline results this holds no dense per-session traces —
+    only the per-slot *total* backlog, the admission decisions and the
+    per-session cumulative stats.  When the engine was constructed with
+    ``record_traces=True`` the per-slot per-session snapshots are
+    attached too (testing/small runs only; they grow with the horizon).
+    """
+
+    rate: float
+    num_slots: int
+    events_processed: int
+    event_counts: dict[str, int]
+    decisions: tuple[dict[str, Any], ...]
+    accepted: int
+    rejected: int
+    total_backlog_trace: np.ndarray
+    total_arrived: float
+    total_served: float
+    dropped_residual: float
+    session_stats: dict[str, dict[str, Any]]
+    active_sessions: tuple[str, ...]
+    peak_active_sessions: int
+    drained: bool | None = None
+    backlog_snapshots: tuple[np.ndarray, ...] | None = field(
+        default=None, repr=False
+    )
+    served_snapshots: tuple[np.ndarray, ...] | None = field(
+        default=None, repr=False
+    )
+
+    @property
+    def num_sessions(self) -> int:
+        """Number of sessions active at the end of the run."""
+        return len(self.active_sessions)
+
+    def final_total_backlog(self) -> float:
+        """System backlog at the end of the run."""
+        if self.total_backlog_trace.size == 0:
+            return 0.0
+        return float(self.total_backlog_trace[-1])
+
+    def _snapshot_matrix(
+        self, snapshots: tuple[np.ndarray, ...] | None, label: str
+    ) -> np.ndarray:
+        if snapshots is None:
+            raise ValidationError(
+                f"no per-session {label} snapshots were recorded; "
+                "construct the engine with record_traces=True"
+            )
+        sizes = {snap.size for snap in snapshots}
+        if len(sizes) > 1:
+            raise ValidationError(
+                f"{label} snapshots are ragged (session churn during "
+                "the run); per-slot snapshots cannot form a matrix"
+            )
+        return np.stack(snapshots).T if snapshots else np.zeros((0, 0))
+
+    def backlog_matrix(self) -> np.ndarray:
+        """The offline-style ``(N, T)`` backlog trajectory.
+
+        Requires ``record_traces=True`` and a churn-free population;
+        compares bit-for-bit with
+        :attr:`repro.sim.fluid.GPSSimResult.backlog` on a replayed
+        :meth:`~repro.scenario.Scenario.to_event_stream` trace.
+        """
+        return self._snapshot_matrix(self.backlog_snapshots, "backlog")
+
+    def served_matrix(self) -> np.ndarray:
+        """The offline-style ``(N, T)`` service trajectory (see
+        :meth:`backlog_matrix`)."""
+        return self._snapshot_matrix(self.served_snapshots, "served")
+
+    # ------------------------------------------------------------------
+    # unified result protocol (repro.sim.results.SimResult)
+    # ------------------------------------------------------------------
+    def summary(self) -> dict[str, Any]:
+        """JSON-serializable scalar summary of the run."""
+        return {
+            "kind": "online_gps",
+            "rate": self.rate,
+            "num_slots": self.num_slots,
+            "events_processed": self.events_processed,
+            "event_counts": dict(self.event_counts),
+            "admission_accepted": self.accepted,
+            "admission_rejected": self.rejected,
+            "num_sessions": self.num_sessions,
+            "peak_active_sessions": self.peak_active_sessions,
+            "total_arrived": self.total_arrived,
+            "total_served": self.total_served,
+            "dropped_residual": self.dropped_residual,
+            "final_total_backlog": self.final_total_backlog(),
+            "max_total_backlog": (
+                float(self.total_backlog_trace.max())
+                if self.total_backlog_trace.size
+                else 0.0
+            ),
+            "drained": self.drained,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """Full JSON-serializable dump: summary plus traces/records."""
+        payload = self.summary()
+        payload["total_backlog_trace"] = self.total_backlog_trace.tolist()
+        payload["decisions"] = [dict(d) for d in self.decisions]
+        payload["session_stats"] = {
+            name: dict(stats)
+            for name, stats in self.session_stats.items()
+        }
+        payload["active_sessions"] = list(self.active_sessions)
+        if self.backlog_snapshots is not None:
+            payload["backlog_snapshots"] = [
+                snap.tolist() for snap in self.backlog_snapshots
+            ]
+        if self.served_snapshots is not None:
+            payload["served_snapshots"] = [
+                snap.tolist() for snap in self.served_snapshots
+            ]
+        return payload
+
+
+class StreamingGPSServer:
+    """Event-driven fluid GPS server with O(active sessions) state.
+
+    Parameters
+    ----------
+    rate:
+        Nominal server capacity per slot (overridable per window by
+        :class:`repro.online.events.CapacityEvent`).
+    admission:
+        Optional :class:`repro.online.admission.AdmissionController`.
+        When attached, join/renegotiate events are gated: rejected
+        joins never enter the registry, rejected renegotiations keep
+        the old contract.  Without it every join is accepted.
+    record_traces:
+        Record per-slot per-session backlog/served snapshots (memory
+        grows with the horizon; for tests and small runs).
+
+    Events must be fed in non-decreasing slot order (route out-of-order
+    streams through :class:`repro.online.events.EventQueue` first).
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float,
+        admission: AdmissionController | None = None,
+        record_traces: bool = False,
+    ) -> None:
+        check_positive("rate", rate)
+        if admission is not None and admission.rate != float(rate):
+            raise ValidationError(
+                f"admission controller rate {admission.rate} does not "
+                f"match engine rate {float(rate)}"
+            )
+        self._nominal_rate = float(rate)
+        self._capacity = float(rate)
+        self._registry = SessionRegistry()
+        self._admission = admission
+        self._clock = 0
+        self._events_processed = 0
+        self._event_counts: dict[str, int] = {}
+        self._decisions: list[dict[str, Any]] = []
+        self._accepted = 0
+        self._rejected = 0
+        self._total_backlog_trace: list[float] = []
+        self._dropped_residual = 0.0
+        self._record_traces = bool(record_traces)
+        self._backlog_snapshots: list[np.ndarray] = []
+        self._served_snapshots: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> int:
+        """The next slot to be served (slots ``0..clock-1`` are closed)."""
+        return self._clock
+
+    @property
+    def rate(self) -> float:
+        """Nominal server capacity per slot."""
+        return self._nominal_rate
+
+    @property
+    def capacity(self) -> float:
+        """Capacity currently in force (differs from :attr:`rate` inside
+        a degraded window)."""
+        return self._capacity
+
+    @property
+    def num_active(self) -> int:
+        """Number of active sessions."""
+        return self._registry.num_active
+
+    @property
+    def active_sessions(self) -> tuple[str, ...]:
+        """Active session names, in join order."""
+        return self._registry.names
+
+    @property
+    def admission(self) -> AdmissionController | None:
+        """The attached admission controller, if any."""
+        return self._admission
+
+    def total_backlog(self) -> float:
+        """Current system backlog (excluding the open slot's pending
+        arrivals)."""
+        return float(self._registry.backlog.sum())
+
+    def session_backlog(self, name: str) -> float:
+        """Current backlog of one active session."""
+        return float(
+            self._registry.backlog[self._registry.index_of(name)]
+        )
+
+    # ------------------------------------------------------------------
+    # slot machinery
+    # ------------------------------------------------------------------
+    def _serve_slot(self) -> None:
+        """Close the current slot: water-fill pending work, advance."""
+        registry = self._registry
+        if registry.num_active:
+            # Mirrors FluidGPSServer._step_fast operation for
+            # operation; same kernel, same clip — the bit-for-bit
+            # equivalence guarantee rests on this block.
+            work = registry.backlog + registry.pending
+            served = _batch_water_fill(
+                work[None, :],
+                np.ascontiguousarray(registry.phis),
+                np.array([self._capacity]),
+            )[0]
+            new_backlog = np.clip(work - served, 0.0, None)
+            registry.backlog[:] = new_backlog
+            registry.arrived[:] += registry.pending
+            registry.served[:] += served
+            registry.pending[:] = 0.0
+            total = float(new_backlog.sum())
+        else:
+            served = np.zeros(0)
+            total = 0.0
+        self._total_backlog_trace.append(total)
+        if self._record_traces:
+            self._backlog_snapshots.append(registry.backlog.copy())
+            self._served_snapshots.append(np.array(served, copy=True))
+        self._clock += 1
+
+    def advance_to(self, slot: int) -> None:
+        """Serve every slot up to (excluding) ``slot``.
+
+        After the call, ``clock == slot`` and all arrivals stamped
+        before ``slot`` have been offered service.
+        """
+        if slot < self._clock:
+            raise ValidationError(
+                f"cannot advance to slot {slot}: clock is already at "
+                f"{self._clock} (events must be slot-monotone)"
+            )
+        while self._clock < slot:
+            self._serve_slot()
+
+    def drain(self, *, max_slots: int = 100_000) -> tuple[int, bool]:
+        """Serve empty slots until the system empties (graceful drain).
+
+        Returns ``(slots_used, drained)``; ``drained`` is False when
+        ``max_slots`` elapsed with backlog still standing (a capacity-0
+        window, for example).
+        """
+        check_positive("max_slots", max_slots)
+        used = 0
+        while used < max_slots:
+            if (
+                self.total_backlog() <= _EPS
+                and float(self._registry.pending.sum()) <= _EPS
+            ):
+                return used, True
+            self._serve_slot()
+            used += 1
+        drained = (
+            self.total_backlog() <= _EPS
+            and float(self._registry.pending.sum()) <= _EPS
+        )
+        return used, drained
+
+    # ------------------------------------------------------------------
+    # event processing
+    # ------------------------------------------------------------------
+    def process(self, event: Event) -> dict[str, Any]:
+        """Apply one event; returns its JSON-serializable outcome record.
+
+        The record always carries ``kind``, ``time``, ``slot``,
+        ``clock`` (after any implied slot advance) and
+        ``total_backlog``; joins/renegotiations add the admission
+        ``decision``, leaves add the dropped ``residual``.
+        """
+        slot = self._event_slot(event)
+        self.advance_to(slot)
+        kind = event.kind
+        self._events_processed += 1
+        self._event_counts[kind] = self._event_counts.get(kind, 0) + 1
+        record: dict[str, Any] = {
+            "kind": kind,
+            "time": event.time,
+            "slot": slot,
+        }
+        if isinstance(event, CapacityEvent):
+            self._capacity = float(event.capacity)
+            record["capacity"] = self._capacity
+        elif isinstance(event, SessionJoin):
+            record.update(self._process_join(event, slot))
+        elif isinstance(event, Renegotiate):
+            record.update(self._process_renegotiate(event))
+        elif isinstance(event, ArrivalEvent):
+            self._registry.add_arrival(event.session, event.amount)
+            record["session"] = event.session
+            record["amount"] = event.amount
+        elif isinstance(event, SessionLeave):
+            record.update(self._process_leave(event, slot))
+        else:
+            raise ValidationError(
+                f"unsupported event type: {type(event).__name__}"
+            )
+        record["clock"] = self._clock
+        record["total_backlog"] = self.total_backlog()
+        return record
+
+    def _event_slot(self, event: Event) -> int:
+        time = event.time
+        if not math.isfinite(time) or time < 0.0:
+            raise ValidationError(
+                f"event time must be finite and >= 0, got {time}"
+            )
+        return int(math.floor(time))
+
+    def _process_join(
+        self, event: SessionJoin, slot: int
+    ) -> dict[str, Any]:
+        out: dict[str, Any] = {"session": event.name}
+        if event.name in self._registry:
+            raise AdmissionError(
+                f"session {event.name!r} is already active"
+            )
+        if self._admission is not None:
+            decision = self._admission.request_join(
+                event.name,
+                ebb=event.ebb,
+                phi=event.phi,
+                target=event.target,
+            )
+            decision_record = decision.to_record()
+            decision_record["slot"] = slot
+            self._decisions.append(decision_record)
+            out["accepted"] = decision.accepted
+            out["decision"] = decision_record
+            if decision.accepted:
+                self._accepted += 1
+            else:
+                self._rejected += 1
+                return out
+        else:
+            out["accepted"] = True
+            self._accepted += 1
+        self._registry.join(
+            event.name,
+            event.phi,
+            ebb=event.ebb,
+            target=event.target,
+            at=slot,
+        )
+        return out
+
+    def _process_renegotiate(self, event: Renegotiate) -> dict[str, Any]:
+        out: dict[str, Any] = {"session": event.name}
+        self._registry.index_of(event.name)  # raises on unknown names
+        if self._admission is not None:
+            decision = self._admission.request_renegotiate(
+                event.name,
+                phi=event.phi,
+                ebb=event.ebb,
+                target=event.target,
+            )
+            decision_record = decision.to_record()
+            decision_record["slot"] = self._clock
+            self._decisions.append(decision_record)
+            out["accepted"] = decision.accepted
+            out["decision"] = decision_record
+            if decision.accepted:
+                self._accepted += 1
+            else:
+                self._rejected += 1
+                return out
+        else:
+            out["accepted"] = True
+            self._accepted += 1
+        self._registry.renegotiate(
+            event.name, phi=event.phi, ebb=event.ebb, target=event.target
+        )
+        return out
+
+    def _process_leave(
+        self, event: SessionLeave, slot: int
+    ) -> dict[str, Any]:
+        info = self._registry.leave(event.name, at=slot)
+        if self._admission is not None and (
+            event.name in self._admission.admitted_names
+        ):
+            self._admission.leave(event.name)
+        self._dropped_residual += info.residual
+        return {
+            "session": event.name,
+            "residual": info.residual,
+            "arrived": info.arrived,
+            "served": info.served,
+        }
+
+    # ------------------------------------------------------------------
+    # whole-stream conveniences
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        events,
+        *,
+        horizon: int | None = None,
+        drain: bool = False,
+        max_drain_slots: int = 100_000,
+    ) -> OnlineResult:
+        """Process an iterable of events, then finish the run.
+
+        ``horizon`` serves every slot up to it after the stream ends
+        (matching an offline run of that length); ``drain`` then
+        serves further empty slots until the backlog clears.
+        """
+        for event in events:
+            self.process(event)
+        drained: bool | None = None
+        if horizon is not None:
+            self.advance_to(horizon)
+        elif not drain:
+            # Close the last open slot so stamped arrivals are served.
+            if float(self._registry.pending.sum()) > _EPS:
+                self._serve_slot()
+        if drain:
+            _, drained = self.drain(max_slots=max_drain_slots)
+        return self.result(drained=drained)
+
+    def result(self, *, drained: bool | None = None) -> OnlineResult:
+        """Snapshot the run as an :class:`OnlineResult`."""
+        registry = self._registry
+        stats = registry.stats()
+        return OnlineResult(
+            rate=self._nominal_rate,
+            num_slots=self._clock,
+            events_processed=self._events_processed,
+            event_counts=dict(self._event_counts),
+            decisions=tuple(self._decisions),
+            accepted=self._accepted,
+            rejected=self._rejected,
+            total_backlog_trace=np.asarray(
+                self._total_backlog_trace, dtype=float
+            ),
+            total_arrived=float(registry.arrived.sum())
+            + sum(
+                info["arrived"]
+                for info in stats.values()
+                if info["left_at"] is not None
+            ),
+            total_served=float(registry.served.sum())
+            + sum(
+                info["served"]
+                for info in stats.values()
+                if info["left_at"] is not None
+            ),
+            dropped_residual=self._dropped_residual,
+            session_stats=stats,
+            active_sessions=registry.names,
+            peak_active_sessions=registry.peak_active,
+            drained=drained,
+            backlog_snapshots=(
+                tuple(self._backlog_snapshots)
+                if self._record_traces
+                else None
+            ),
+            served_snapshots=(
+                tuple(self._served_snapshots)
+                if self._record_traces
+                else None
+            ),
+        )

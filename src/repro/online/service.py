@@ -1,0 +1,136 @@
+"""Long-running ingestion loop around the streaming engine.
+
+:class:`OnlineService` wires a :class:`repro.online.engine.StreamingGPSServer`
+to a JSONL transport: it reads event records line by line (a file, a
+pipe, or any iterable of strings — ``repro serve`` points it at a path
+or stdin), feeds each event to the engine, and writes one decision/
+backlog record per event to a sink.  The loop is resilient by default:
+a malformed line or a stream-level session error (duplicate join,
+unknown leave) produces an ``{"kind": "error", ...}`` record and the
+loop keeps going; ``strict=True`` turns those into raised exceptions.
+
+Shutdown is graceful: when the stream ends — or the operator interrupts
+with Ctrl-C — the service drains the remaining backlog through empty
+slots and emits a final ``{"kind": "summary", ...}`` record carrying
+the :meth:`repro.online.engine.OnlineResult.summary` payload.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Iterable
+
+from repro.errors import ReproError
+from repro.online.engine import OnlineResult, StreamingGPSServer
+from repro.online.events import event_from_record
+from repro.sim.results import to_jsonable
+
+__all__ = ["OnlineService"]
+
+
+class OnlineService:
+    """Drive a streaming engine from a JSONL event feed.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.online.engine.StreamingGPSServer` to feed.
+    sink:
+        Open text file for per-event output records; ``None`` discards
+        them (the final :class:`~repro.online.engine.OnlineResult` is
+        still returned).
+    strict:
+        Raise on malformed lines / stream-level session errors instead
+        of emitting ``error`` records and continuing.
+    drain_slots:
+        Maximum number of empty slots served during the closing drain.
+    """
+
+    def __init__(
+        self,
+        engine: StreamingGPSServer,
+        *,
+        sink: IO[str] | None = None,
+        strict: bool = False,
+        drain_slots: int = 100_000,
+    ) -> None:
+        self._engine = engine
+        self._sink = sink
+        self._strict = bool(strict)
+        self._drain_slots = int(drain_slots)
+        self._errors = 0
+
+    @property
+    def engine(self) -> StreamingGPSServer:
+        """The engine being driven."""
+        return self._engine
+
+    @property
+    def errors(self) -> int:
+        """Number of lines that produced error records so far."""
+        return self._errors
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        if self._sink is None:
+            return
+        self._sink.write(json.dumps(to_jsonable(record)))
+        self._sink.write("\n")
+
+    def _handle_line(self, lineno: int, line: str) -> None:
+        stripped = line.strip()
+        if not stripped:
+            return
+        try:
+            event = event_from_record(json.loads(stripped))
+            record = self._engine.process(event)
+        except json.JSONDecodeError as exc:
+            if self._strict:
+                raise ReproError(
+                    f"line {lineno} is not valid JSON: {exc}"
+                ) from exc
+            self._errors += 1
+            self._emit(
+                {"kind": "error", "line": lineno, "error": str(exc)}
+            )
+            return
+        except ReproError as exc:
+            if self._strict:
+                raise
+            self._errors += 1
+            self._emit(
+                {
+                    "kind": "error",
+                    "line": lineno,
+                    "error": str(exc),
+                    "error_type": type(exc).__name__,
+                }
+            )
+            return
+        record["line"] = lineno
+        self._emit(record)
+
+    def serve(self, lines: Iterable[str]) -> OnlineResult:
+        """Ingest a line stream until it ends (or Ctrl-C), then drain.
+
+        Returns the final :class:`~repro.online.engine.OnlineResult`;
+        its summary is also emitted as the last output record.
+        """
+        try:
+            for lineno, line in enumerate(lines, start=1):
+                self._handle_line(lineno, line)
+        except KeyboardInterrupt:
+            # Graceful shutdown: fall through to the drain with
+            # whatever has been ingested so far.
+            pass
+        return self.shutdown()
+
+    def shutdown(self) -> OnlineResult:
+        """Drain the engine and emit the final summary record."""
+        _, drained = self._engine.drain(max_slots=self._drain_slots)
+        result = self._engine.result(drained=drained)
+        summary = result.summary()
+        summary["errors"] = self._errors
+        self._emit({"kind": "summary", "summary": summary})
+        if self._sink is not None:
+            self._sink.flush()
+        return result

@@ -1,0 +1,298 @@
+"""Session registry of the streaming GPS engine.
+
+The registry is the O(active sessions) replacement for the offline
+engines' fixed ``(N, T)`` arrays: the only dense state it keeps is one
+float64 vector per per-session quantity (weight, backlog, pending
+arrivals, cumulative totals), all aligned with a stable insertion
+order.  Joins append (amortized O(1)), leaves compact the vectors
+(O(active)), and the per-slot water-filling reads the vectors directly
+— no per-session Python objects are touched on the hot path.
+
+For a population that joined in scenario order and never churned, the
+registry's vectors are element-for-element the rows of the offline
+engines' arrays, which is what makes the online/offline bit-for-bit
+equivalence possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.admission import QoSTarget
+from repro.core.ebb import EBB
+from repro.errors import AdmissionError
+from repro.utils.validation import check_positive
+
+__all__ = ["SessionInfo", "SessionRegistry"]
+
+
+@dataclass
+class SessionInfo:
+    """Bookkeeping for one session, live or departed.
+
+    Cumulative totals (``arrived``/``served``/``residual``) are synced
+    from the registry vectors when the session leaves and on demand via
+    :meth:`SessionRegistry.stats`.
+    """
+
+    name: str
+    phi: float
+    ebb: EBB | None = None
+    target: QoSTarget | None = None
+    joined_at: int = 0
+    left_at: int | None = None
+    arrived: float = 0.0
+    served: float = 0.0
+    residual: float = 0.0
+    renegotiations: int = 0
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-serializable summary of the session."""
+        return {
+            "name": self.name,
+            "phi": self.phi,
+            "joined_at": self.joined_at,
+            "left_at": self.left_at,
+            "arrived": self.arrived,
+            "served": self.served,
+            "residual": self.residual,
+            "renegotiations": self.renegotiations,
+        }
+
+
+_GROW = 1024
+
+
+class SessionRegistry:
+    """Active-session state vectors with churn.
+
+    All public vectors (:attr:`phis`, :attr:`backlog`, :attr:`pending`,
+    ...) are *views* of length :attr:`num_active` into larger backing
+    buffers; the engine mutates them in place between churn events.
+    """
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._index: dict[str, int] = {}
+        self._info: dict[str, SessionInfo] = {}
+        self._departed: list[SessionInfo] = []
+        self._capacity = _GROW
+        self._phis = np.zeros(self._capacity)
+        self._backlog = np.zeros(self._capacity)
+        self._pending = np.zeros(self._capacity)
+        self._arrived = np.zeros(self._capacity)
+        self._served = np.zeros(self._capacity)
+        self._peak_active = 0
+
+    # ------------------------------------------------------------------
+    # vector views (length == num_active)
+    # ------------------------------------------------------------------
+    @property
+    def num_active(self) -> int:
+        """Number of active sessions."""
+        return len(self._names)
+
+    @property
+    def peak_active(self) -> int:
+        """Largest number of simultaneously active sessions seen."""
+        return self._peak_active
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Active session names, in join order."""
+        return tuple(self._names)
+
+    @property
+    def phis(self) -> np.ndarray:
+        """Active GPS weights (view; do not resize)."""
+        return self._phis[: self.num_active]
+
+    @property
+    def backlog(self) -> np.ndarray:
+        """Active per-session backlog (view)."""
+        return self._backlog[: self.num_active]
+
+    @property
+    def pending(self) -> np.ndarray:
+        """Arrivals accumulated for the current slot (view)."""
+        return self._pending[: self.num_active]
+
+    @property
+    def arrived(self) -> np.ndarray:
+        """Cumulative per-session arrivals (view)."""
+        return self._arrived[: self.num_active]
+
+    @property
+    def served(self) -> np.ndarray:
+        """Cumulative per-session service (view)."""
+        return self._served[: self.num_active]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return self.num_active
+
+    def index_of(self, name: str) -> int:
+        """Current vector index of an active session."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise AdmissionError(f"no active session named {name!r}") from None
+
+    def info(self, name: str) -> SessionInfo:
+        """The :class:`SessionInfo` of an active session."""
+        self.index_of(name)
+        return self._info[name]
+
+    # ------------------------------------------------------------------
+    # churn
+    # ------------------------------------------------------------------
+    def _ensure_capacity(self, needed: int) -> None:
+        if needed <= self._capacity:
+            return
+        while self._capacity < needed:
+            self._capacity *= 2
+        for attr in ("_phis", "_backlog", "_pending", "_arrived", "_served"):
+            old = getattr(self, attr)
+            grown = np.zeros(self._capacity)
+            grown[: old.size] = old
+            setattr(self, attr, grown)
+
+    def join(
+        self,
+        name: str,
+        phi: float,
+        *,
+        ebb: EBB | None = None,
+        target: QoSTarget | None = None,
+        at: int = 0,
+    ) -> SessionInfo:
+        """Register a new session; raises :class:`AdmissionError` on a
+        duplicate name."""
+        check_positive("phi", phi)
+        if name in self._index:
+            raise AdmissionError(
+                f"session {name!r} is already active (joined at slot "
+                f"{self._info[name].joined_at})"
+            )
+        index = self.num_active
+        self._ensure_capacity(index + 1)
+        self._names.append(name)
+        self._index[name] = index
+        self._phis[index] = float(phi)
+        self._backlog[index] = 0.0
+        self._pending[index] = 0.0
+        self._arrived[index] = 0.0
+        self._served[index] = 0.0
+        info = SessionInfo(
+            name=name, phi=float(phi), ebb=ebb, target=target, joined_at=at
+        )
+        self._info[name] = info
+        self._peak_active = max(self._peak_active, self.num_active)
+        return info
+
+    def leave(self, name: str, *, at: int = 0) -> SessionInfo:
+        """Deregister a session; returns its final :class:`SessionInfo`.
+
+        Residual backlog (plus any arrivals still pending for the
+        current slot) is dropped and recorded on the info record.
+        """
+        index = self.index_of(name)
+        info = self._info.pop(name)
+        info.left_at = at
+        info.arrived = float(self._arrived[index])
+        info.served = float(self._served[index])
+        info.residual = float(self._backlog[index] + self._pending[index])
+        last = self.num_active - 1
+        if index != last:
+            # Compact by shifting the tail down one slot; O(active).
+            for attr in (
+                "_phis",
+                "_backlog",
+                "_pending",
+                "_arrived",
+                "_served",
+            ):
+                vec = getattr(self, attr)
+                vec[index:last] = vec[index + 1 : last + 1]
+            for shifted in self._names[index + 1 :]:
+                self._index[shifted] -= 1
+        del self._names[index]
+        del self._index[name]
+        self._departed.append(info)
+        return info
+
+    def renegotiate(
+        self,
+        name: str,
+        *,
+        phi: float | None = None,
+        ebb: EBB | None = None,
+        target: QoSTarget | None = None,
+    ) -> SessionInfo:
+        """Update an active session's weight / QoS declaration in place."""
+        index = self.index_of(name)
+        info = self._info[name]
+        if phi is not None:
+            check_positive("phi", phi)
+            info.phi = float(phi)
+            self._phis[index] = float(phi)
+        if ebb is not None:
+            info.ebb = ebb
+        if target is not None:
+            info.target = target
+        info.renegotiations += 1
+        return info
+
+    def add_arrival(self, name: str, amount: float) -> None:
+        """Accumulate work for the current slot (O(1))."""
+        self._pending[self.index_of(name)] += amount
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def sync_totals(self) -> None:
+        """Copy the cumulative vectors back onto the active info records."""
+        for index, name in enumerate(self._names):
+            info = self._info[name]
+            info.arrived = float(self._arrived[index])
+            info.served = float(self._served[index])
+            info.residual = float(self._backlog[index])
+
+    def stats(self) -> dict[str, dict[str, Any]]:
+        """Per-session summaries, active sessions first then departed.
+
+        A name may recur when a departed session rejoins; the active
+        incarnation keeps the bare name and departed ones are keyed
+        ``name@left_at`` (with a counter on further collisions).
+        """
+        self.sync_totals()
+        out = {name: self._info[name].to_record() for name in self._names}
+        for info in self._departed:
+            key = info.name
+            if key in out:
+                key = f"{info.name}@{info.left_at}"
+            suffix = 2
+            while key in out:
+                key = f"{info.name}@{info.left_at}#{suffix}"
+                suffix += 1
+            out[key] = info.to_record()
+        return out
+
+    def admitted_declarations(
+        self,
+    ) -> list[tuple[str, EBB | None, float, QoSTarget | None]]:
+        """``(name, ebb, phi, target)`` of every active session, in order."""
+        return [
+            (
+                name,
+                self._info[name].ebb,
+                self._info[name].phi,
+                self._info[name].target,
+            )
+            for name in self._names
+        ]

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -314,6 +314,84 @@ class Scenario:
         payload = result.summary()
         payload["trial"] = int(trial)
         return payload
+
+    # ------------------------------------------------------------------
+    # online side
+    # ------------------------------------------------------------------
+    def to_event_stream(
+        self,
+        trial: int = 0,
+        *,
+        targets: "Sequence | None" = None,
+        include_leaves: bool = False,
+    ) -> list:
+        """The scenario as an online event stream (slot-ordered).
+
+        Emits one :class:`repro.online.events.SessionJoin` per session
+        at time 0 (carrying the scenario's weights, E.B.B.
+        characterizations when present, and the optional per-session
+        QoS ``targets``), a :class:`repro.online.events.CapacityEvent`
+        at every slot where the fault-injected capacity trace changes,
+        and one :class:`repro.online.events.ArrivalEvent` per session
+        and slot with non-zero (fault-adjusted) arrivals — the same
+        sample path :meth:`simulate` feeds the offline engine.
+        Replaying the stream through
+        :class:`repro.online.engine.StreamingGPSServer` with
+        ``horizon=self.horizon`` reproduces the offline run's backlog
+        and service trajectories bit for bit.
+
+        ``include_leaves=True`` appends a
+        :class:`repro.online.events.SessionLeave` per session at the
+        horizon (useful for churn-style downstream processing; leave
+        it off when comparing trajectories against the offline run).
+        """
+        from repro.online.events import (
+            ArrivalEvent,
+            CapacityEvent,
+            SessionJoin,
+            SessionLeave,
+        )
+
+        assert self.names is not None
+        if targets is not None and len(targets) != self.num_sessions:
+            raise ValidationError(
+                f"got {self.num_sessions} sessions but {len(targets)} "
+                "QoS targets"
+            )
+        events: list = []
+        for k, name in enumerate(self.names):
+            events.append(
+                SessionJoin(
+                    time=0.0,
+                    name=name,
+                    phi=self.phis[k],
+                    ebb=None if self.ebbs is None else self.ebbs[k],
+                    target=None if targets is None else targets[k],
+                )
+            )
+        capacities = self._fault_capacities()
+        arrivals = self._fault_adjusted(self.sample_arrivals(trial))
+        current_capacity = self.rate
+        for t in range(self.horizon):
+            if capacities is not None and capacities[t] != current_capacity:
+                current_capacity = float(capacities[t])
+                events.append(
+                    CapacityEvent(time=float(t), capacity=current_capacity)
+                )
+            for k, name in enumerate(self.names):
+                amount = float(arrivals[k, t])
+                if amount > 0.0:
+                    events.append(
+                        ArrivalEvent(
+                            time=float(t), session=name, amount=amount
+                        )
+                    )
+        if include_leaves:
+            for name in self.names:
+                events.append(
+                    SessionLeave(time=float(self.horizon), name=name)
+                )
+        return events
 
     # ------------------------------------------------------------------
     # packet side

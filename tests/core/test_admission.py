@@ -11,6 +11,7 @@ from repro.core.admission import (
 )
 from repro.core.ebb import EBB
 from repro.core.rpps import guaranteed_rate_bounds
+from repro.errors import NumericalError, ValidationError
 
 
 def voice_ebb() -> EBB:
@@ -67,6 +68,28 @@ class TestRequiredRate:
             voice_ebb(), QoSTarget(15.0, 1e-8)
         )
         assert strict > lax
+
+    def test_iteration_cap_raises_numerical_error(self):
+        # One iteration cannot shrink the bracket to tolerance; the
+        # bisection must fail loudly instead of looping or returning
+        # an unconverged midpoint.
+        with pytest.raises(NumericalError):
+            required_rate_for_delay(
+                voice_ebb(), QoSTarget(15.0, 1e-5), max_iter=1
+            )
+
+    def test_iteration_cap_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            required_rate_for_delay(
+                voice_ebb(), QoSTarget(15.0, 1e-5), max_iter=0
+            )
+
+    def test_default_cap_converges(self):
+        target = QoSTarget(15.0, 1e-5)
+        loose = required_rate_for_delay(
+            voice_ebb(), target, max_iter=200
+        )
+        assert meets_target(voice_ebb(), loose * 1.001, target)
 
     def test_unreachable_target_raises(self):
         # prefactor floor: the discrete bound's prefactor stays above

@@ -1,0 +1,177 @@
+"""The JSONL ingestion loop and the ``repro serve`` CLI command."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.admission import QoSTarget
+from repro.core.ebb import EBB
+from repro.errors import ReproError
+from repro.online.engine import StreamingGPSServer
+from repro.online.events import (
+    ArrivalEvent,
+    SessionJoin,
+    SessionLeave,
+    event_to_record,
+    write_event_stream,
+)
+from repro.online.service import OnlineService
+
+
+def _lines(events):
+    return [json.dumps(event_to_record(e)) + "\n" for e in events]
+
+
+def _simple_events():
+    return [
+        SessionJoin(time=0.0, name="a", phi=2.0),
+        SessionJoin(time=0.0, name="b", phi=1.0),
+        ArrivalEvent(time=0.0, session="a", amount=1.5),
+        ArrivalEvent(time=1.0, session="b", amount=0.5),
+        SessionLeave(time=2.0, name="b"),
+    ]
+
+
+class TestOnlineService:
+    def test_serve_emits_one_record_per_event_plus_summary(self):
+        sink = io.StringIO()
+        service = OnlineService(
+            StreamingGPSServer(rate=1.0), sink=sink
+        )
+        result = service.serve(_lines(_simple_events()))
+        records = [
+            json.loads(line) for line in sink.getvalue().splitlines()
+        ]
+        assert len(records) == len(_simple_events()) + 1
+        assert [r["kind"] for r in records[:-1]] == [
+            "join",
+            "join",
+            "arrival",
+            "arrival",
+            "leave",
+        ]
+        assert all("total_backlog" in r for r in records[:-1])
+        assert records[-1]["kind"] == "summary"
+        assert records[-1]["summary"]["errors"] == 0
+        assert result.drained is True
+        assert service.errors == 0
+
+    def test_blank_lines_ignored(self):
+        service = OnlineService(StreamingGPSServer(rate=1.0))
+        result = service.serve(["\n", "   \n"])
+        assert result.events_processed == 0
+
+    def test_malformed_line_becomes_error_record(self):
+        sink = io.StringIO()
+        service = OnlineService(
+            StreamingGPSServer(rate=1.0), sink=sink
+        )
+        service.serve(["this is not json\n"])
+        records = [
+            json.loads(line) for line in sink.getvalue().splitlines()
+        ]
+        assert records[0]["kind"] == "error"
+        assert records[0]["line"] == 1
+        assert service.errors == 1
+
+    def test_session_error_becomes_error_record(self):
+        sink = io.StringIO()
+        service = OnlineService(
+            StreamingGPSServer(rate=1.0), sink=sink
+        )
+        events = [
+            SessionJoin(time=0.0, name="a", phi=1.0),
+            SessionJoin(time=0.0, name="a", phi=1.0),  # duplicate
+        ]
+        service.serve(_lines(events))
+        records = [
+            json.loads(line) for line in sink.getvalue().splitlines()
+        ]
+        assert records[1]["kind"] == "error"
+        assert records[1]["error_type"] == "AdmissionError"
+        assert service.engine.num_active == 1
+
+    def test_strict_mode_raises(self):
+        service = OnlineService(
+            StreamingGPSServer(rate=1.0), strict=True
+        )
+        with pytest.raises(ReproError):
+            service.serve(["nope\n"])
+
+    def test_no_sink_still_returns_result(self):
+        service = OnlineService(StreamingGPSServer(rate=1.0))
+        result = service.serve(_lines(_simple_events()))
+        assert result.events_processed == len(_simple_events())
+
+
+class TestServeCommand:
+    def _trace(self, tmp_path, events):
+        path = str(tmp_path / "trace.jsonl")
+        write_event_stream(path, events)
+        return path
+
+    def test_serve_exits_zero_and_writes_records(self, tmp_path):
+        path = self._trace(tmp_path, _simple_events())
+        out = str(tmp_path / "out.jsonl")
+        code = main(["serve", path, "--rate", "1.0", "--out", out])
+        assert code == 0
+        with open(out, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert records[-1]["kind"] == "summary"
+        assert records[-1]["summary"]["kind"] == "online_gps"
+
+    def test_serve_reads_stdin(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("".join(_lines(_simple_events())))
+        )
+        code = main(["serve", "-", "--rate", "1.0"])
+        assert code == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert json.loads(lines[-1])["kind"] == "summary"
+
+    def test_serve_with_admission_records_decisions(self, tmp_path):
+        events = [
+            SessionJoin(
+                time=0.0,
+                name="voice",
+                phi=1.0,
+                ebb=EBB(rho=0.2, prefactor=1.0, decay_rate=1.74),
+                target=QoSTarget(d_max=30.0, epsilon=1e-3),
+            ),
+            ArrivalEvent(time=0.0, session="voice", amount=0.4),
+        ]
+        path = self._trace(tmp_path, events)
+        out = str(tmp_path / "out.jsonl")
+        code = main(
+            ["serve", path, "--rate", "1.0", "--out", out, "--admission"]
+        )
+        assert code == 0
+        with open(out, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert records[0]["decision"]["accepted"] is True
+
+    def test_serve_error_lines_exit_nonzero(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+        out = str(tmp_path / "out.jsonl")
+        assert main(["serve", path, "--rate", "1.0", "--out", out]) == 1
+
+    def test_serve_strict_exits_nonzero(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+        out = str(tmp_path / "out.jsonl")
+        code = main(
+            ["serve", path, "--rate", "1.0", "--out", out, "--strict"]
+        )
+        assert code == 1
+
+    def test_serve_rejects_bad_drain_slots(self, tmp_path):
+        path = self._trace(tmp_path, _simple_events())
+        code = main(
+            ["serve", path, "--rate", "1.0", "--drain-slots", "0"]
+        )
+        assert code == 2

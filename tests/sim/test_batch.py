@@ -205,6 +205,70 @@ class TestBatchFluidGPSServer:
         assert np.all(util >= 0.0) and np.all(util <= 1.0 + 1e-12)
 
 
+class TestFaultCapacityEquivalence:
+    """Capacity traces — shared or per-trial, including fault-schedule
+    derived ones — must keep the scalar/batch equivalence bitwise."""
+
+    def test_per_trial_capacity_traces_match_scalar(self):
+        rng = np.random.default_rng(17)
+        phis = [2.0, 1.0]
+        arrivals = _random_batch(rng, 6, 2, 150)
+        capacities = rng.uniform(0.2, 1.5, size=(6, 150))
+        batch = BatchFluidGPSServer(rate=1.0, phis=phis).run(
+            arrivals, capacities=capacities
+        )
+        assert batch.capacities is not None
+        for b in range(6):
+            scalar = FluidGPSServer(rate=1.0, phis=phis).run(
+                arrivals[b], capacities=capacities[b]
+            )
+            assert np.array_equal(batch.served[b], scalar.served)
+            assert np.array_equal(batch.backlog[b], scalar.backlog)
+
+    def test_fault_schedule_capacities_match_scalar(self):
+        """The fault-injection path: a RateFault window becomes the
+        shared capacity trace, and every trial still matches its
+        scalar run exactly."""
+        from repro.faults import FaultSchedule, RateFault
+        from repro.scenario import Scenario
+        from repro.traffic.sources import BernoulliBurstTraffic
+
+        scenario = Scenario(
+            rate=1.0,
+            phis=(1.0, 1.0),
+            sources=(
+                BernoulliBurstTraffic(
+                    burst_probability=0.3, burst_size=0.5
+                ),
+                BernoulliBurstTraffic(
+                    burst_probability=0.4, burst_size=0.4
+                ),
+            ),
+            horizon=120,
+            seed=23,
+            faults=FaultSchedule(
+                [RateFault(node="server", start=30, end=80, factor=0.5)]
+            ),
+        )
+        capacities = scenario._fault_capacities()
+        assert capacities is not None
+        arrivals = np.stack(
+            [
+                scenario._fault_adjusted(scenario.sample_arrivals(b))
+                for b in range(4)
+            ]
+        )
+        batch = BatchFluidGPSServer(scenario=scenario).run(
+            arrivals, capacities=capacities
+        )
+        for b in range(4):
+            scalar = FluidGPSServer(
+                rate=scenario.rate, phis=list(scenario.phis)
+            ).run(arrivals[b], capacities=capacities)
+            assert np.array_equal(batch.served[b], scalar.served)
+            assert np.array_equal(batch.backlog[b], scalar.backlog)
+
+
 class TestBatchGPSSimResultValidation:
     def test_shape_consistency_enforced(self):
         good = np.zeros((2, 3, 4))

@@ -48,12 +48,25 @@ def _all_results():
             for s in network.sessions
         }
     )
+    from repro.online.engine import StreamingGPSServer
+    from repro.online.events import ArrivalEvent, SessionJoin
+
+    online = StreamingGPSServer(rate=1.0).replay(
+        [
+            SessionJoin(time=0.0, name="a", phi=1.0),
+            SessionJoin(time=0.0, name="b", phi=2.0),
+            ArrivalEvent(time=0.0, session="a", amount=1.2),
+            ArrivalEvent(time=1.0, session="b", amount=0.4),
+        ],
+        horizon=5,
+    )
     return {
         "fluid_gps": fluid,
         "wfq_packet": wfq,
         "tagged_packet": tagged,
         "fluid_network": net,
         "packet_network": pkt_net,
+        "online_gps": online,
     }
 
 
@@ -73,6 +86,15 @@ class TestProtocol:
             for key, value in summary.items():
                 assert payload[key] == value, (kind, key)
             assert len(payload) > len(summary), kind
+
+    def test_to_dict_round_trips_through_json(self):
+        """serialize -> json.loads must reproduce the jsonable payload
+        exactly for every result type (floats round-trip in json)."""
+        for kind, result in _all_results().items():
+            payload = to_jsonable(result.to_dict())
+            assert json.loads(json.dumps(payload)) == payload, kind
+            summary = to_jsonable(result.summary())
+            assert json.loads(json.dumps(summary)) == summary, kind
 
 
 class TestToJsonable:

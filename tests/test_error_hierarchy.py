@@ -21,6 +21,7 @@ from repro.core import (
     rpps_config,
 )
 from repro.errors import (
+    AdmissionError,
     CheckpointError,
     FeasibilityError,
     NumericalError,
@@ -33,6 +34,8 @@ from repro.faults import FaultSchedule, LinkFault, RateFault
 from repro.markov.chain import DTMC
 from repro.markov.onoff import OnOffSource
 from repro.network import NetworkNode
+from repro.online.engine import StreamingGPSServer
+from repro.online.events import CapacityEvent
 from repro.sim.fluid import FluidGPSServer
 from repro.traffic.leaky_bucket import LeakyBucketShaper
 from repro.traffic.sources import ConstantBitRateTraffic, OnOffTraffic
@@ -53,6 +56,7 @@ class TestHierarchyShape:
             NumericalError,
             SimulationFaultError,
             CheckpointError,
+            AdmissionError,
         ):
             assert issubclass(leaf, ReproError)
 
@@ -155,6 +159,12 @@ INVALID_CALLS = [
     # experiments --------------------------------------------------------
     ("runner zero trials", lambda: SupervisedRunner(lambda t, s: t, 0)),
     ("negative trial index", lambda: trial_seed(0, -1)),
+    # online -------------------------------------------------------------
+    ("online engine bad rate", lambda: StreamingGPSServer(rate=0.0)),
+    (
+        "online capacity event negative",
+        lambda: CapacityEvent(time=0.0, capacity=-1.0),
+    ),
 ]
 
 
@@ -185,6 +195,11 @@ class TestSpecificTypes:
     def test_numeric_underflow_is_numerical_error(self):
         with pytest.raises(NumericalError):
             geometric_tail_factor(5e-324)
+
+    def test_unknown_online_session_is_admission_error(self):
+        engine = StreamingGPSServer(rate=1.0)
+        with pytest.raises(AdmissionError):
+            engine.session_backlog("ghost")
 
     def test_checkpoint_mismatch_is_checkpoint_error(self, tmp_path):
         path = tmp_path / "c.json"

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.network",
     "repro.experiments",
     "repro.faults",
+    "repro.online",
     "repro.utils",
 ]
 
@@ -63,6 +64,11 @@ MODULES = [
     "repro.network.serialization",
     "repro.network.rpps_network",
     "repro.network.topology",
+    "repro.online.admission",
+    "repro.online.engine",
+    "repro.online.events",
+    "repro.online.service",
+    "repro.online.session",
     "repro.sim.baselines",
     "repro.sim.class_based",
     "repro.sim.decay",
