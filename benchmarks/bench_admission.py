@@ -1,0 +1,195 @@
+#!/usr/bin/env python3
+"""Benchmark the admission gate under session churn.
+
+Measures sustained membership-event throughput (events per second) of
+:class:`repro.analysis.context.AnalysisContext` as the admitted
+population grows from one hundred to ten thousand sessions, in both
+gate modes:
+
+* **incremental** (the default ``O(log N)`` path) — each event patches
+  the sorted ``rho_i/phi_i`` order and the exact aggregate-rate
+  accumulator, and the gate compares the common RPPS share multiplier
+  against cached per-session critical rates;
+* **full recompute** (``incremental=False``) — the reference path: a
+  from-scratch stability + Theorem 10/15 scan over every admitted
+  session per decision.
+
+The event mix is the controller's worst realistic churn: leave + join
+pairs (the joining declaration jittered ±5% in rate, so admission
+thresholds cannot be reused) interleaved with weight-only
+renegotiations.  Decisions are byte-identical between the two modes
+(see ``tests/analysis/test_parity.py``); the load-bearing number is
+``speedup_at_10k`` — the acceptance floor is 5x.  Writes
+``BENCH_admission.json`` (see ``--out``); the CI bench job uploads it
+as a non-gating artifact so regressions are visible without blocking
+merges.
+
+Run:  PYTHONPATH=src python benchmarks/bench_admission.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.admission import QoSTarget
+from repro.analysis.context import AnalysisContext
+from repro.core.ebb import EBB
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_admission.json"
+
+_RATE = 1.0
+_LOAD = 0.5  # aggregate rho stays at half the server rate
+_ALPHA = 2.0
+_EPSILON = 1e-3
+
+
+def _declaration(num_sessions: int) -> tuple[EBB, QoSTarget]:
+    """A session contract whose critical guaranteed rate sits at
+    ~1.5x its upper rate — comfortably below the 2x RPPS share the
+    50%-loaded population grants, so churn keeps every join admissible
+    while the delay targets stay binding enough to exercise the gate.
+    """
+    rho = _LOAD * _RATE / num_sessions
+    g_crit = 1.5 * rho
+    # discrete Theorem 15 tail at rate g: Lambda/(1-e^{-alpha(g-rho)})
+    # * e^{-alpha g d}; solve bound(d_max) == epsilon at g == g_crit
+    prefactor = 1.0 / -math.expm1(-_ALPHA * (g_crit - rho))
+    d_max = math.log(prefactor / _EPSILON) / (_ALPHA * g_crit)
+    ebb = EBB(rho=rho, prefactor=1.0, decay_rate=_ALPHA)
+    return ebb, QoSTarget(d_max=d_max, epsilon=_EPSILON)
+
+
+def _build(num_sessions: int, incremental: bool) -> AnalysisContext:
+    context = AnalysisContext(_RATE, incremental=incremental)
+    ebb, target = _declaration(num_sessions)
+    for k in range(num_sessions):
+        context.add(f"s{k}", ebb, 1.0, target)
+    return context
+
+
+def churn(
+    context: AnalysisContext, num_events: int, seed: int = 0
+) -> tuple[int, float]:
+    """Drive leave+join pairs and weight renegotiations; returns
+    ``(events, seconds)``.  Every decision must accept — the population
+    is sized so churn never tips a target — keeping the two modes on
+    identical state trajectories.
+    """
+    rng = np.random.default_rng(seed)
+    names = list(context.names)
+    ebb, target = _declaration(len(names))
+    jitters = rng.uniform(0.95, 1.05, size=num_events)
+    picks = rng.integers(0, len(names), size=num_events)
+    phis = rng.uniform(0.5, 2.0, size=num_events)
+    next_id = len(names)
+    events = 0
+    start = time.perf_counter()
+    for k in range(num_events):
+        if k % 3 == 0:
+            # weight-only renegotiation: hits the Lemma 9 reorder path
+            decision = context.decide_update(
+                names[picks[k]], phi=float(phis[k])
+            )
+            events += 1
+        else:
+            # leave + join pair with a jittered declaration
+            gone = names[picks[k]]
+            context.remove(gone)
+            events += 1
+            name = f"s{next_id}"
+            next_id += 1
+            jittered = EBB(
+                rho=ebb.rho * float(jitters[k]),
+                prefactor=ebb.prefactor,
+                decay_rate=ebb.decay_rate,
+            )
+            decision = context.decide_join(
+                name, jittered, 1.0, target
+            )
+            events += 1
+            names[picks[k]] = name
+        assert decision.accepted, decision.reason
+    return events, time.perf_counter() - start
+
+
+def bench_population(
+    num_sessions: int, num_events: int, scratch_events: int
+) -> dict:
+    """Churn throughput at one population size, both gate modes."""
+    fast = _build(num_sessions, incremental=True)
+    events, seconds = churn(fast, num_events)
+    incremental_eps = events / seconds
+
+    slow = _build(num_sessions, incremental=False)
+    events, seconds = churn(slow, scratch_events)
+    full_eps = events / seconds
+
+    return {
+        "num_sessions": num_sessions,
+        "num_churn_events": num_events,
+        "num_full_recompute_events": scratch_events,
+        "incremental_events_per_sec": incremental_eps,
+        "full_recompute_events_per_sec": full_eps,
+        "speedup": incremental_eps / full_eps,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--session-counts",
+        type=int,
+        nargs="+",
+        default=[100, 1_000, 10_000],
+        help="admitted-population sizes to sweep",
+    )
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=1_500,
+        help="churn events per sweep point (incremental mode)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    args = parser.parse_args()
+
+    rows = []
+    for num_sessions in args.session_counts:
+        # the full-recompute mode is O(N) per event; cap its share of
+        # the run so the sweep stays fast at 10k sessions
+        scratch = max(30, min(args.events, 300_000 // num_sessions))
+        row = bench_population(num_sessions, args.events, scratch)
+        rows.append(row)
+        print(
+            f"admission N={num_sessions:6,d}: "
+            f"{row['incremental_events_per_sec']:,.0f} events/s "
+            f"incremental, "
+            f"{row['full_recompute_events_per_sec']:,.0f} events/s "
+            f"full recompute ({row['speedup']:.1f}x)"
+        )
+
+    payload = {
+        "benchmark": "admission gate under churn",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "throughput": rows,
+        "speedup_at_max_sessions": rows[-1]["speedup"] if rows else None,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

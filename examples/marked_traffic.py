@@ -17,7 +17,7 @@ Run:  python examples/marked_traffic.py
 
 import numpy as np
 
-from repro.core import lemma5_tail_bound
+from repro.analysis import lemma5_tail_bound
 from repro.experiments.tables import format_table
 from repro.markov import OnOffSource, ebb_characterization
 from repro.sim import empirical_ccdf

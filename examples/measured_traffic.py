@@ -19,13 +19,12 @@ Run:  python examples/measured_traffic.py
 
 import numpy as np
 
-from repro.core import (
-    GPSConfig,
+from repro.analysis import (
     QoSTarget,
-    Session,
     max_admissible_copies,
     theorem11_family,
 )
+from repro.core import GPSConfig, Session
 from repro.experiments.tables import format_table
 from repro.markov import ebb_characterization, fit_mms, fit_onoff
 from repro.sim import FluidGPSServer, empirical_ccdf

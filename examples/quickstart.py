@@ -18,7 +18,7 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro import Scenario
-from repro.core import theorem11_family
+from repro.analysis import theorem11_family
 from repro.experiments.tables import format_table
 from repro.markov import OnOffSource, ebb_characterization
 from repro.sim import empirical_ccdf

@@ -16,11 +16,11 @@ Run:  python examples/traffic_classes.py
 
 import numpy as np
 
+from repro.analysis import theorem11_family
 from repro.core import (
     GPSConfig,
     Session,
     aggregate_independent,
-    theorem11_family,
 )
 from repro.experiments.tables import format_table
 from repro.markov import OnOffSource, ebb_characterization

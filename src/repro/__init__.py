@@ -5,9 +5,14 @@ A complete, self-contained implementation of Zhang, Towsley & Kurose,
 "Statistical Analysis of Generalized Processor Sharing Scheduling
 Discipline" (SIGCOMM '94 / UMass CMPSCI TR 95-10):
 
-* :mod:`repro.core` — E.B.B. process model, the GPS decomposition,
-  feasible orderings and partitions, and the single-node bound
-  theorems (7, 8, 10, 11, 12).
+* :mod:`repro.core` — E.B.B. process model, the GPS decomposition and
+  the configuration objects shared by analysis and simulation.
+* :mod:`repro.analysis` — single owner of the paper-theorem
+  computations: feasible orderings and partitions, the Lemma 5/6 MGF
+  machinery, the single-node bound theorems (7, 8, 10, 11, 12),
+  admission procedures, the cached incremental
+  :class:`~repro.analysis.context.AnalysisContext` and vectorized
+  grid evaluation.
 * :mod:`repro.markov` — effective bandwidths and LNT94/BD94 bounds for
   Markov-modulated sources (Table 2 / Figure 4 machinery).
 * :mod:`repro.network` — CRST networks, the Theorem 13 recursion, and
@@ -32,19 +37,22 @@ Discipline" (SIGCOMM '94 / UMass CMPSCI TR 95-10):
   record/replay and the ``repro serve`` ingestion loop.
 """
 
+from repro.analysis import (
+    AnalysisContext,
+    best_partition_family,
+    feasible_partition,
+    find_feasible_ordering,
+    theorem7_family,
+    theorem10_bounds,
+    theorem11_family,
+    theorem12_family,
+)
 from repro.core import (
     EBB,
     ExponentialTailBound,
     GPSConfig,
     Session,
-    best_partition_family,
-    feasible_partition,
-    find_feasible_ordering,
     rpps_config,
-    theorem7_family,
-    theorem10_bounds,
-    theorem11_family,
-    theorem12_family,
 )
 from repro.errors import (
     AdmissionError,
@@ -68,6 +76,7 @@ from repro.scenario import Scenario
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisContext",
     "EBB",
     "ExponentialTailBound",
     "GPSConfig",

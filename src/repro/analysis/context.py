@@ -1,0 +1,721 @@
+"""The cached, incrementally-updated owner of the paper's bound state.
+
+:class:`AnalysisContext` holds one GPS server's session population and
+is the single stateful entry point to the paper's analytic machinery:
+
+* **membership** — :meth:`AnalysisContext.add`,
+  :meth:`AnalysisContext.remove` and :meth:`AnalysisContext.update`
+  maintain the population under join / leave / renegotiate events.  In
+  the default incremental mode each event patches the sorted
+  ``rho_i / phi_i`` ratio order of eq. (36) and the aggregate-rate
+  accumulator in ``O(log N)`` (Lemma 9's rate-inflation argument makes
+  most renegotiations an ``O(1)`` in-place rewrite), instead of paying
+  the from-scratch ``O(N log N)`` sort per event;
+* **admission gate** — :meth:`AnalysisContext.gate` re-checks the
+  stability condition (eq. 4) and every session's RPPS share against
+  its Theorem 10/15 delay target.  Incrementally this is ``O(1)`` per
+  decision: each session's *critical guaranteed rate* (the float-exact
+  threshold where its bound starts meeting the target) is cached, and
+  the population passes iff the common share multiplier clears the
+  largest cached ``threshold_i / rho_i``.  Decisions are byte-identical
+  to the from-scratch scan (``incremental=False``), which is itself
+  condition-for-condition :func:`repro.analysis.admission.admissible`;
+* **theorem caches** — :meth:`AnalysisContext.partition` (eqs. 37-39),
+  :meth:`AnalysisContext.gps_config`,
+  :meth:`AnalysisContext.theorem10_bounds`,
+  :meth:`AnalysisContext.theorem11_family` and
+  :meth:`AnalysisContext.theorem12_family` memoize the feasible
+  partition and per-session bound families keyed on the population
+  version, so repeated bound evaluations between membership changes
+  are free.  The partition cache is keyed on the *geometry* version,
+  which only advances when some ``rho_i`` or ``phi_i`` actually
+  changes — renegotiating a QoS target, or re-declaring an identical
+  contract, keeps every structural cache warm.
+
+The context is deliberately decision-procedure-shaped rather than
+simulation-shaped: :meth:`AnalysisContext.decide_join` and
+:meth:`AnalysisContext.decide_update` run the full
+gate-diagnose-commit/rollback cycle and return the same typed
+:class:`repro.analysis.admission.AdmissionDecision` records the online
+controller exposes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analysis.admission import (
+    AdmissionDecision,
+    QoSTarget,
+    critical_guaranteed_rate,
+    meets_target,
+)
+from repro.analysis.feasible import (
+    FeasibleOrderingError,
+    FeasiblePartition,
+    feasible_partition,
+    is_feasible_ordering,
+)
+from repro.analysis.incremental import ExactSum, SortedRatioOrder
+from repro.analysis.single_node import (
+    SessionBoundFamily,
+    SessionBounds,
+    theorem10_bounds,
+    theorem11_family,
+    theorem12_family,
+)
+from repro.core.ebb import EBB
+from repro.core.gps import GPSConfig, Session
+from repro.errors import AdmissionError, ReproError, ValidationError
+from repro.utils.validation import check_positive
+
+__all__ = ["SessionDeclaration", "AnalysisContext"]
+
+#: Relative safety margin for the O(1) gate fast path: the cached scale
+#: comparison uses ``g_i = rho_i * (rate / total)`` while the exact scan
+#: computes ``g_i = rho_i / total * rate``; the two differ by at most a
+#: few ulps, so a pass clearing the cached ceiling by this margin is
+#: guaranteed to pass the exact per-session comparison too.
+_FAST_PATH_MARGIN = 1e-12
+
+
+@dataclass(frozen=True)
+class SessionDeclaration:
+    """One session's declared contract, as held by the context.
+
+    ``target`` is optional: network-analysis contexts track sessions
+    for their bound structure only, without an admission target.
+    """
+
+    name: str
+    ebb: EBB
+    phi: float
+    target: QoSTarget | None = None
+
+    @property
+    def ratio(self) -> float:
+        """The ordering key ``rho_i / phi_i`` of eq. (36)."""
+        return self.ebb.rho / self.phi
+
+
+class _SessionState:
+    """Mutable per-session record (internal)."""
+
+    __slots__ = ("name", "seq", "ebb", "phi", "target", "ratio", "threshold", "scale")
+
+    def __init__(
+        self,
+        name: str,
+        seq: int,
+        ebb: EBB,
+        phi: float,
+        target: QoSTarget | None,
+        threshold: float,
+    ) -> None:
+        self.name = name
+        self.seq = seq
+        self.ebb = ebb
+        self.phi = phi
+        self.target = target
+        self.ratio = ebb.rho / phi
+        self.threshold = threshold
+        self.scale = 0.0 if threshold == 0.0 else threshold / ebb.rho
+
+    def declaration(self) -> SessionDeclaration:
+        return SessionDeclaration(
+            name=self.name, ebb=self.ebb, phi=self.phi, target=self.target
+        )
+
+
+class AnalysisContext:
+    """Cached, incrementally-updated bound computations for one server.
+
+    Parameters
+    ----------
+    rate:
+        The GPS server rate shared by the population.
+    discrete:
+        Evaluate the discrete-time variants of the bounds (eq. 66), as
+        the slotted simulators and the online controller do; pass
+        ``False`` for the continuous-time forms used by the network
+        recursion.
+    incremental:
+        Maintain the ratio order, the exact aggregate-rate accumulator
+        and per-session admission thresholds under membership events
+        (the ``O(log N)`` path).  ``False`` recomputes everything from
+        scratch on demand — the reference implementation the parity
+        tests compare against.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        *,
+        discrete: bool = True,
+        incremental: bool = True,
+    ) -> None:
+        check_positive("rate", rate)
+        self._rate = float(rate)
+        self._discrete = bool(discrete)
+        self._incremental = bool(incremental)
+        self._sessions: dict[str, _SessionState] = {}
+        self._next_seq = 0
+        # incremental structures ---------------------------------------
+        self._total = ExactSum()
+        self._order = SortedRatioOrder()
+        self._heap: list[tuple[float, int]] = []  # (-scale, seq), lazy deletion
+        self._seq_state: dict[int, _SessionState] = {}
+        # cache versioning ---------------------------------------------
+        self._version = 0  # any membership / contract change
+        self._geometry = 0  # only rho / phi changes
+        self._threshold_cache: dict[tuple[EBB, QoSTarget], float] = {}
+        self._partition_cache: tuple[int, FeasiblePartition] | None = None
+        self._ordering_cache: tuple[int, dict[str, Any]] | None = None
+        self._config_cache: tuple[int, GPSConfig] | None = None
+        self._family_version = -1
+        self._family_cache: dict[tuple[str, str, float], SessionBoundFamily] = {}
+        self._bounds_cache: dict[tuple[str, str, float], SessionBounds] = {}
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def rate(self) -> float:
+        """The server rate."""
+        return self._rate
+
+    @property
+    def discrete(self) -> bool:
+        """Whether the discrete-time bound variants are evaluated."""
+        return self._discrete
+
+    @property
+    def incremental(self) -> bool:
+        """Whether the incremental maintenance path is active."""
+        return self._incremental
+
+    @property
+    def version(self) -> int:
+        """Population version; advances on every effective change."""
+        return self._version
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Session names in insertion (admission) order."""
+        return tuple(self._sessions)
+
+    @property
+    def total_rho(self) -> float:
+        """Exact (correctly rounded) aggregate upper rate."""
+        if self._incremental:
+            return self._total.value
+        return math.fsum(s.ebb.rho for s in self._sessions.values())
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._sessions
+
+    def declaration(self, name: str) -> SessionDeclaration:
+        """The current contract of one session."""
+        state = self._sessions.get(name)
+        if state is None:
+            raise AdmissionError(f"unknown session {name!r}")
+        return state.declaration()
+
+    def declarations(self) -> list[SessionDeclaration]:
+        """All current contracts, in insertion order."""
+        return [s.declaration() for s in self._sessions.values()]
+
+    def ratio_ordering(self) -> list[str]:
+        """Session names sorted by ``rho_i / phi_i`` (stable in join
+        order) — the canonical feasible-ordering candidate of eq. (36)."""
+        if self._incremental:
+            by_seq = {s.seq: s.name for s in self._sessions.values()}
+            return [by_seq[seq] for seq in self._order.seqs()]
+        states = list(self._sessions.values())
+        order = sorted(range(len(states)), key=lambda i: states[i].ratio)
+        return [states[i].name for i in order]
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def _admission_threshold(
+        self, ebb: EBB, target: QoSTarget | None
+    ) -> float:
+        """Cached critical guaranteed rate (0.0 for target-less sessions)."""
+        if target is None:
+            return 0.0
+        key = (ebb, target)
+        cached = self._threshold_cache.get(key)
+        if cached is None:
+            cached = critical_guaranteed_rate(
+                ebb, target, server_rate=self._rate, discrete=self._discrete
+            )
+            self._threshold_cache[key] = cached
+        return cached
+
+    def add(
+        self,
+        name: str,
+        ebb: EBB,
+        phi: float,
+        target: QoSTarget | None = None,
+    ) -> None:
+        """Register a session (no admission check; see ``decide_join``)."""
+        if not name:
+            raise ValidationError("session name must be non-empty")
+        if name in self._sessions:
+            raise AdmissionError(f"session {name!r} is already admitted")
+        check_positive("phi", phi)
+        threshold = (
+            self._admission_threshold(ebb, target) if self._incremental else 0.0
+        )
+        state = _SessionState(
+            name, self._next_seq, ebb, float(phi), target, threshold
+        )
+        self._next_seq += 1
+        self._sessions[name] = state
+        if self._incremental:
+            self._total.add(state.ebb.rho)
+            self._order.insert(state.ratio, state.seq)
+            heapq.heappush(self._heap, (-state.scale, state.seq))
+            self._seq_state[state.seq] = state
+        self._version += 1
+        self._geometry += 1
+
+    def remove(self, name: str) -> SessionDeclaration:
+        """Forget a session; returns its final contract."""
+        state = self._sessions.get(name)
+        if state is None:
+            raise AdmissionError(f"cannot remove unknown session {name!r}")
+        del self._sessions[name]
+        if self._incremental:
+            self._total.remove(state.ebb.rho)
+            self._order.remove(state.ratio, state.seq)
+            del self._seq_state[state.seq]  # heap entries go stale lazily
+        self._version += 1
+        self._geometry += 1
+        return state.declaration()
+
+    def update(
+        self,
+        name: str,
+        *,
+        ebb: EBB | None = None,
+        phi: float | None = None,
+        target: QoSTarget | None = None,
+    ) -> SessionDeclaration:
+        """Renegotiate a session's contract; ``None`` keeps a field.
+
+        Returns the *previous* contract (so callers can roll back a
+        rejected renegotiation with :meth:`restore`).
+        """
+        state = self._sessions.get(name)
+        if state is None:
+            raise AdmissionError(f"cannot renegotiate unknown session {name!r}")
+        previous = state.declaration()
+        self._set(
+            state,
+            ebb if ebb is not None else state.ebb,
+            float(phi) if phi is not None else state.phi,
+            target if target is not None else state.target,
+        )
+        return previous
+
+    def restore(self, declaration: SessionDeclaration) -> None:
+        """Re-impose a previously returned contract (rollback helper)."""
+        state = self._sessions.get(declaration.name)
+        if state is None:
+            raise AdmissionError(
+                f"cannot renegotiate unknown session {declaration.name!r}"
+            )
+        self._set(state, declaration.ebb, declaration.phi, declaration.target)
+
+    def _set(
+        self,
+        state: _SessionState,
+        ebb: EBB,
+        phi: float,
+        target: QoSTarget | None,
+    ) -> None:
+        """Apply an exact new contract, patching incremental state.
+
+        A no-op contract (bit-identical to the current one) returns
+        without advancing any version counter, keeping every cache
+        warm — load-bearing for the network recursion, which re-declares
+        each hop's input E.B.B. per session and only occasionally
+        changes it.
+        """
+        if ebb == state.ebb and phi == state.phi and target == state.target:
+            return
+        geometry_changed = ebb.rho != state.ebb.rho or phi != state.phi
+        if self._incremental:
+            if ebb.rho != state.ebb.rho:
+                self._total.remove(state.ebb.rho)
+                self._total.add(ebb.rho)
+            new_ratio = ebb.rho / phi
+            if new_ratio != state.ratio:
+                self._order.replace(state.ratio, new_ratio, state.seq)
+            if ebb != state.ebb or target != state.target:
+                threshold = self._admission_threshold(ebb, target)
+                state.threshold = threshold
+                state.scale = 0.0 if threshold == 0.0 else threshold / ebb.rho
+                heapq.heappush(self._heap, (-state.scale, state.seq))
+        state.ebb = ebb
+        state.phi = phi
+        state.target = target
+        state.ratio = ebb.rho / phi
+        self._version += 1
+        if geometry_changed:
+            self._geometry += 1
+
+    # ------------------------------------------------------------------
+    # the admission gate
+    # ------------------------------------------------------------------
+    def _max_scale(self) -> float | None:
+        """Largest live ``threshold_i / rho_i`` (lazy-deletion heap top)."""
+        heap = self._heap
+        while heap:
+            neg_scale, seq = heap[0]
+            state = self._seq_state.get(seq)
+            if state is not None and state.scale == -neg_scale:
+                return -neg_scale
+            heapq.heappop(heap)
+        return None
+
+    def gate(self, request_name: str) -> tuple[str | None, str, dict[str, Any]]:
+        """Run the RPPS admission gate over the current population.
+
+        Returns ``(violated, reason, details)`` with ``violated=None``
+        on acceptance.  Condition for condition this is
+        :func:`repro.analysis.admission.admissible` on the current
+        ``(ebbs, targets)``; the requesting session must already be
+        registered (``decide_join`` adds it first and rolls back on
+        rejection).  Sessions without a target only participate in the
+        stability check.
+        """
+        if request_name not in self._sessions:
+            raise AdmissionError(f"unknown session {request_name!r}")
+        total = self.total_rho
+        details: dict[str, Any] = {
+            "server_rate": self._rate,
+            "total_rho": total,
+            "offered_load": total / self._rate,
+            "num_sessions": len(self._sessions),
+        }
+        if total >= self._rate:
+            return (
+                "stability",
+                f"aggregate rate {total:.6g} would reach the server "
+                f"rate {self._rate:.6g} (eq. 4 stability)",
+                details,
+            )
+        violator = self._first_violator(total)
+        if violator is None:
+            return None, "all delay targets met at the RPPS shares", details
+        state, granted = violator
+        assert state.target is not None
+        details["violating_session"] = state.name
+        details["granted_rate"] = granted
+        details["d_max"] = state.target.d_max
+        details["epsilon"] = state.target.epsilon
+        details["bound_probability"] = self._bound_at(state, granted)
+        blame = (
+            "its own"
+            if state.name == request_name
+            else f"session {state.name!r}'s"
+        )
+        return (
+            "delay_bound",
+            f"admitting {request_name!r} would violate {blame} "
+            f"Theorem 10 delay target Pr{{D >= "
+            f"{state.target.d_max:g}}} <= "
+            f"{state.target.epsilon:g} at RPPS rate "
+            f"{granted:.6g}",
+            details,
+        )
+
+    def _first_violator(
+        self, total: float
+    ) -> tuple[_SessionState, float] | None:
+        """First session (in admission order) whose RPPS share misses
+        its delay target, or ``None`` when all targets are met."""
+        if self._incremental:
+            ceiling = self._max_scale()
+            multiplier = self._rate / total
+            if ceiling is None or multiplier * (1.0 - _FAST_PATH_MARGIN) > ceiling:
+                # O(1) accept: every share clears its threshold with a
+                # margin larger than the share-expression rounding.
+                return None
+            for state in self._sessions.values():
+                if state.target is None:
+                    continue
+                granted = state.ebb.rho / total * self._rate
+                # granted >= threshold  <=>  meets_target(granted), by
+                # the float-exact bisection in critical_guaranteed_rate
+                if granted < state.threshold:
+                    return state, granted
+            return None
+        for state in self._sessions.values():
+            if state.target is None:
+                continue
+            granted = state.ebb.rho / total * self._rate
+            if not meets_target(
+                state.ebb, granted, state.target, discrete=self._discrete
+            ):
+                return state, granted
+        return None
+
+    def _bound_at(self, state: _SessionState, granted: float) -> float | None:
+        """Theorem 10/15 delay-bound value at the session's ``d_max``."""
+        from repro.core.rpps import guaranteed_rate_bounds
+
+        assert state.target is not None
+        if granted <= state.ebb.rho:
+            return None
+        try:
+            bounds = guaranteed_rate_bounds(
+                state.name, state.ebb, granted, discrete=self._discrete
+            )
+            return float(bounds.delay.evaluate(state.target.d_max))
+        except ReproError:
+            return None
+
+    # ------------------------------------------------------------------
+    # diagnostics (feasible ordering / partition / Theorem 11)
+    # ------------------------------------------------------------------
+    def _ordering_diagnostics(self) -> dict[str, Any]:
+        """Feasible-ordering diagnostics, cached on the geometry version.
+
+        In incremental mode the maintained ratio order *is* the
+        canonical candidate ordering, so only the eq. (4) feasibility
+        scan is paid; the output (including the failure message) is
+        bit-identical to
+        :func:`repro.analysis.feasible.find_feasible_ordering`.
+        """
+        if (
+            self._ordering_cache is not None
+            and self._ordering_cache[0] == self._geometry
+        ):
+            return dict(self._ordering_cache[1])
+        states = list(self._sessions.values())
+        names = [s.name for s in states]
+        rhos = [s.ebb.rho for s in states]
+        phis = [s.phi for s in states]
+        if self._incremental:
+            # insertion order is seq order, so the maintained (ratio,
+            # seq) entries map straight to insertion indices
+            rank_of_seq = {s.seq: k for k, s in enumerate(states)}
+            order = [rank_of_seq[seq] for seq in self._order.seqs()]
+        else:
+            order = sorted(
+                range(len(states)), key=lambda i: rhos[i] / phis[i]
+            )
+        out: dict[str, Any]
+        if is_feasible_ordering(
+            order, rhos, phis, server_rate=self._rate, strict=True
+        ):
+            out = {"feasible_ordering": [names[i] for i in order]}
+        else:
+            error = FeasibleOrderingError(
+                "no feasible ordering exists: the ratio-sorted ordering "
+                f"violates eq. (4); total rate "
+                f"{sum(rhos)} vs server rate {self._rate}"
+            )
+            out = {
+                "feasible_ordering": None,
+                "feasible_ordering_error": str(error),
+            }
+        self._ordering_cache = (self._geometry, dict(out))
+        return out
+
+    def diagnose(self, request_name: str) -> dict[str, Any]:
+        """Feasible ordering / partition / Theorem 11 diagnostics for a
+        request, matching the online controller's decision details."""
+        state = self._sessions.get(request_name)
+        if state is None:
+            raise AdmissionError(f"unknown session {request_name!r}")
+        out = self._ordering_diagnostics()
+        if out.get("feasible_ordering") is None:
+            return out
+        partition = self.partition()
+        names = [s.name for s in self._sessions.values()]
+        out["feasible_partition"] = [
+            [names[i] for i in members] for members in partition.classes
+        ]
+        out["partition_level"] = partition.level(names.index(request_name))
+        out["theorem11_probability"] = self._theorem11_probability(state)
+        return out
+
+    def _theorem11_probability(self, state: _SessionState) -> float | None:
+        """The session's optimized Theorem 11 delay tail at its
+        ``d_max`` — the sharper partition-based bound, for diagnostics."""
+        if state.target is None:
+            return None
+        try:
+            family = self.theorem11_family(state.name)
+            bound = family.optimized_delay(state.target.d_max)
+            return float(bound.evaluate(state.target.d_max))
+        except ReproError:
+            return None
+
+    # ------------------------------------------------------------------
+    # cached theorem computations
+    # ------------------------------------------------------------------
+    def partition(self) -> FeasiblePartition:
+        """The feasible partition of eqs. (37)-(39), cached per geometry."""
+        if (
+            self._partition_cache is not None
+            and self._partition_cache[0] == self._geometry
+        ):
+            return self._partition_cache[1]
+        states = list(self._sessions.values())
+        partition = feasible_partition(
+            [s.ebb.rho for s in states],
+            [s.phi for s in states],
+            server_rate=self._rate,
+        )
+        self._partition_cache = (self._geometry, partition)
+        return partition
+
+    def gps_config(self) -> GPSConfig:
+        """The population as a :class:`GPSConfig`, cached per version."""
+        if self._config_cache is not None and self._config_cache[0] == self._version:
+            return self._config_cache[1]
+        config = GPSConfig(
+            self._rate,
+            [
+                Session(s.name, s.ebb, s.phi)
+                for s in self._sessions.values()
+            ],
+        )
+        self._config_cache = (self._version, config)
+        return config
+
+    def _families(self) -> dict[tuple[str, str, float], SessionBoundFamily]:
+        if self._family_version != self._version:
+            self._family_cache.clear()
+            self._bounds_cache.clear()
+            self._family_version = self._version
+        return self._family_cache
+
+    def theorem10_bounds(
+        self, name: str, *, xi: float | None = None
+    ) -> SessionBounds:
+        """Theorem 10 bounds for one session (class ``H_1`` only),
+        cached per population version."""
+        self._families()  # resets both caches when the version moved
+        key = ("t10", name, -1.0 if xi is None else xi)
+        cached = self._bounds_cache.get(key)
+        if cached is not None:
+            return cached
+        config = self.gps_config()
+        bounds = theorem10_bounds(
+            config,
+            config.index_of(name),
+            xi=xi,
+            discrete=self._discrete,
+            partition=self.partition(),
+        )
+        self._bounds_cache[key] = bounds
+        return bounds
+
+    def _family(
+        self, kind: str, name: str, xi: float
+    ) -> SessionBoundFamily:
+        cache = self._families()
+        key = (kind, name, xi)
+        family = cache.get(key)
+        if family is not None:
+            return family
+        config = self.gps_config()
+        index = config.index_of(name)
+        if kind == "t11":
+            family = theorem11_family(
+                config,
+                index,
+                xi=xi,
+                partition=self.partition(),
+                discrete=self._discrete,
+            )
+        else:
+            family = theorem12_family(
+                config,
+                index,
+                xi=xi,
+                partition=self.partition(),
+                discrete=self._discrete,
+            )
+        cache[key] = family
+        return family
+
+    def theorem11_family(self, name: str, *, xi: float = 1.0) -> SessionBoundFamily:
+        """Theorem 11 bound family for one session, cached per version."""
+        return self._family("t11", name, xi)
+
+    def theorem12_family(self, name: str, *, xi: float = 1.0) -> SessionBoundFamily:
+        """Theorem 12 bound family for one session, cached per version."""
+        return self._family("t12", name, xi)
+
+    # ------------------------------------------------------------------
+    # typed decisions
+    # ------------------------------------------------------------------
+    def _decision(
+        self,
+        action: str,
+        request_name: str,
+        *,
+        diagnostics: bool,
+    ) -> AdmissionDecision:
+        violated, reason, details = self.gate(request_name)
+        if diagnostics and violated != "stability":
+            details.update(self.diagnose(request_name))
+        return AdmissionDecision(
+            accepted=violated is None,
+            session=request_name,
+            action=action,
+            reason=reason,
+            violated=violated,
+            details=details,
+        )
+
+    def decide_join(
+        self,
+        name: str,
+        ebb: EBB,
+        phi: float,
+        target: QoSTarget,
+        *,
+        diagnostics: bool = False,
+    ) -> AdmissionDecision:
+        """Gate a join request; commits the session iff accepted."""
+        self.add(name, ebb, phi, target)
+        decision = self._decision("join", name, diagnostics=diagnostics)
+        if not decision.accepted:
+            self.remove(name)
+        return decision
+
+    def decide_update(
+        self,
+        name: str,
+        *,
+        ebb: EBB | None = None,
+        phi: float | None = None,
+        target: QoSTarget | None = None,
+        diagnostics: bool = False,
+    ) -> AdmissionDecision:
+        """Gate a renegotiation; commits the new contract iff accepted.
+
+        A rejected renegotiation restores the previous contract."""
+        previous = self.update(name, ebb=ebb, phi=phi, target=target)
+        decision = self._decision(
+            "renegotiate", name, diagnostics=diagnostics
+        )
+        if not decision.accepted:
+            self.restore(previous)
+        return decision

@@ -1,0 +1,157 @@
+"""Incremental data structures behind :class:`AnalysisContext`.
+
+Two small, exactly-specified containers let the admission gate patch
+its state in ``O(log N)`` per session event instead of recomputing
+from scratch:
+
+* :class:`ExactSum` — a Shewchuk-style exact accumulator for the
+  aggregate rate ``sum_i rho_i``.  Its :attr:`ExactSum.value` is
+  *bit-identical* to ``math.fsum`` over the current multiset of
+  addends, no matter in which order sessions joined and left, which is
+  what makes the incremental and from-scratch gates byte-identical.
+* :class:`SortedRatioOrder` — the ``rho_i / phi_i`` ratio order of
+  eq. (36) maintained under insertions, deletions and renegotiations.
+  Ties break by insertion sequence number, reproducing the stable
+  ``sorted(..., key=ratio)`` order of
+  :func:`repro.analysis.feasible.find_feasible_ordering`.
+  :meth:`SortedRatioOrder.replace` implements the Lemma 9 fast path:
+  a renegotiated rate that still fits between the session's current
+  neighbours leaves the ordering untouched (``O(1)`` check), and only
+  otherwise pays the ``O(log N)`` re-insertion.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, insort
+
+__all__ = ["ExactSum", "SortedRatioOrder"]
+
+
+class ExactSum:
+    """Exact floating-point accumulator supporting add *and* remove.
+
+    Maintains Shewchuk non-overlapping partial sums (the ``msum``
+    recipe underlying ``math.fsum``).  Removing ``x`` is adding
+    ``-x``: because every grow step is exact (two-sum), the partials
+    always represent the true real-number sum of everything ever
+    added, so after removals the value equals ``math.fsum`` of the
+    surviving multiset exactly.
+    """
+
+    __slots__ = ("_partials",)
+
+    def __init__(self) -> None:
+        self._partials: list[float] = []
+
+    def _grow(self, x: float) -> None:
+        partials = self._partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    def add(self, x: float) -> None:
+        """Add ``x`` to the sum, exactly."""
+        self._grow(x)
+
+    def remove(self, x: float) -> None:
+        """Remove one previously-added ``x`` from the sum, exactly."""
+        self._grow(-x)
+
+    @property
+    def value(self) -> float:
+        """Correctly-rounded sum — ``math.fsum`` of the live multiset."""
+        return math.fsum(self._partials)
+
+    def __len__(self) -> int:
+        return len(self._partials)
+
+
+class SortedRatioOrder:
+    """The ratio-sorted session order, maintained incrementally.
+
+    Entries are ``(ratio, seq)`` pairs where ``seq`` is the session's
+    insertion sequence number.  Python tuple comparison then sorts by
+    ratio with ties broken by join order — exactly the stable sort
+    ``sorted(range(n), key=lambda i: rho[i] / phi[i])`` over sessions
+    listed in join order, so the maintained order reproduces the
+    canonical feasible ordering of eq. (36) bit for bit.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, ratio: float, seq: int) -> None:
+        """Insert a session at its sorted position (``O(log N)`` search,
+        ``O(N)`` shift — the shift is a C-level memmove)."""
+        insort(self._entries, (ratio, seq))
+
+    def remove(self, ratio: float, seq: int) -> None:
+        """Remove a session by its exact ``(ratio, seq)`` key."""
+        entries = self._entries
+        k = bisect_left(entries, (ratio, seq))
+        if k >= len(entries) or entries[k] != (ratio, seq):
+            raise KeyError((ratio, seq))
+        del entries[k]
+
+    def replace(self, old_ratio: float, new_ratio: float, seq: int) -> bool:
+        """Renegotiate a session's ratio; returns True if the order moved.
+
+        Lemma 9 of the paper shows the feasible ordering is preserved
+        when a rate is inflated without crossing a neighbour's ratio;
+        the ``O(1)`` neighbour check below detects exactly that case
+        and rewrites the entry in place.  Only a crossing pays the
+        delete + re-insert.
+        """
+        entries = self._entries
+        k = bisect_left(entries, (old_ratio, seq))
+        if k >= len(entries) or entries[k] != (old_ratio, seq):
+            raise KeyError((old_ratio, seq))
+        new_entry = (new_ratio, seq)
+        left_ok = k == 0 or entries[k - 1] < new_entry
+        right_ok = k == len(entries) - 1 or new_entry < entries[k + 1]
+        if left_ok and right_ok:
+            entries[k] = new_entry
+            return False
+        del entries[k]
+        insort(entries, new_entry)
+        return True
+
+    def seqs(self) -> list[int]:
+        """Session sequence numbers in ratio order."""
+        return [seq for _, seq in self._entries]
+
+    def rank(self, ratio: float, seq: int) -> int:
+        """0-based position of an entry in the order."""
+        entries = self._entries
+        k = bisect_left(entries, (ratio, seq))
+        if k >= len(entries) or entries[k] != (ratio, seq):
+            raise KeyError((ratio, seq))
+        return k
+
+    def neighbors(
+        self, ratio: float, seq: int
+    ) -> tuple[tuple[float, int] | None, tuple[float, int] | None]:
+        """The entries immediately before and after one session."""
+        k = self.rank(ratio, seq)
+        entries = self._entries
+        before = entries[k - 1] if k > 0 else None
+        after = entries[k + 1] if k + 1 < len(entries) else None
+        return before, after
+
+    def as_tuples(self) -> list[tuple[float, int]]:
+        """Snapshot of the ``(ratio, seq)`` entries, in order."""
+        return list(self._entries)

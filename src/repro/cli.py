@@ -164,6 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--full-recompute",
+        action="store_true",
+        help=(
+            "re-run the full admission scan on every request instead "
+            "of the O(log N) incremental gate (reference path; "
+            "decisions are identical)"
+        ),
+    )
+    serve.add_argument(
         "--strict",
         action="store_true",
         help=(
@@ -291,6 +300,7 @@ def _run_serve(args) -> int:
             admission = AdmissionController(
                 rate=args.rate,
                 diagnostics=not args.no_diagnostics,
+                incremental=not args.full_recompute,
             )
         engine = StreamingGPSServer(rate=args.rate, admission=admission)
         with contextlib.ExitStack() as stack:

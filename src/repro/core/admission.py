@@ -1,35 +1,23 @@
-"""Statistical call admission control on top of the GPS bounds.
+"""Backward-compatible re-exports of :mod:`repro.analysis.admission`.
 
-The paper motivates its statistical bounds with admission control: a
-session asks for the QoS guarantee ``Pr{D >= d_max} <= epsilon`` and
-the network must decide whether to accept it.  This module turns the
-bound theorems into that decision procedure:
-
-* :class:`QoSTarget` — a (d_max, epsilon) delay requirement;
-* :func:`required_rate_for_delay` — the smallest guaranteed rate ``g``
-  at which an E.B.B. session meets its target (inverts the Theorem 10 /
-  Theorem 15 bound in ``g``);
-* :func:`admissible` / :func:`max_admissible_copies` — accept/reject
-  decisions for RPPS servers, where admission only requires each
-  session's bottleneck share to stay above its required rate.
-
-Everything here is *conservative*: a session admitted by these
-procedures provably meets its target (up to the tightness of the
-underlying bound), matching the paper's soft-guarantee semantics.
+The statistical call-admission procedures (QoS targets, the
+Theorem 10/15 admission predicate and the RPPS accept/reject
+decisions) moved to :mod:`repro.analysis.admission`, the single owner
+of the paper's theorem computations.  This module re-exports the
+historical names so existing ``repro.core.admission`` imports keep
+working; new code should import from :mod:`repro.analysis` (or use the
+stateful :class:`repro.analysis.context.AnalysisContext`).
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Sequence
-
-from repro.core.ebb import EBB
-from repro.core.rpps import guaranteed_rate_bounds
-from repro.utils.numeric import bisect_root
-from repro.utils.validation import check_positive
-
-from repro.errors import ValidationError
+from repro.analysis.admission import (
+    QoSTarget,
+    admissible,
+    max_admissible_copies,
+    meets_target,
+    required_rate_for_delay,
+)
 
 __all__ = [
     "QoSTarget",
@@ -38,136 +26,3 @@ __all__ = [
     "admissible",
     "max_admissible_copies",
 ]
-
-
-@dataclass(frozen=True)
-class QoSTarget:
-    """The soft delay guarantee ``Pr{D >= d_max} <= epsilon``."""
-
-    d_max: float
-    epsilon: float
-
-    def __post_init__(self) -> None:
-        check_positive("d_max", self.d_max)
-        if not 0.0 < self.epsilon < 1.0:
-            raise ValidationError(
-                f"epsilon must be in (0, 1), got {self.epsilon}"
-            )
-
-
-def meets_target(
-    arrival: EBB,
-    guaranteed_rate: float,
-    target: QoSTarget,
-    *,
-    discrete: bool = True,
-) -> bool:
-    """True if the Theorem 10/15 delay bound meets the target at the
-    given guaranteed rate."""
-    if guaranteed_rate <= arrival.rho:
-        return False
-    bounds = guaranteed_rate_bounds(
-        "probe", arrival, guaranteed_rate, discrete=discrete
-    )
-    return bounds.delay.evaluate(target.d_max) <= target.epsilon
-
-
-def required_rate_for_delay(
-    arrival: EBB,
-    target: QoSTarget,
-    *,
-    discrete: bool = True,
-    rate_cap: float = 1e6,
-    max_iter: int = 200,
-) -> float:
-    """Smallest guaranteed rate meeting the target, by bisection.
-
-    The Theorem 10 delay bound is monotone in ``g`` (larger rate means
-    both a faster decay ``alpha g`` and a smaller prefactor), so the
-    admissible set of rates is an interval ``[g*, inf)``; we return
-    ``g*``.  The bisection is capped at ``max_iter`` iterations.
-
-    Raises
-    ------
-    ValidationError
-        If even ``rate_cap`` cannot meet the target (an extremely lax
-        cap only fails for epsilon below the bound's intrinsic
-        prefactor floor).
-    NumericalError
-        If the bracket ``[rho, rate_cap]`` does not straddle the
-        target (inconsistent bound evaluations on non-bracketing
-        inputs) or the bisection fails to converge within
-        ``max_iter`` iterations — the search never loops unboundedly.
-    """
-    check_positive("rate_cap", rate_cap)
-    check_positive("max_iter", max_iter)
-    if meets_target(arrival, arrival.rho * (1.0 + 1e-12), target):
-        return arrival.rho
-    if not meets_target(arrival, rate_cap, target, discrete=discrete):
-        raise ValidationError(
-            "target unreachable: even an arbitrarily fast server "
-            f"cannot push the bound below epsilon={target.epsilon} "
-            "(the prefactor floor exceeds it)"
-        )
-
-    def gap(rate: float) -> float:
-        bounds = guaranteed_rate_bounds(
-            "probe", arrival, rate, discrete=discrete
-        )
-        return bounds.delay.log_evaluate(target.d_max) - math.log(
-            target.epsilon
-        )
-
-    lo = arrival.rho * (1.0 + 1e-9)
-    return bisect_root(gap, lo, rate_cap, tol=1e-10, max_iter=int(max_iter))
-
-
-def admissible(
-    arrivals: Sequence[EBB],
-    targets: Sequence[QoSTarget],
-    server_rate: float,
-    *,
-    discrete: bool = True,
-) -> bool:
-    """Accept/reject a session set on an RPPS server.
-
-    Under RPPS each session's guaranteed rate is
-    ``g_i = rho_i / sum_j rho_j * r``; the set is admissible when the
-    server is stable and every session's ``g_i`` is at least its
-    required rate.
-    """
-    if len(arrivals) != len(targets):
-        raise ValidationError("one target per session required")
-    check_positive("server_rate", server_rate)
-    total_rho = sum(a.rho for a in arrivals)
-    if total_rho >= server_rate:
-        return False
-    for arrival, target in zip(arrivals, targets):
-        g = arrival.rho / total_rho * server_rate
-        if not meets_target(arrival, g, target, discrete=discrete):
-            return False
-    return True
-
-
-def max_admissible_copies(
-    arrival: EBB,
-    target: QoSTarget,
-    server_rate: float,
-    *,
-    discrete: bool = True,
-) -> int:
-    """Largest ``n`` such that ``n`` identical sessions are admissible.
-
-    With identical RPPS sessions every copy gets ``g = r / n``, so the
-    count is monotone and a linear scan from the stability ceiling down
-    is exact (the ceiling ``r / rho`` is small in practice).
-    """
-    check_positive("server_rate", server_rate)
-    ceiling = int(math.floor(server_rate / arrival.rho))
-    for n in range(ceiling, 0, -1):
-        if n * arrival.rho >= server_rate:
-            continue
-        g = server_rate / n
-        if meets_target(arrival, g, target, discrete=discrete):
-            return n
-    return 0

@@ -15,9 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.feasible import find_feasible_ordering
+from repro.analysis.feasible import find_feasible_ordering
 from repro.core.gps import GPSConfig
-from repro.core.mgf import VirtualQueue
+from repro.analysis.mgf import VirtualQueue
 from repro.utils.validation import check_in_open_interval, check_positive
 
 from repro.errors import ValidationError

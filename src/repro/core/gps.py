@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from repro.core.ebb import EBB
-from repro.core.feasible import FeasiblePartition, feasible_partition
+from repro.analysis.feasible import FeasiblePartition, feasible_partition
 from repro.utils.validation import check_positive
 
 from repro.errors import ValidationError

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 import math
 
 from repro.core.bounds import ExponentialTailBound
-from repro.core.single_node import SessionBounds
+from repro.analysis.single_node import SessionBounds
 from repro.utils.validation import check_positive
 
 from repro.errors import ValidationError

@@ -20,8 +20,8 @@ from __future__ import annotations
 from repro.core.bounds import ExponentialTailBound
 from repro.core.ebb import EBB
 from repro.core.gps import GPSConfig
-from repro.core.mgf import discrete_delta_tail_bound, lemma5_tail_bound
-from repro.core.single_node import SessionBounds, theorem10_bounds
+from repro.analysis.mgf import discrete_delta_tail_bound, lemma5_tail_bound
+from repro.analysis.single_node import SessionBounds, theorem10_bounds
 from repro.utils.validation import check_positive
 
 from repro.errors import ValidationError

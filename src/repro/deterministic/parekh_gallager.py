@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.feasible import FeasiblePartition, feasible_partition
+from repro.analysis.feasible import FeasiblePartition, feasible_partition
 from repro.traffic.envelope import LBAPEnvelope
 from repro.utils.validation import check_positive
 

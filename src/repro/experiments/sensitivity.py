@@ -21,7 +21,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.rpps import guaranteed_rate_bounds
+from repro.analysis.grid import rpps_delay_bounds, tail_probability_matrix
+from repro.core.ebb import EBB
 from repro.markov.lnt94 import ebb_characterization
 from repro.markov.mmpp import MarkovModulatedSource
 
@@ -82,27 +83,33 @@ def rho_tradeoff_curve(
     hi = min(peak, guaranteed_rate)
     lo = mean + margin * (hi - mean)
     hi = hi - margin * (hi - mean)
-    points = []
+    # per-rho characterizations stay scalar (Markov eigen-analysis); the
+    # bound evaluation then runs vectorized through the grid path
+    kept: list[tuple[float, EBB]] = []
+    arrivals: list[EBB] = []
     for rho in np.linspace(lo, hi, num_points):
         rho_f = float(rho)
         if rho_f >= guaranteed_rate:
             continue
         ebb = ebb_characterization(source, rho_f)
-        bounds = guaranteed_rate_bounds(
-            "sweep", ebb, guaranteed_rate, discrete=True
-        )
-        points.append(
-            RhoTradeoffPoint(
-                rho=rho_f,
-                alpha=ebb.decay_rate,
-                prefactor=ebb.prefactor,
-                delay_bound=bounds.delay.evaluate(reference_delay),
-                guaranteed_rate=guaranteed_rate,
-            )
-        )
-    if len(points) < 2:
+        kept.append((rho_f, ebb))
+        arrivals.append(ebb)
+    if len(kept) < 2:
         raise ValidationError(
             "sweep produced fewer than 2 admissible points; widen the "
             "guaranteed rate"
         )
-    return points
+    bounds = rpps_delay_bounds(
+        arrivals, [guaranteed_rate] * len(arrivals), discrete=True
+    )
+    delay_column = tail_probability_matrix(bounds, [reference_delay])[:, 0]
+    return [
+        RhoTradeoffPoint(
+            rho=rho_f,
+            alpha=ebb.decay_rate,
+            prefactor=ebb.prefactor,
+            delay_bound=float(delay_column[k]),
+            guaranteed_rate=guaranteed_rate,
+        )
+        for k, (rho_f, ebb) in enumerate(kept)
+    ]

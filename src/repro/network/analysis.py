@@ -11,6 +11,16 @@ characterization that becomes the arrival at the next hop; end-to-end
 metrics come from combining per-node bounds (:func:`repro.core.bounds.
 sum_of_tail_bounds`).
 
+Each node holds a long-lived
+:class:`repro.analysis.context.AnalysisContext`: the recursion
+declares the node's sessions once and then *updates* a session's
+arrival E.B.B. in place as upstream outputs become known.  Because an
+output characterization preserves the session's upper rate ``rho``
+bit for bit, those updates never change the node's partition geometry,
+so the feasible partition (eqs. 37-39) is built once per node instead
+of once per hop visit — the main structural saving of the context
+refactor at network scale.
+
 Because traffic streams inside a network are generally *dependent*
 (they share upstream servers), the per-node step defaults to the
 Hölder-based Theorem 12; pass ``independent_inputs=True`` to use
@@ -28,13 +38,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.context import AnalysisContext
 from repro.core.bounds import ExponentialTailBound, sum_of_tail_bounds
 from repro.core.ebb import EBB
-from repro.core.gps import GPSConfig, Session
-from repro.core.single_node import (
-    theorem11_family,
-    theorem12_family,
-)
 from repro.network.crst import CRSTPartition, crst_partition
 from repro.network.topology import Network
 from repro.utils.validation import check_in_open_interval
@@ -43,6 +49,7 @@ __all__ = [
     "SessionHopReport",
     "SessionNetworkReport",
     "analyze_crst_network",
+    "node_contexts",
 ]
 
 
@@ -80,34 +87,29 @@ class SessionNetworkReport:
         return self.hops[-1].output
 
 
-def _local_config(
-    network: Network,
-    node_name: str,
-    arrivals: dict[tuple[str, str], EBB],
-) -> tuple[GPSConfig, dict[str, int]]:
-    """GPS configuration of one node using arrival-at-node E.B.B.s.
+def node_contexts(
+    network: Network, *, discrete: bool = False
+) -> dict[str, AnalysisContext]:
+    """One :class:`AnalysisContext` per node, seeded with the node's
+    sessions at their *source* characterizations.
 
-    For sessions whose arrival characterization at this node is not yet
-    known (they belong to the same or a later global class), the
-    *source* characterization placeholder keeps ``rho`` (all that the
-    feasible-partition geometry needs); their prefactors never enter
-    any bound computed against this configuration.
+    For sessions whose arrival characterization at a node is not yet
+    known (they belong to the same or a later global class), the source
+    characterization placeholder keeps ``rho`` — all that the
+    feasible-partition geometry needs; their prefactors never enter any
+    bound computed against this node until the recursion updates them.
     """
-    local = network.sessions_at(node_name)
-    sessions = []
-    index_of = {}
-    for k, session in enumerate(local):
-        ebb = arrivals.get((session.name, node_name), session.arrival)
-        sessions.append(
-            Session(
-                name=session.name,
-                arrival=ebb,
-                phi=session.phi_at(node_name),
-            )
+    contexts: dict[str, AnalysisContext] = {}
+    for node_name, node in network.nodes.items():
+        context = AnalysisContext(
+            node.rate, discrete=discrete, incremental=False
         )
-        index_of[session.name] = k
-    config = GPSConfig(network.nodes[node_name].rate, sessions)
-    return config, index_of
+        for session in network.sessions_at(node_name):
+            context.add(
+                session.name, session.arrival, session.phi_at(node_name)
+            )
+        contexts[node_name] = context
+    return contexts
 
 
 def analyze_crst_network(
@@ -128,41 +130,25 @@ def analyze_crst_network(
     check_in_open_interval("theta_shrink", theta_shrink, 0.0, 1.0)
     if partition is None:
         partition = crst_partition(network)
-    arrivals: dict[tuple[str, str], EBB] = {}
+    contexts = node_contexts(network, discrete=discrete)
     reports: dict[str, SessionNetworkReport] = {}
 
     for class_members in partition.classes:
         for session_name in class_members:
             session = network.session(session_name)
-            arrivals[(session_name, session.route[0])] = session.arrival
             hop_reports: list[SessionHopReport] = []
             for hop, node_name in enumerate(session.route):
-                config, index_of = _local_config(
-                    network, node_name, arrivals
-                )
-                local_index = index_of[session_name]
-                local_partition = config.partition()
+                context = contexts[node_name]
+                arrival = context.declaration(session_name).ebb
                 if independent_inputs:
-                    family = theorem11_family(
-                        config,
-                        local_index,
-                        xi=xi,
-                        partition=local_partition,
-                        discrete=discrete,
-                    )
+                    family = context.theorem11_family(session_name, xi=xi)
                 else:
-                    family = theorem12_family(
-                        config,
-                        local_index,
-                        xi=xi,
-                        partition=local_partition,
-                        discrete=discrete,
-                    )
+                    family = context.theorem12_family(session_name, xi=xi)
                 theta = theta_shrink * family.theta_max
                 bounds = family.bounds_at(theta)
                 report = SessionHopReport(
                     node=node_name,
-                    arrival=arrivals[(session_name, node_name)],
+                    arrival=arrival,
                     theta=theta,
                     backlog=bounds.backlog,
                     delay=bounds.delay,
@@ -170,9 +156,11 @@ def analyze_crst_network(
                 )
                 hop_reports.append(report)
                 if hop + 1 < session.num_hops:
-                    arrivals[
-                        (session_name, session.route[hop + 1])
-                    ] = bounds.output
+                    # propagate: the output E.B.B. keeps rho exactly,
+                    # so the downstream node's partition cache survives
+                    contexts[session.route[hop + 1]].update(
+                        session_name, ebb=bounds.output
+                    )
             reports[session_name] = SessionNetworkReport(
                 session=session_name,
                 hops=tuple(hop_reports),

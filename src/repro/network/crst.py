@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 import networkx as nx
 
-from repro.core.feasible import FeasiblePartition, feasible_partition
+from repro.analysis.feasible import FeasiblePartition, feasible_partition
 from repro.network.topology import Network
 
 from repro.errors import ValidationError

@@ -24,7 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.admission import QoSTarget, required_rate_for_delay
+from repro.analysis.admission import QoSTarget, required_rate_for_delay
 from repro.core.ebb import EBB
 from repro.utils.validation import check_positive
 

@@ -4,104 +4,44 @@ The paper motivates its statistical bounds with exactly this use case:
 a session arrives declaring an E.B.B. characterization and a
 ``(d_max, epsilon)`` QoS target, and the server must decide *now*
 whether the whole population still meets every target.  The
-:class:`AdmissionController` keeps the admitted declarations as state
-and, on every join/renegotiate request, re-runs the offline decision
-machinery over the candidate population:
+:class:`AdmissionController` is a thin, counter-keeping façade over a
+long-lived :class:`repro.analysis.context.AnalysisContext`, which owns
+the admitted declarations and runs the decision machinery:
 
-* the accept/reject *gate* mirrors :func:`repro.core.admission.admissible`
-  condition for condition (stability, then each session's RPPS share
-  against its Theorem 10/15 delay bound), so controller decisions are
-  provably consistent with the offline procedure on the same state;
+* the accept/reject *gate* is condition for condition
+  :func:`repro.analysis.admission.admissible` (stability, then each
+  session's RPPS share against its Theorem 10/15 delay bound).  In the
+  default incremental mode the context answers each request in
+  ``O(log N)`` — it patches the ratio ordering and the exact
+  aggregate-rate accumulator per membership event and compares the
+  common RPPS share multiplier against cached per-session critical
+  rates — with decisions byte-identical to the from-scratch scan
+  (``incremental=False``);
 * the *diagnostics* re-derive the feasible ordering (eq. 4) and the
   feasible partition with the joining session's Theorem 11 tail bound
   (the sharper partition-based bound of Section 5), attached to every
   decision so an operator can see which bound was violated and by how
   much.
 
-Decisions are returned as typed :class:`AdmissionDecision` records
-(JSON-serializable via :meth:`AdmissionDecision.to_record`) rather than
+Decisions are returned as typed
+:class:`repro.analysis.admission.AdmissionDecision` records
+(JSON-serializable via ``AdmissionDecision.to_record``) rather than
 booleans; a rejected decision can be raised as
 :class:`repro.errors.AdmissionError` via
-:meth:`AdmissionDecision.raise_if_rejected`.
+``AdmissionDecision.raise_if_rejected``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.admission import QoSTarget, meets_target
+from repro.analysis.admission import AdmissionDecision, QoSTarget
+from repro.analysis.context import AnalysisContext
 from repro.core.ebb import EBB
-from repro.core.feasible import (
-    FeasibleOrderingError,
-    feasible_partition,
-    find_feasible_ordering,
-)
-from repro.errors import AdmissionError, ReproError, ValidationError
+from repro.errors import AdmissionError, ValidationError
 from repro.utils.validation import check_positive
 
 __all__ = ["AdmissionDecision", "AdmissionController"]
-
-
-@dataclass(frozen=True)
-class AdmissionDecision:
-    """The typed outcome of one admission request.
-
-    Attributes
-    ----------
-    accepted:
-        Whether the request was admitted (and committed).
-    session:
-        The requesting session's name.
-    action:
-        ``"join"`` or ``"renegotiate"``.
-    reason:
-        One human-readable sentence.
-    violated:
-        ``None`` when accepted; otherwise which check failed:
-        ``"missing_declaration"``, ``"stability"`` or ``"delay_bound"``.
-    details:
-        JSON-serializable diagnostics: offered load, the feasible
-        ordering/partition of the candidate set, the violating
-        session's granted rate and bound value, and the joining
-        session's Theorem 11 tail-bound evaluation when available.
-    """
-
-    accepted: bool
-    session: str
-    action: str
-    reason: str
-    violated: str | None = None
-    details: dict[str, Any] = field(default_factory=dict)
-
-    def to_record(self) -> dict[str, Any]:
-        """JSON-serializable record of the decision."""
-        return {
-            "accepted": self.accepted,
-            "session": self.session,
-            "action": self.action,
-            "reason": self.reason,
-            "violated": self.violated,
-            "details": dict(self.details),
-        }
-
-    def raise_if_rejected(self) -> "AdmissionDecision":
-        """Return self when accepted; raise :class:`AdmissionError` when not."""
-        if not self.accepted:
-            raise AdmissionError(
-                f"admission rejected for session {self.session!r}: "
-                f"{self.reason}",
-                decision=self,
-            )
-        return self
-
-
-@dataclass(frozen=True)
-class _Declaration:
-    name: str
-    ebb: EBB
-    phi: float
-    target: QoSTarget
 
 
 class AdmissionController:
@@ -114,12 +54,17 @@ class AdmissionController:
     discrete:
         Evaluate the discrete-time variants of the bounds (matches the
         slotted simulators); forwarded to
-        :func:`repro.core.admission.meets_target`.
+        :func:`repro.analysis.admission.meets_target`.
     diagnostics:
         Attach feasible-ordering / feasible-partition / Theorem 11
         details to every decision.  Costs one partition build plus one
         bound optimization per request; switch off for very large
         populations where only the gate matters.
+    incremental:
+        Maintain the context's ``O(log N)`` incremental gate state
+        (default).  ``False`` re-runs the full stability + Theorem
+        10/15 scan from scratch on every request — the reference path
+        the parity tests compare against.
     """
 
     def __init__(
@@ -128,12 +73,13 @@ class AdmissionController:
         rate: float,
         discrete: bool = True,
         diagnostics: bool = True,
+        incremental: bool = True,
     ) -> None:
         check_positive("rate", rate)
-        self._rate = float(rate)
-        self._discrete = bool(discrete)
+        self._context = AnalysisContext(
+            rate, discrete=discrete, incremental=incremental
+        )
         self._diagnostics = bool(diagnostics)
-        self._admitted: dict[str, _Declaration] = {}
         self._decisions = 0
         self._accepted = 0
 
@@ -141,186 +87,51 @@ class AdmissionController:
     @property
     def rate(self) -> float:
         """The server rate."""
-        return self._rate
+        return self._context.rate
 
     @property
     def num_admitted(self) -> int:
         """Number of currently admitted sessions."""
-        return len(self._admitted)
+        return len(self._context)
 
     @property
     def admitted_names(self) -> tuple[str, ...]:
         """Names of the admitted sessions, in admission order."""
-        return tuple(self._admitted)
+        return self._context.names
 
     @property
     def total_rho(self) -> float:
         """Aggregate declared upper rate of the admitted set."""
-        return sum(d.ebb.rho for d in self._admitted.values())
+        return self._context.total_rho
+
+    @property
+    def context(self) -> AnalysisContext:
+        """The underlying analysis context (shared bound caches)."""
+        return self._context
 
     def declarations(self) -> list[tuple[str, EBB, float, QoSTarget]]:
         """``(name, ebb, phi, target)`` per admitted session, in order."""
-        return [
-            (d.name, d.ebb, d.phi, d.target)
-            for d in self._admitted.values()
-        ]
-
-    # ------------------------------------------------------------------
-    # the gate (mirrors repro.core.admission.admissible)
-    # ------------------------------------------------------------------
-    def _gate(
-        self, candidate: list[_Declaration], request: _Declaration
-    ) -> tuple[str | None, str, dict[str, Any]]:
-        """Run the RPPS admission gate over the candidate population.
-
-        Returns ``(violated, reason, details)`` with ``violated=None``
-        on acceptance.  Condition for condition this is
-        :func:`repro.core.admission.admissible` on the candidate
-        ``(ebbs, targets)`` — the consistency the test suite asserts.
-        """
-        total_rho = sum(d.ebb.rho for d in candidate)
-        details: dict[str, Any] = {
-            "server_rate": self._rate,
-            "total_rho": total_rho,
-            "offered_load": total_rho / self._rate,
-            "num_sessions": len(candidate),
-        }
-        if total_rho >= self._rate:
-            return (
-                "stability",
-                f"aggregate rate {total_rho:.6g} would reach the server "
-                f"rate {self._rate:.6g} (eq. 4 stability)",
-                details,
-            )
-        for declaration in candidate:
-            granted = declaration.ebb.rho / total_rho * self._rate
-            if not meets_target(
-                declaration.ebb,
-                granted,
-                declaration.target,
-                discrete=self._discrete,
-            ):
-                details["violating_session"] = declaration.name
-                details["granted_rate"] = granted
-                details["d_max"] = declaration.target.d_max
-                details["epsilon"] = declaration.target.epsilon
-                details["bound_probability"] = self._bound_at(
-                    declaration, granted
+        out: list[tuple[str, EBB, float, QoSTarget]] = []
+        for declaration in self._context.declarations():
+            assert declaration.target is not None
+            out.append(
+                (
+                    declaration.name,
+                    declaration.ebb,
+                    declaration.phi,
+                    declaration.target,
                 )
-                blame = (
-                    "its own"
-                    if declaration.name == request.name
-                    else f"session {declaration.name!r}'s"
-                )
-                return (
-                    "delay_bound",
-                    f"admitting {request.name!r} would violate {blame} "
-                    f"Theorem 10 delay target Pr{{D >= "
-                    f"{declaration.target.d_max:g}}} <= "
-                    f"{declaration.target.epsilon:g} at RPPS rate "
-                    f"{granted:.6g}",
-                    details,
-                )
-        return None, "all delay targets met at the RPPS shares", details
-
-    def _bound_at(
-        self, declaration: _Declaration, granted: float
-    ) -> float | None:
-        """Theorem 10/15 delay-bound value at the session's ``d_max``."""
-        from repro.core.rpps import guaranteed_rate_bounds
-
-        if granted <= declaration.ebb.rho:
-            return None
-        try:
-            bounds = guaranteed_rate_bounds(
-                declaration.name,
-                declaration.ebb,
-                granted,
-                discrete=self._discrete,
             )
-            return float(bounds.delay.evaluate(declaration.target.d_max))
-        except ReproError:
-            return None
-
-    def _diagnose(
-        self, candidate: list[_Declaration], request: _Declaration
-    ) -> dict[str, Any]:
-        """Feasible ordering / partition / Theorem 11 diagnostics."""
-        out: dict[str, Any] = {}
-        names = [d.name for d in candidate]
-        rhos = [d.ebb.rho for d in candidate]
-        phis = [d.phi for d in candidate]
-        try:
-            order = find_feasible_ordering(
-                rhos, phis, server_rate=self._rate, strict=True
-            )
-            out["feasible_ordering"] = [names[i] for i in order]
-        except FeasibleOrderingError as exc:
-            out["feasible_ordering"] = None
-            out["feasible_ordering_error"] = str(exc)
-            return out
-        partition = feasible_partition(
-            rhos, phis, server_rate=self._rate
-        )
-        out["feasible_partition"] = [
-            [names[i] for i in members] for members in partition.classes
-        ]
-        out["partition_level"] = partition.level(names.index(request.name))
-        out["theorem11_probability"] = self._theorem11_probability(
-            candidate, request
-        )
         return out
-
-    def _theorem11_probability(
-        self, candidate: list[_Declaration], request: _Declaration
-    ) -> float | None:
-        """The joining session's optimized Theorem 11 delay tail at its
-        ``d_max`` — the sharper partition-based bound, for diagnostics."""
-        from repro.core.gps import GPSConfig, Session
-        from repro.core.single_node import theorem11_family
-
-        try:
-            config = GPSConfig(
-                self._rate,
-                [
-                    Session(d.name, d.ebb, d.phi)
-                    for d in candidate
-                ],
-            )
-            family = theorem11_family(
-                config,
-                [d.name for d in candidate].index(request.name),
-                discrete=self._discrete,
-            )
-            bound = family.optimized_delay(request.target.d_max)
-            return float(bound.evaluate(request.target.d_max))
-        except ReproError:
-            return None
 
     # ------------------------------------------------------------------
     # requests
     # ------------------------------------------------------------------
-    def _decide(
-        self,
-        action: str,
-        candidate: list[_Declaration],
-        request: _Declaration,
-    ) -> AdmissionDecision:
-        violated, reason, details = self._gate(candidate, request)
-        if self._diagnostics and violated != "stability":
-            details.update(self._diagnose(candidate, request))
+    def _record(self, decision: AdmissionDecision) -> AdmissionDecision:
         self._decisions += 1
-        accepted = violated is None
-        if accepted:
+        if decision.accepted:
             self._accepted += 1
-        return AdmissionDecision(
-            accepted=accepted,
-            session=request.name,
-            action=action,
-            reason=reason,
-            violated=violated,
-            details=details,
-        )
+        return decision
 
     def _missing(
         self, action: str, name: str, ebb: EBB | None, target: QoSTarget | None
@@ -330,16 +141,17 @@ class AdmissionController:
             for label, value in (("ebb", ebb), ("target", target))
             if value is None
         ]
-        self._decisions += 1
-        return AdmissionDecision(
-            accepted=False,
-            session=name,
-            action=action,
-            reason=(
-                "admission control requires an E.B.B. characterization "
-                f"and a QoS target; missing: {', '.join(missing)}"
-            ),
-            violated="missing_declaration",
+        return self._record(
+            AdmissionDecision(
+                accepted=False,
+                session=name,
+                action=action,
+                reason=(
+                    "admission control requires an E.B.B. characterization "
+                    f"and a QoS target; missing: {', '.join(missing)}"
+                ),
+                violated="missing_declaration",
+            )
         )
 
     def request_join(
@@ -353,19 +165,22 @@ class AdmissionController:
         """Decide a join request; commits the session when accepted."""
         if not name:
             raise ValidationError("session name must be non-empty")
-        if name in self._admitted:
+        if name in self._context:
             raise AdmissionError(
                 f"session {name!r} is already admitted"
             )
         check_positive("phi", phi)
         if ebb is None or target is None:
             return self._missing("join", name, ebb, target)
-        request = _Declaration(name, ebb, float(phi), target)
-        candidate = list(self._admitted.values()) + [request]
-        decision = self._decide("join", candidate, request)
-        if decision.accepted:
-            self._admitted[name] = request
-        return decision
+        return self._record(
+            self._context.decide_join(
+                name,
+                ebb,
+                float(phi),
+                target,
+                diagnostics=self._diagnostics,
+            )
+        )
 
     def request_renegotiate(
         self,
@@ -380,42 +195,32 @@ class AdmissionController:
         Unset fields keep the session's current declaration.  A
         rejected renegotiation leaves the previous contract in force.
         """
-        if name not in self._admitted:
+        if name not in self._context:
             raise AdmissionError(
                 f"cannot renegotiate unknown session {name!r}"
             )
-        current = self._admitted[name]
-        request = _Declaration(
-            name,
-            ebb if ebb is not None else current.ebb,
-            float(phi) if phi is not None else current.phi,
-            target if target is not None else current.target,
+        return self._record(
+            self._context.decide_update(
+                name,
+                ebb=ebb,
+                phi=float(phi) if phi is not None else None,
+                target=target,
+                diagnostics=self._diagnostics,
+            )
         )
-        candidate = [
-            request if d.name == name else d
-            for d in self._admitted.values()
-        ]
-        decision = self._decide("renegotiate", candidate, request)
-        if decision.accepted:
-            self._admitted[name] = request
-        return decision
 
     def leave(self, name: str) -> None:
         """Forget a departed session (frees its rate for future joins)."""
-        if name not in self._admitted:
-            raise AdmissionError(
-                f"cannot remove unknown session {name!r}"
-            )
-        del self._admitted[name]
+        self._context.remove(name)
 
     def summary(self) -> dict[str, Any]:
         """JSON-serializable snapshot of the controller state."""
         return {
             "kind": "admission_controller",
-            "server_rate": self._rate,
+            "server_rate": self.rate,
             "num_admitted": self.num_admitted,
             "total_rho": self.total_rho,
-            "offered_load": self.total_rho / self._rate,
+            "offered_load": self.total_rho / self.rate,
             "decisions": self._decisions,
             "accepted": self._accepted,
             "rejected": self._decisions - self._accepted,

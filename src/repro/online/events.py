@@ -35,7 +35,7 @@ import math
 from dataclasses import dataclass
 from typing import IO, Any, ClassVar, Iterable, Iterator, Union
 
-from repro.core.admission import QoSTarget
+from repro.analysis.admission import QoSTarget
 from repro.core.ebb import EBB
 from repro.errors import ValidationError
 from repro.utils.validation import check_positive

@@ -21,7 +21,7 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.admission import QoSTarget
+from repro.analysis.admission import QoSTarget
 from repro.core.ebb import EBB
 from repro.errors import AdmissionError
 from repro.utils.validation import check_positive

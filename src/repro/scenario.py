@@ -447,6 +447,47 @@ class Scenario:
             ],
         )
 
+    def analysis_context(
+        self,
+        targets: "Sequence[QoSTarget] | None" = None,
+        *,
+        discrete: bool = True,
+        incremental: bool = True,
+    ) -> "AnalysisContext":
+        """A :class:`repro.analysis.context.AnalysisContext` seeded with
+        this scenario's sessions.
+
+        Requires :attr:`ebbs`; raises :class:`ValidationError` when the
+        scenario carries no E.B.B. characterizations.  ``targets``
+        optionally attaches one QoS target per session, enabling the
+        context's admission gate in addition to its cached partition /
+        bound-family computations.
+        """
+        from repro.analysis.context import AnalysisContext
+
+        if self.ebbs is None:
+            raise ValidationError(
+                "this Scenario has no E.B.B. characterizations; "
+                "construct it with ebbs=(...) to use the bound theorems"
+            )
+        assert self.names is not None
+        if targets is not None and len(targets) != self.num_sessions:
+            raise ValidationError(
+                f"got {self.num_sessions} sessions but {len(targets)} "
+                "QoS targets"
+            )
+        context = AnalysisContext(
+            self.rate, discrete=discrete, incremental=incremental
+        )
+        for k, name in enumerate(self.names):
+            context.add(
+                name,
+                self.ebbs[k],
+                self.phis[k],
+                None if targets is None else targets[k],
+            )
+        return context
+
     def summary(self) -> dict[str, Any]:
         """JSON-serializable description of the scenario."""
         return {

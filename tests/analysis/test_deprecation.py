@@ -1,0 +1,66 @@
+"""The ``repro.core`` compatibility surface after the analysis split.
+
+Moved names must keep resolving through ``repro.core`` (with a
+:class:`DeprecationWarning` naming the new home), and the package's
+``__all__`` must keep matching the documented API exactly.
+"""
+
+import warnings
+
+import pytest
+
+import repro.analysis
+import repro.core
+
+
+MOVED = [
+    ("feasible_partition", "repro.analysis.feasible"),
+    ("find_feasible_ordering", "repro.analysis.feasible"),
+    ("FeasiblePartition", "repro.analysis.feasible"),
+    ("lemma5_tail_bound", "repro.analysis.mgf"),
+    ("discrete_delta_tail_bound", "repro.analysis.mgf"),
+    ("theorem10_bounds", "repro.analysis.single_node"),
+    ("theorem11_family", "repro.analysis.single_node"),
+    ("admissible", "repro.analysis.admission"),
+    ("QoSTarget", "repro.analysis.admission"),
+]
+
+
+@pytest.mark.parametrize("name,home", MOVED)
+def test_moved_name_resolves_with_deprecation_warning(name, home):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        obj = getattr(repro.core, name)
+    messages = [str(w.message) for w in caught if w.category is DeprecationWarning]
+    assert any(home in m for m in messages), messages
+    # and it is the same object the analysis package exports
+    assert obj is getattr(repro.analysis, name)
+
+
+def test_eager_core_names_do_not_warn():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        assert repro.core.EBB is not None
+        assert repro.core.GPSConfig is not None
+
+
+def test_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError, match="no attribute 'nonsense'"):
+        repro.core.nonsense
+
+
+def test_dir_lists_moved_names():
+    listing = dir(repro.core)
+    for name, _ in MOVED:
+        assert name in listing
+
+
+def test_core_all_covers_moved_names():
+    """Every moved name stays importable via ``from repro.core import X``."""
+    for name, _ in MOVED:
+        assert name in repro.core.__all__
+
+
+def test_analysis_all_resolves():
+    for name in repro.analysis.__all__:
+        assert getattr(repro.analysis, name) is not None

@@ -1,0 +1,87 @@
+"""The vectorized grid path is bit-identical to the scalar pipeline.
+
+The bound *objects* must equal the ones the scalar constructors build
+(same prefactor / decay rate, to the bit), and every matrix element
+must equal the corresponding ``evaluate_array`` entry — the library's
+established vectorized evaluation path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.grid import (
+    rpps_delay_bounds,
+    tail_probability_matrix,
+    theorem15_delay_tail_grid,
+)
+from repro.analysis.mgf import discrete_delta_tail_bound, lemma5_tail_bound
+from repro.core.ebb import EBB
+from repro.core.rpps import guaranteed_rate_bounds
+from repro.errors import ValidationError
+
+_ARRIVALS = [
+    EBB(rho=0.2, prefactor=1.0, decay_rate=1.74),
+    EBB(rho=0.3, prefactor=1.2, decay_rate=1.1),
+    EBB(rho=0.1, prefactor=0.8, decay_rate=2.3),
+]
+_RATES = [0.35, 0.45, 0.2]
+_DELAYS = np.arange(0.0, 30.0, 0.5)
+
+
+class TestTailProbabilityMatrix:
+    def test_elements_match_evaluate_array(self):
+        bounds = rpps_delay_bounds(_ARRIVALS, _RATES)
+        matrix = tail_probability_matrix(bounds, _DELAYS)
+        assert matrix.shape == (3, _DELAYS.size)
+        for i, bound in enumerate(bounds):
+            assert np.array_equal(matrix[i], bound.evaluate_array(_DELAYS))
+
+    def test_empty_bounds(self):
+        matrix = tail_probability_matrix([], [1.0, 2.0])
+        assert matrix.shape == (0, 2)
+
+
+class TestRppsDelayBounds:
+    @pytest.mark.parametrize("discrete", [True, False])
+    def test_bounds_match_scalar_constructors(self, discrete):
+        bounds = rpps_delay_bounds(_ARRIVALS, _RATES, discrete=discrete)
+        for arrival, g, bound in zip(_ARRIVALS, _RATES, bounds):
+            if discrete:
+                backlog = discrete_delta_tail_bound(arrival, g)
+            else:
+                backlog = lemma5_tail_bound(arrival, g)
+            expected = backlog.scaled_argument(g)
+            assert bound.prefactor == expected.prefactor
+            assert bound.decay_rate == expected.decay_rate
+
+    @pytest.mark.parametrize("discrete", [True, False])
+    def test_bounds_match_guaranteed_rate_bounds(self, discrete):
+        """Same objects the Theorem 15 scalar path builds, bit for bit."""
+        bounds = rpps_delay_bounds(_ARRIVALS, _RATES, discrete=discrete)
+        for arrival, g, bound in zip(_ARRIVALS, _RATES, bounds):
+            scalar = guaranteed_rate_bounds(
+                "s", arrival, g, discrete=discrete
+            )
+            assert bound.prefactor == scalar.delay.prefactor
+            assert bound.decay_rate == scalar.delay.decay_rate
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="length 3.*length 2"):
+            rpps_delay_bounds(_ARRIVALS, [0.3, 0.4])
+
+    def test_nonpositive_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            rpps_delay_bounds(_ARRIVALS[:1], [0.0])
+
+
+class TestTheorem15Grid:
+    def test_surface_matches_per_session_rows(self):
+        surface = theorem15_delay_tail_grid(_ARRIVALS, _RATES, _DELAYS)
+        bounds = rpps_delay_bounds(_ARRIVALS, _RATES)
+        assert surface.shape == (3, _DELAYS.size)
+        for i, bound in enumerate(bounds):
+            assert np.array_equal(surface[i], bound.evaluate_array(_DELAYS))
+
+    def test_surface_is_monotone_in_delay(self):
+        surface = theorem15_delay_tail_grid(_ARRIVALS, _RATES, _DELAYS)
+        assert (np.diff(surface, axis=1) <= 0.0).all()

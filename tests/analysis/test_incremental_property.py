@@ -1,0 +1,177 @@
+"""Property tests for the incremental maintenance path.
+
+The contract: after *any* sequence of add / remove / renegotiate
+events, the incrementally-maintained state equals a from-scratch
+recompute —
+
+* :meth:`AnalysisContext.ratio_ordering` equals the stable
+  ratio sort over the surviving population,
+* :meth:`AnalysisContext.total_rho` is bit-identical to ``math.fsum``
+  of the surviving rates,
+* :meth:`AnalysisContext.partition` equals
+  :func:`repro.analysis.feasible.feasible_partition` recomputed from
+  the surviving declarations,
+
+plus the same exactness properties for the two underlying containers
+(:class:`ExactSum`, :class:`SortedRatioOrder`) in isolation.
+"""
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.analysis import (  # noqa: E402
+    AnalysisContext,
+    ExactSum,
+    SortedRatioOrder,
+    feasible_partition,
+)
+from repro.core.ebb import EBB  # noqa: E402
+
+_SERVER_RATE = 100.0  # large: any population below stays stable
+
+_rhos = st.floats(min_value=1e-3, max_value=1.0, allow_nan=False)
+_phis = st.floats(min_value=1e-2, max_value=5.0, allow_nan=False)
+
+
+@st.composite
+def _event_sequences(draw, max_events=30):
+    """(kind, rho, phi) triples; kind 0=add, 1=remove, 2=update."""
+    n = draw(st.integers(min_value=1, max_value=max_events))
+    events = []
+    for _ in range(n):
+        kind = draw(st.integers(min_value=0, max_value=2))
+        events.append((kind, draw(_rhos), draw(_phis), draw(st.integers(0, 10**6))))
+    return events
+
+
+def _apply(events):
+    """Drive a context and a plain-dict mirror from one event stream."""
+    context = AnalysisContext(_SERVER_RATE, incremental=True)
+    mirror: dict[str, tuple[float, float]] = {}
+    next_id = 0
+    for kind, rho, phi, pick in events:
+        live = sorted(mirror)
+        if kind == 0 or not live:
+            name = f"s{next_id}"
+            next_id += 1
+            context.add(name, EBB(rho, 1.0, 1.0), phi)
+            mirror[name] = (rho, phi)
+        elif kind == 1:
+            name = live[pick % len(live)]
+            context.remove(name)
+            del mirror[name]
+        else:
+            name = live[pick % len(live)]
+            context.update(name, ebb=EBB(rho, 1.0, 1.0), phi=phi)
+            mirror[name] = (rho, phi)
+    return context, mirror
+
+
+class TestIncrementalMatchesScratch:
+    @settings(max_examples=150, deadline=None)
+    @given(_event_sequences())
+    def test_ordering_total_and_partition(self, events):
+        context, mirror = _apply(events)
+        # the context lists sessions in insertion order, like the mirror
+        names = list(context.names)
+        assert sorted(names) == sorted(mirror)
+        rhos = [mirror[n][0] for n in names]
+        phis = [mirror[n][1] for n in names]
+        # stable ratio sort over the survivors (eq. 36)
+        order = sorted(range(len(names)), key=lambda i: rhos[i] / phis[i])
+        assert context.ratio_ordering() == [names[i] for i in order]
+        # exact aggregate rate
+        assert context.total_rho == math.fsum(rhos)
+        # feasible partition identical to a from-scratch build
+        if names:
+            assert context.partition() == feasible_partition(
+                rhos, phis, server_rate=_SERVER_RATE
+            )
+
+
+class TestExactSum:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(
+                    min_value=-1e9,
+                    max_value=1e9,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                st.booleans(),
+            ),
+            max_size=40,
+        )
+    )
+    def test_value_is_fsum_of_live_multiset(self, ops):
+        """add/remove in any order == fsum of the survivors, bit for bit."""
+        acc = ExactSum()
+        live: list[float] = []
+        for x, keep in ops:
+            acc.add(x)
+            live.append(x)
+            if not keep and live:
+                gone = live.pop(0)
+                acc.remove(gone)
+        assert acc.value == math.fsum(live)
+
+
+class TestSortedRatioOrder:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                st.integers(min_value=0, max_value=10**6),
+            ),
+            max_size=40,
+        )
+    )
+    def test_matches_sorted_tuples(self, ops):
+        """insert/remove/replace == sorted() over the live entries."""
+        order = SortedRatioOrder()
+        live: dict[int, float] = {}
+        next_seq = 0
+        for kind, ratio, pick in ops:
+            if kind == 0 or not live:
+                order.insert(ratio, next_seq)
+                live[next_seq] = ratio
+                next_seq += 1
+            elif kind == 1:
+                seq = sorted(live)[pick % len(live)]
+                order.remove(live[seq], seq)
+                del live[seq]
+            else:
+                seq = sorted(live)[pick % len(live)]
+                order.replace(live[seq], ratio, seq)
+                live[seq] = ratio
+        expected = sorted((r, s) for s, r in live.items())
+        assert order.as_tuples() == expected
+        assert order.seqs() == [s for _, s in expected]
+
+    def test_replace_in_place_does_not_move(self):
+        order = SortedRatioOrder()
+        order.insert(1.0, 0)
+        order.insert(2.0, 1)
+        order.insert(3.0, 2)
+        # stays between the neighbours: O(1) in-place rewrite (Lemma 9)
+        assert order.replace(2.0, 2.5, 1) is False
+        # crosses a neighbour: re-insertion
+        assert order.replace(2.5, 0.5, 1) is True
+        assert order.seqs() == [1, 0, 2]
+
+    def test_remove_unknown_key_raises(self):
+        order = SortedRatioOrder()
+        order.insert(1.0, 0)
+        with pytest.raises(KeyError):
+            order.remove(1.0, 99)
+        with pytest.raises(KeyError):
+            order.replace(2.0, 1.0, 0)

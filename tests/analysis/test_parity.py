@@ -1,0 +1,137 @@
+"""Byte-parity of the incremental admission gate.
+
+Two independent contracts, fuzzed over randomized event sequences:
+
+* the ``O(log N)`` incremental context produces decisions (records,
+  reasons, diagnostics — the full ``to_record()`` payload)
+  byte-identical to the from-scratch reference scan
+  (``incremental=False``);
+* every decision's accept/reject flag agrees with the offline
+  procedure :func:`repro.analysis.admission.admissible` evaluated on
+  the candidate population.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisContext, QoSTarget, admissible
+from repro.core.ebb import EBB
+from repro.online.admission import AdmissionController
+
+
+def _random_request(rng):
+    ebb = EBB(
+        rho=float(rng.uniform(0.02, 0.12)),
+        prefactor=float(rng.uniform(0.5, 2.0)),
+        decay_rate=float(rng.uniform(0.3, 2.0)),
+    )
+    target = QoSTarget(
+        d_max=float(rng.uniform(3.0, 25.0)),
+        epsilon=float(10.0 ** -rng.uniform(1.0, 5.0)),
+    )
+    phi = float(rng.uniform(0.5, 2.0))
+    return ebb, phi, target
+
+
+def _drive(rng, fast, slow, num_events=120):
+    """Apply one random event stream to both contexts, asserting
+    byte-identical decisions after every event."""
+    admitted: list[str] = []
+    next_id = 0
+    outcomes = set()
+    for _ in range(num_events):
+        op = rng.uniform()
+        diagnostics = bool(rng.uniform() < 0.3)
+        if admitted and op < 0.2:
+            name = admitted.pop(int(rng.integers(len(admitted))))
+            fast.remove(name)
+            slow.remove(name)
+        elif admitted and op < 0.45:
+            name = admitted[int(rng.integers(len(admitted)))]
+            ebb, phi, target = _random_request(rng)
+            d1 = fast.decide_update(
+                name, ebb=ebb, phi=phi, target=target,
+                diagnostics=diagnostics,
+            )
+            d2 = slow.decide_update(
+                name, ebb=ebb, phi=phi, target=target,
+                diagnostics=diagnostics,
+            )
+            assert d1.to_record() == d2.to_record()
+            outcomes.add(d1.accepted)
+        else:
+            name = f"s{next_id}"
+            next_id += 1
+            ebb, phi, target = _random_request(rng)
+            d1 = fast.decide_join(
+                name, ebb, phi, target, diagnostics=diagnostics
+            )
+            d2 = slow.decide_join(
+                name, ebb, phi, target, diagnostics=diagnostics
+            )
+            assert d1.to_record() == d2.to_record()
+            outcomes.add(d1.accepted)
+            if d1.accepted:
+                admitted.append(name)
+        assert fast.total_rho == slow.total_rho
+        assert fast.names == slow.names
+        assert fast.ratio_ordering() == slow.ratio_ordering()
+    return outcomes
+
+
+class TestIncrementalParity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 42, 1234])
+    def test_decisions_byte_identical(self, seed):
+        rng = np.random.default_rng(seed)
+        fast = AnalysisContext(1.0, incremental=True)
+        slow = AnalysisContext(1.0, incremental=False)
+        outcomes = _drive(rng, fast, slow)
+        # the stream must exercise both gate outcomes, not vacuously pass
+        assert outcomes == {True, False}, seed
+
+
+class TestAgreementWithOffline:
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_joins_match_admissible(self, incremental):
+        rng = np.random.default_rng(7)
+        context = AnalysisContext(1.0, incremental=incremental)
+        admitted: list[tuple[EBB, QoSTarget]] = []
+        outcomes = set()
+        for k in range(40):
+            ebb, phi, target = _random_request(rng)
+            candidate = admitted + [(ebb, target)]
+            expected = admissible(
+                [e for e, _ in candidate],
+                [t for _, t in candidate],
+                server_rate=1.0,
+            )
+            decision = context.decide_join(f"s{k}", ebb, 1.0, target)
+            assert decision.accepted == expected, k
+            if decision.accepted:
+                admitted.append((ebb, target))
+            outcomes.add(decision.accepted)
+        assert outcomes == {True, False}
+
+
+class TestControllerParity:
+    def test_controller_modes_agree(self):
+        """The public controller wires ``incremental`` straight through."""
+        rng = np.random.default_rng(3)
+        fast = AdmissionController(rate=1.0, incremental=True)
+        slow = AdmissionController(rate=1.0, incremental=False)
+        outcomes = set()
+        names: list[str] = []
+        for k in range(60):
+            ebb, phi, target = _random_request(rng)
+            d1 = fast.request_join(f"s{k}", ebb=ebb, phi=phi, target=target)
+            d2 = slow.request_join(f"s{k}", ebb=ebb, phi=phi, target=target)
+            assert d1.to_record() == d2.to_record()
+            outcomes.add(d1.accepted)
+            if d1.accepted:
+                names.append(f"s{k}")
+            if names and rng.uniform() < 0.25:
+                gone = names.pop(int(rng.integers(len(names))))
+                fast.leave(gone)
+                slow.leave(gone)
+        assert fast.summary() == slow.summary()
+        assert outcomes == {True, False}

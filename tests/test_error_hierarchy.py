@@ -11,7 +11,7 @@ backward-compatibility guarantees (validation errors remain
 import numpy as np
 import pytest
 
-from repro.core import (
+from repro import (
     EBB,
     ExponentialTailBound,
     GPSConfig,

@@ -12,6 +12,7 @@ import pytest
 
 PACKAGES = [
     "repro",
+    "repro.analysis",
     "repro.core",
     "repro.markov",
     "repro.traffic",
@@ -27,6 +28,13 @@ PACKAGES = [
 MODULES = [
     "repro.cli",
     "repro.errors",
+    "repro.analysis.admission",
+    "repro.analysis.context",
+    "repro.analysis.feasible",
+    "repro.analysis.grid",
+    "repro.analysis.incremental",
+    "repro.analysis.mgf",
+    "repro.analysis.single_node",
     "repro.core.admission",
     "repro.core.bounds",
     "repro.core.decomposition",
