@@ -663,6 +663,104 @@ class AnalysisContext:
         return self._family("t12", name, xi)
 
     # ------------------------------------------------------------------
+    # durable state export/import
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the full context state.
+
+        Captures everything a byte-identical resurrection needs: the
+        population with the cached per-session admission thresholds,
+        the version/geometry counters, and the *exact* Shewchuk
+        partials of the aggregate-rate accumulator (JSON round-trips
+        finite floats exactly, so restoring the partials reproduces
+        every future rounding).  Theorem caches are deliberately
+        excluded — they are deterministic functions of this state.
+        """
+        return {
+            "rate": self._rate,
+            "discrete": self._discrete,
+            "incremental": self._incremental,
+            "next_seq": self._next_seq,
+            "version": self._version,
+            "geometry": self._geometry,
+            "total_partials": list(self._total.partials),
+            "sessions": [
+                {
+                    "name": state.name,
+                    "seq": state.seq,
+                    "ebb": {
+                        "rho": state.ebb.rho,
+                        "prefactor": state.ebb.prefactor,
+                        "decay_rate": state.ebb.decay_rate,
+                    },
+                    "phi": state.phi,
+                    "target": (
+                        None
+                        if state.target is None
+                        else {
+                            "d_max": state.target.d_max,
+                            "epsilon": state.target.epsilon,
+                        }
+                    ),
+                    "threshold": state.threshold,
+                }
+                for state in self._sessions.values()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "AnalysisContext":
+        """Rebuild a context from an :meth:`export_state` snapshot.
+
+        The restored context is observationally bit-identical to the
+        exported one: same gate decisions, same ``total_rho`` rounding,
+        same version counters (so version-keyed caches rebuilt after
+        restore stay coherent with pre-snapshot consumers).
+        """
+        out = cls(
+            float(state["rate"]),
+            discrete=bool(state["discrete"]),
+            incremental=bool(state["incremental"]),
+        )
+        for record in state["sessions"]:
+            ebb = EBB(
+                rho=float(record["ebb"]["rho"]),
+                prefactor=float(record["ebb"]["prefactor"]),
+                decay_rate=float(record["ebb"]["decay_rate"]),
+            )
+            target = (
+                None
+                if record["target"] is None
+                else QoSTarget(
+                    d_max=float(record["target"]["d_max"]),
+                    epsilon=float(record["target"]["epsilon"]),
+                )
+            )
+            session = _SessionState(
+                str(record["name"]),
+                int(record["seq"]),
+                ebb,
+                float(record["phi"]),
+                target,
+                float(record["threshold"]),
+            )
+            out._sessions[session.name] = session
+            if out._incremental:
+                out._order.insert(session.ratio, session.seq)
+                heapq.heappush(out._heap, (-session.scale, session.seq))
+                out._seq_state[session.seq] = session
+                if target is not None:
+                    out._threshold_cache[(ebb, target)] = session.threshold
+        if out._incremental:
+            out._total = ExactSum.from_partials(
+                float(p) for p in state["total_partials"]
+            )
+        out._next_seq = int(state["next_seq"])
+        out._version = int(state["version"])
+        out._geometry = int(state["geometry"])
+        return out
+
+    # ------------------------------------------------------------------
     # typed decisions
     # ------------------------------------------------------------------
     def _decision(

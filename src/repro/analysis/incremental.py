@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, insort
+from typing import Iterable
 
 __all__ = ["ExactSum", "SortedRatioOrder"]
 
@@ -70,6 +71,24 @@ class ExactSum:
     def value(self) -> float:
         """Correctly-rounded sum — ``math.fsum`` of the live multiset."""
         return math.fsum(self._partials)
+
+    @property
+    def partials(self) -> tuple[float, ...]:
+        """The non-overlapping partial sums, smallest magnitude first.
+
+        Restoring these via :meth:`from_partials` reproduces the
+        accumulator *bit for bit* — including the rounding of every
+        future :meth:`add`/:meth:`remove` — which is what lets a
+        serving snapshot round-trip the aggregate rate exactly.
+        """
+        return tuple(self._partials)
+
+    @classmethod
+    def from_partials(cls, partials: "Iterable[float]") -> "ExactSum":
+        """Rebuild an accumulator from a :attr:`partials` snapshot."""
+        out = cls()
+        out._partials = [float(p) for p in partials]
+        return out
 
     def __len__(self) -> int:
         return len(self._partials)

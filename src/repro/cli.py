@@ -12,7 +12,11 @@ Commands
     Analyze a user network described in a JSON file.
 ``serve``
     Run the online streaming GPS engine over a JSONL event stream,
-    optionally gated by the live E.B.B. admission controller.
+    optionally gated by the live E.B.B. admission controller and made
+    crash-safe with ``--wal`` (write-ahead log + snapshots).
+``recover``
+    Rebuild an interrupted durable serving session from its WAL
+    directory and optionally resume or drain it.
 """
 
 from __future__ import annotations
@@ -186,6 +190,100 @@ def build_parser() -> argparse.ArgumentParser:
         default=100_000,
         help="maximum empty slots served during the closing drain",
     )
+    serve.add_argument(
+        "--max-errors",
+        type=int,
+        default=None,
+        help=(
+            "error budget: abort with a typed OverloadError after "
+            "this many error records (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--heartbeat-every",
+        type=int,
+        default=None,
+        help="emit a heartbeat health record every N ingested lines",
+    )
+    serve.add_argument(
+        "--shed-backlog",
+        type=float,
+        default=None,
+        help=(
+            "high watermark on the engine backlog; above it arrival "
+            "events are shed with typed records until the backlog "
+            "recedes below --shed-resume"
+        ),
+    )
+    serve.add_argument(
+        "--shed-resume",
+        type=float,
+        default=None,
+        help=(
+            "low watermark ending a shedding episode (default: half "
+            "of --shed-backlog)"
+        ),
+    )
+    serve.add_argument(
+        "--wal",
+        default=None,
+        metavar="DIR",
+        help=(
+            "serve durably: write-ahead log every line into DIR "
+            "before applying it and snapshot periodically; an "
+            "existing DIR is recovered and resumed (its recorded "
+            "configuration wins over the other flags)"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=1_000,
+        help="with --wal: snapshot the full state every N lines",
+    )
+    serve.add_argument(
+        "--fsync",
+        choices=("batch", "always", "never"),
+        default="batch",
+        help=(
+            "with --wal: fsync policy — 'always' syncs every append "
+            "(power-loss safe), 'batch' syncs periodically, 'never' "
+            "leaves syncing to the OS (process-crash safe only)"
+        ),
+    )
+    recover = sub.add_parser(
+        "recover",
+        help=(
+            "rebuild a crashed durable serving session from its WAL "
+            "directory (newest valid snapshot + log replay)"
+        ),
+    )
+    recover.add_argument(
+        "waldir",
+        help="the --wal directory of the interrupted session",
+    )
+    recover.add_argument(
+        "--out",
+        default="-",
+        help="where output records go (default: stdout)",
+    )
+    recover.add_argument(
+        "--resume",
+        default=None,
+        metavar="STREAM",
+        help=(
+            "after recovery, continue ingesting this JSONL stream "
+            "('-' for stdin) and drain at its end"
+        ),
+    )
+    recover.add_argument(
+        "--drain",
+        action="store_true",
+        help=(
+            "after recovery, drain the backlog and emit the final "
+            "summary (finishes the session)"
+        ),
+    )
     return parser
 
 
@@ -280,6 +378,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_analyze(args)
     elif args.command == "serve":
         return _run_serve(args)
+    elif args.command == "recover":
+        return _run_recover(args)
     return 0
 
 
@@ -295,14 +395,6 @@ def _run_serve(args) -> int:
         print("error: --drain-slots must be >= 1", file=sys.stderr)
         return 2
     try:
-        admission = None
-        if args.admission:
-            admission = AdmissionController(
-                rate=args.rate,
-                diagnostics=not args.no_diagnostics,
-                incremental=not args.full_recompute,
-            )
-        engine = StreamingGPSServer(rate=args.rate, admission=admission)
         with contextlib.ExitStack() as stack:
             if args.stream == "-":
                 lines = sys.stdin
@@ -316,17 +408,95 @@ def _run_serve(args) -> int:
                 sink = stack.enter_context(
                     open(args.out, "w", encoding="utf-8")
                 )
-            service = OnlineService(
-                engine,
-                sink=sink,
-                strict=args.strict,
-                drain_slots=args.drain_slots,
-            )
+            if args.wal is not None:
+                from repro.online.durability import open_durable_service
+
+                service, report = open_durable_service(
+                    args.wal,
+                    rate=args.rate,
+                    sink=sink,
+                    admission=args.admission,
+                    diagnostics=not args.no_diagnostics,
+                    incremental=not args.full_recompute,
+                    strict=args.strict,
+                    drain_slots=args.drain_slots,
+                    max_errors=args.max_errors,
+                    heartbeat_every=args.heartbeat_every,
+                    shed_backlog=args.shed_backlog,
+                    shed_resume=args.shed_resume,
+                    snapshot_every=args.snapshot_every,
+                    fsync=args.fsync,
+                )
+                sink.write(json.dumps(report.to_record()))
+                sink.write("\n")
+            else:
+                admission = None
+                if args.admission:
+                    admission = AdmissionController(
+                        rate=args.rate,
+                        diagnostics=not args.no_diagnostics,
+                        incremental=not args.full_recompute,
+                    )
+                engine = StreamingGPSServer(
+                    rate=args.rate, admission=admission
+                )
+                service = OnlineService(
+                    engine,
+                    sink=sink,
+                    strict=args.strict,
+                    drain_slots=args.drain_slots,
+                    max_errors=args.max_errors,
+                    heartbeat_every=args.heartbeat_every,
+                    shed_backlog=args.shed_backlog,
+                    shed_resume=args.shed_resume,
+                )
             result = service.serve(lines)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0 if service.errors == 0 and result.drained else 1
+
+
+def _run_recover(args) -> int:
+    """Rebuild a durable serving session (see ``repro recover``)."""
+    import contextlib
+
+    from repro.online.durability import recover_durable_service
+
+    try:
+        with contextlib.ExitStack() as stack:
+            if args.out == "-":
+                sink = sys.stdout
+            else:
+                sink = stack.enter_context(
+                    open(args.out, "w", encoding="utf-8")
+                )
+            service, report = recover_durable_service(
+                args.waldir, sink=sink
+            )
+            sink.write(json.dumps(report.to_record()))
+            sink.write("\n")
+            if args.resume is not None:
+                if args.resume == "-":
+                    lines = sys.stdin
+                else:
+                    lines = stack.enter_context(
+                        open(args.resume, "r", encoding="utf-8")
+                    )
+                result = service.serve(lines)
+                return 0 if result.drained else 1
+            if args.drain:
+                result = service.shutdown()
+                return 0 if result.drained else 1
+            # Report-only: take a snapshot so the recovered state is
+            # durable without replaying the tail again next time.
+            service.snapshot()
+            service.wal.close()
+            sink.flush()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_simulate(args) -> int:

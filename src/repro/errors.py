@@ -31,6 +31,12 @@ actually treat differently:
   invalid (duplicate join, unknown leave) or an admission decision was
   rejected and the caller asked for rejection to raise.  Carries the
   :class:`repro.online.admission.AdmissionDecision` when one exists.
+* :class:`RecoveryError` — durable-serving state on disk (write-ahead
+  log, snapshot, WAL metadata) is corrupt, inconsistent, or cannot be
+  reconciled with the requested restart.
+* :class:`OverloadError` — an ingest-protection limit was exhausted
+  (the ``max_errors`` budget of a garbage-emitting stream); carries the
+  offending count so supervisors can report it.
 """
 
 from __future__ import annotations
@@ -45,6 +51,8 @@ __all__ = [
     "SimulationFaultError",
     "CheckpointError",
     "AdmissionError",
+    "RecoveryError",
+    "OverloadError",
 ]
 
 
@@ -96,3 +104,27 @@ class AdmissionError(ReproError):
     def __init__(self, message: str, *, decision: Any = None) -> None:
         super().__init__(message)
         self.decision = decision
+
+
+class RecoveryError(ReproError, RuntimeError):
+    """Durable serving state cannot be recovered.
+
+    Raised when a write-ahead log or snapshot is corrupt beyond the
+    tolerated torn tail (mid-log corruption, a sequence gap between the
+    snapshot and the log, checksum mismatch in WAL metadata) or when a
+    restart's configuration contradicts the on-disk metadata.
+    """
+
+
+class OverloadError(ReproError, RuntimeError):
+    """An ingest-protection limit of the online service was exhausted.
+
+    Raised by :class:`repro.online.service.OnlineService` when an
+    adversarial stream blows through its ``max_errors`` budget; the
+    number of error records emitted before the abort is attached as
+    :attr:`count`.
+    """
+
+    def __init__(self, message: str, *, count: int = 0) -> None:
+        super().__init__(message)
+        self.count = int(count)

@@ -354,9 +354,26 @@ class SupervisedRunner:
             handle, tmp_name = tempfile.mkstemp(
                 dir=str(path.parent), prefix=path.name, suffix=".tmp"
             )
-            with os.fdopen(handle, "w") as stream:
-                json.dump(payload, stream)
-            os.replace(tmp_name, path)
+            try:
+                with os.fdopen(handle, "w") as stream:
+                    json.dump(payload, stream)
+                    stream.flush()
+                    os.fsync(stream.fileno())
+                os.replace(tmp_name, path)
+            except BaseException:
+                # Never leave a mkstemp orphan behind (a failing
+                # json.dump — unserializable result — used to).
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            # Make the rename itself durable, not just the contents.
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
         except OSError as exc:
             raise CheckpointError(
                 f"cannot write checkpoint {path}: {exc}"

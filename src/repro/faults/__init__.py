@@ -1,15 +1,20 @@
 """Fault injection and degraded-mode measurement.
 
 Declarative fault models (:class:`RateFault`, :class:`LinkFault`,
-:class:`BurstFault`, :class:`NumericFault`) compose into a
-:class:`FaultSchedule` that the simulators accept, so runs survive
-server degradation, link failures, session churn and numerical
-corruption — and :func:`network_violation_report` measures how the
-nominal paper bounds hold up inside the fault windows.
+:class:`BurstFault`, :class:`NumericFault`, :class:`CrashFault`)
+compose into a :class:`FaultSchedule` that the simulators accept, so
+runs survive server degradation, link failures, session churn,
+numerical corruption and scheduled process kills — and
+:func:`network_violation_report` measures how the nominal paper bounds
+hold up inside the fault windows, while the chaos recovery harness
+(:class:`CrashInjector` + :mod:`repro.online.durability`) proves the
+durable online service reconstructs killed runs exactly.
 """
 
 from repro.faults.injection import (
+    CrashInjector,
     NumericFaultInjector,
+    SimulatedCrash,
     faulted_gps_run,
     guard_finite,
 )
@@ -20,7 +25,9 @@ from repro.faults.report import (
     violation_counts,
 )
 from repro.faults.schedule import (
+    CRASH_POINTS,
     BurstFault,
+    CrashFault,
     Fault,
     FaultSchedule,
     LinkFault,
@@ -30,6 +37,10 @@ from repro.faults.schedule import (
 
 __all__ = [
     "BurstFault",
+    "CrashFault",
+    "CRASH_POINTS",
+    "CrashInjector",
+    "SimulatedCrash",
     "Fault",
     "FaultSchedule",
     "LinkFault",

@@ -12,6 +12,12 @@ directly (``FluidNetworkSimulator(network, faults=...)``,
   overflowed value; :func:`guard_finite` is the matching defense that
   turns a corrupted value into a typed :class:`NumericalError` instead
   of letting it propagate silently through an aggregation.
+* :class:`CrashInjector` — fire the :class:`~repro.faults.schedule.CrashFault`
+  kills of a schedule into the durable online service's ingest cycle.
+  :class:`SimulatedCrash` deliberately subclasses ``BaseException`` so
+  no resilience layer (the service's error records, a supervisor's
+  ``except ReproError``) can accidentally absorb a kill the way it
+  could not absorb a real ``kill -9``.
 """
 
 from __future__ import annotations
@@ -29,6 +35,8 @@ __all__ = [
     "faulted_gps_run",
     "NumericFaultInjector",
     "guard_finite",
+    "SimulatedCrash",
+    "CrashInjector",
 ]
 
 #: Value injected by ``mode="overflow"`` — past any meaningful
@@ -113,6 +121,51 @@ class NumericFaultInjector:
             return value
 
         return wrapped
+
+
+class SimulatedCrash(BaseException):
+    """A scheduled process kill fired inside the durable ingest cycle.
+
+    Subclasses ``BaseException`` (like ``KeyboardInterrupt``): a crash
+    must tear the service down through every ``except Exception`` /
+    ``except ReproError`` resilience layer, exactly as a real ``SIGKILL``
+    would.  Only the chaos harness, which *is* the simulated operating
+    system, catches it — and then restarts the service from disk.
+    """
+
+
+class CrashInjector:
+    """Fire scheduled :class:`~repro.faults.schedule.CrashFault` kills.
+
+    The durable online service calls :meth:`fire` at each crash point
+    of its ingest cycle; when the schedule lists a
+    :class:`~repro.faults.schedule.CrashFault` for that ``(point, seq)``
+    the injector raises :class:`SimulatedCrash` — once per fault, so a
+    restarted service that re-ingests the same sequence number does not
+    die again on the fault that already killed it (the injector object
+    survives restarts in the harness, standing in for the fault's
+    one-shot nature in the real world).
+    """
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self._schedule = schedule
+        self._fired: set[tuple[str, int]] = set()
+
+    @property
+    def fired(self) -> tuple[tuple[str, int], ...]:
+        """``(point, seq)`` pairs that already killed the service."""
+        return tuple(sorted(self._fired))
+
+    def fire(self, point: str, seq: int) -> None:
+        """Raise :class:`SimulatedCrash` if a kill is due at this point."""
+        key = (point, seq)
+        if key in self._fired:
+            return
+        if self._schedule.crashes_at(point, seq):
+            self._fired.add(key)
+            raise SimulatedCrash(
+                f"scheduled crash at ingest seq {seq} ({point})"
+            )
 
 
 def guard_finite(name: str, value: float) -> float:

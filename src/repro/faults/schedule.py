@@ -24,9 +24,16 @@ Four fault models compose freely inside one schedule:
   or an overflowing value for a window of *call indices*; used to
   harden bound-evaluation pipelines and the supervised Monte-Carlo
   runner against numerical blow-ups.
+* :class:`CrashFault` — the durable online service dies (a simulated
+  ``kill -9``) when ingest sequence number ``seq`` reaches a named
+  crash point: before the write-ahead append, between append and
+  apply, or mid-snapshot.  The chaos recovery harness schedules these
+  and asserts the restarted service reconstructs the uninterrupted
+  run exactly.
 
 Windows are half-open ``[start, end)`` in slot units (floats are fine
-for the continuous-time packet simulator).
+for the continuous-time packet simulator); crash faults live on the
+ingest-sequence axis instead.
 """
 
 from __future__ import annotations
@@ -43,6 +50,8 @@ __all__ = [
     "LinkFault",
     "BurstFault",
     "NumericFault",
+    "CrashFault",
+    "CRASH_POINTS",
     "Fault",
     "FaultSchedule",
 ]
@@ -183,7 +192,43 @@ class NumericFault:
         return self.start <= call_index < self.end
 
 
-Fault = Union[RateFault, LinkFault, BurstFault, NumericFault]
+#: The scheduled-kill points of the durable online service's ingest
+#: cycle (see :mod:`repro.online.durability`): ``pre-append`` dies
+#: before the event reaches the write-ahead log (the event is lost and
+#: must be resent), ``post-append`` dies after the append but before
+#: the engine applies it (recovery must replay it exactly once), and
+#: ``mid-snapshot`` dies with a half-written snapshot temp file on disk
+#: (recovery must fall back to the previous snapshot).
+CRASH_POINTS: tuple[str, ...] = ("pre-append", "post-append", "mid-snapshot")
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """The durable online service is killed at ingest point ``(seq, point)``.
+
+    ``seq`` is the 1-based ingest sequence number (the WAL sequence the
+    line would be appended under); ``point`` names where in the ingest
+    cycle the kill lands (:data:`CRASH_POINTS`).  A ``mid-snapshot``
+    fault fires when the snapshot triggered after applying ``seq`` has
+    written its temp file but not yet committed it.
+    """
+
+    seq: int
+    point: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.seq, int) or self.seq < 1:
+            raise ValidationError(
+                f"crash seq must be an integer >= 1, got {self.seq!r}"
+            )
+        if self.point not in CRASH_POINTS:
+            raise ValidationError(
+                f"crash point must be one of {CRASH_POINTS}, "
+                f"got {self.point!r}"
+            )
+
+
+Fault = Union[RateFault, LinkFault, BurstFault, NumericFault, CrashFault]
 
 
 class FaultSchedule:
@@ -200,7 +245,8 @@ class FaultSchedule:
         fault_list = tuple(faults)
         for fault in fault_list:
             if not isinstance(
-                fault, (RateFault, LinkFault, BurstFault, NumericFault)
+                fault,
+                (RateFault, LinkFault, BurstFault, NumericFault, CrashFault),
             ):
                 raise ValidationError(
                     f"unsupported fault model: {type(fault).__name__}"
@@ -303,19 +349,31 @@ class FaultSchedule:
                 return fault.mode
         return None
 
+    @property
+    def crash_faults(self) -> tuple[CrashFault, ...]:
+        """All scheduled service kills, in insertion order."""
+        return tuple(self._of_type(CrashFault))
+
+    def crashes_at(self, point: str, seq: int) -> bool:
+        """True when a kill is scheduled for ingest point ``(seq, point)``."""
+        return any(
+            fault.point == point and fault.seq == seq
+            for fault in self._of_type(CrashFault)
+        )
+
     # ------------------------------------------------------------------
     # reporting support
     # ------------------------------------------------------------------
     def fault_mask(self, num_slots: int) -> np.ndarray:
         """Boolean per-slot mask: True where *any* scheduled fault is active.
 
-        Numeric faults live on a call-index axis, not the time axis, and
-        are excluded.  This is the window split used by the degraded-mode
-        violation reports.
+        Numeric and crash faults live on call-index / ingest-sequence
+        axes, not the time axis, and are excluded.  This is the window
+        split used by the degraded-mode violation reports.
         """
         mask = np.zeros(num_slots, dtype=bool)
         for fault in self._faults:
-            if isinstance(fault, NumericFault):
+            if isinstance(fault, (NumericFault, CrashFault)):
                 continue
             lo = max(0, int(np.floor(fault.start)))
             hi = min(num_slots, int(np.ceil(fault.end)))

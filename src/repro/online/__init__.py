@@ -20,13 +20,27 @@ call-admission story asks for:
   feasible ordering and the Theorem 10/11 tail bounds on every
   join/renegotiate request;
 * :mod:`repro.online.service` — the long-running JSONL ingestion loop
-  behind ``repro serve``, with graceful drain on shutdown.
+  behind ``repro serve``, with graceful drain on shutdown, a bounded
+  error budget, backlog-watermark load shedding and periodic
+  heartbeat records;
+* :mod:`repro.online.durability` — crash safety: the checksummed
+  segmented write-ahead log, atomic verified snapshots, and the
+  recovery path behind ``repro serve --wal`` / ``repro recover``.
 
 Bridge in from a scenario with
 :meth:`repro.scenario.Scenario.to_event_stream`.
 """
 
 from repro.online.admission import AdmissionController, AdmissionDecision
+from repro.online.durability import (
+    DurableOnlineService,
+    RecoveryReport,
+    SnapshotStore,
+    WriteAheadLog,
+    create_durable_service,
+    open_durable_service,
+    recover_durable_service,
+)
 from repro.online.engine import OnlineResult, StreamingGPSServer
 from repro.online.events import (
     ArrivalEvent,
@@ -63,4 +77,11 @@ __all__ = [
     "OnlineService",
     "SessionInfo",
     "SessionRegistry",
+    "DurableOnlineService",
+    "RecoveryReport",
+    "SnapshotStore",
+    "WriteAheadLog",
+    "create_durable_service",
+    "open_durable_service",
+    "recover_durable_service",
 ]

@@ -213,6 +213,34 @@ class AdmissionController:
         """Forget a departed session (frees its rate for future joins)."""
         self._context.remove(name)
 
+    # ------------------------------------------------------------------
+    # durable state export/import
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the controller + its context."""
+        return {
+            "diagnostics": self._diagnostics,
+            "decisions": self._decisions,
+            "accepted": self._accepted,
+            "context": self._context.export_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "AdmissionController":
+        """Rebuild a controller from an :meth:`export_state` snapshot.
+
+        The restored controller issues byte-identical decisions: the
+        context import preserves the exact aggregate-rate partials,
+        the cached per-session critical rates, and the version
+        counters its caches are keyed on.
+        """
+        out = cls.__new__(cls)
+        out._context = AnalysisContext.from_state(state["context"])
+        out._diagnostics = bool(state["diagnostics"])
+        out._decisions = int(state["decisions"])
+        out._accepted = int(state["accepted"])
+        return out
+
     def summary(self) -> dict[str, Any]:
         """JSON-serializable snapshot of the controller state."""
         return {

@@ -1,0 +1,41 @@
+"""Crash-safe serving: write-ahead log, snapshots, and recovery.
+
+The durability layer makes the online service survivable: every ingest
+line is CRC-framed into a segmented :class:`WriteAheadLog` *before* it
+is applied, the full serving state is periodically committed by a
+:class:`SnapshotStore` (atomically, with an asserted round-trip
+bit-identity check), and :func:`recover_durable_service` rebuilds a
+killed service — newest valid snapshot, torn-tail truncation,
+idempotent replay by sequence number — into exactly the state of an
+uninterrupted run.  The chaos harness in
+``tests/online/test_recovery_chaos.py`` kills and restarts the service
+at every crash-point class and asserts that equivalence with
+``np.array_equal``.
+"""
+
+from repro.online.durability.service import (
+    DurableOnlineService,
+    RecoveryReport,
+    create_durable_service,
+    open_durable_service,
+    recover_durable_service,
+)
+from repro.online.durability.snapshot import SNAPSHOT_FORMAT, SnapshotStore
+from repro.online.durability.wal import (
+    FSYNC_POLICIES,
+    WalEntry,
+    WriteAheadLog,
+)
+
+__all__ = [
+    "DurableOnlineService",
+    "RecoveryReport",
+    "create_durable_service",
+    "open_durable_service",
+    "recover_durable_service",
+    "SnapshotStore",
+    "SNAPSHOT_FORMAT",
+    "WriteAheadLog",
+    "WalEntry",
+    "FSYNC_POLICIES",
+]

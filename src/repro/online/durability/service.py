@@ -1,0 +1,494 @@
+"""Crash-safe serving: the durable ingestion loop and its recovery path.
+
+:class:`DurableOnlineService` extends the resilient
+:class:`repro.online.service.OnlineService` loop with write-ahead
+logging and periodic snapshots.  The ingest cycle for line ``seq`` is::
+
+    [pre-append crash point]
+    WAL.append(seq, line)          # framed, CRC'd, flushed
+    [post-append crash point]
+    apply line to the engine       # identical OnlineService logic
+    every snapshot_every lines:
+        snapshot (tmp → fsync → rename; [mid-snapshot crash point])
+
+Because the *raw line* is logged before anything observes it, a kill
+anywhere in the cycle is recoverable: :func:`recover_durable_service`
+loads the newest valid snapshot, truncates a torn WAL tail, replays
+the remaining entries by sequence number (idempotently — entries at or
+below the snapshot's ``applied_seq`` are skipped), and hands back a
+service whose engine state, admission context and ingest-protection
+counters are exactly those of an uninterrupted run over the same
+acknowledged lines.  The chaos suite asserts this equivalence with
+``np.array_equal`` on the backlog trajectories for kills at every
+crash-point class.
+
+The WAL directory is self-describing: a checksummed ``meta.json``
+records the serving configuration (rate, admission flags, protection
+limits, WAL policy) so ``repro recover`` needs nothing but the
+directory.  Replayed per-event records are re-emitted to the sink —
+output is at-least-once downstream of the last snapshot; consumers
+needing exactly-once must deduplicate on the ``line`` sequence number.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Iterable
+
+from repro.errors import RecoveryError, ValidationError
+from repro.online.admission import AdmissionController
+from repro.online.durability.snapshot import SnapshotStore, _decode, _encode
+from repro.online.durability.wal import WalEntry, WriteAheadLog, _fsync_dir
+from repro.online.engine import StreamingGPSServer
+from repro.online.service import OnlineService
+
+__all__ = [
+    "DurableOnlineService",
+    "RecoveryReport",
+    "open_durable_service",
+    "create_durable_service",
+    "recover_durable_service",
+]
+
+_META_NAME = "meta.json"
+_META_FORMAT = 1
+
+#: Configuration keys persisted in ``meta.json`` (everything a bare
+#: directory needs to rebuild the service).
+_CONFIG_DEFAULTS: dict[str, Any] = {
+    "rate": None,  # required at creation
+    "admission": False,
+    "diagnostics": True,
+    "incremental": True,
+    "record_traces": False,
+    "strict": False,
+    "drain_slots": 100_000,
+    "max_errors": None,
+    "heartbeat_every": None,
+    "shed_backlog": None,
+    "shed_resume": None,
+    "snapshot_every": 1_000,
+    "fsync": "batch",
+    "segment_events": 10_000,
+    "batch_events": 256,
+}
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :func:`recover_durable_service` reconstructed and from where."""
+
+    fresh: bool
+    applied_seq: int
+    snapshot_seq: int | None
+    replayed: int
+    truncated_bytes: int
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-serializable record (emitted first by ``repro recover``)."""
+        return {
+            "kind": "recovery",
+            "fresh": self.fresh,
+            "applied_seq": self.applied_seq,
+            "snapshot_seq": self.snapshot_seq,
+            "replayed": self.replayed,
+            "truncated_bytes": self.truncated_bytes,
+        }
+
+
+def _write_meta(directory: Path, config: dict[str, Any]) -> None:
+    document = {"format": _META_FORMAT, "config": config}
+    encoded = _encode(document)
+    directory.mkdir(parents=True, exist_ok=True)
+    tmp = directory / (_META_NAME + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(encoded)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, directory / _META_NAME)
+    _fsync_dir(directory)
+
+
+def _read_meta(directory: Path) -> dict[str, Any]:
+    path = directory / _META_NAME
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise RecoveryError(
+            f"cannot read WAL metadata {path}: {exc}"
+        ) from exc
+    document = _decode(raw)
+    if document is None or document.get("format") != _META_FORMAT:
+        raise RecoveryError(
+            f"WAL metadata {path} is corrupt or has an unsupported "
+            "format; refusing to guess the serving configuration"
+        )
+    config = dict(_CONFIG_DEFAULTS)
+    config.update(document.get("config", {}))
+    if config["rate"] is None:
+        raise RecoveryError(
+            f"WAL metadata {path} does not declare a server rate"
+        )
+    return config
+
+
+class DurableOnlineService(OnlineService):
+    """An :class:`OnlineService` whose ingest survives process kills.
+
+    Construct via :func:`create_durable_service` /
+    :func:`recover_durable_service` /
+    :func:`open_durable_service` rather than directly — they wire the
+    WAL, the snapshot store and the on-disk metadata consistently.
+
+    Parameters (beyond :class:`OnlineService`)
+    ------------------------------------------
+    wal:
+        The recovered :class:`~repro.online.durability.wal.WriteAheadLog`
+        every line is appended to before being applied.
+    snapshots:
+        The :class:`~repro.online.durability.snapshot.SnapshotStore`
+        for periodic full-state serialization.
+    snapshot_every:
+        Take a snapshot after every N applied lines (``None``/0
+        disables automatic snapshots; :meth:`snapshot` stays available).
+    crash:
+        Optional :class:`repro.faults.injection.CrashInjector`; fired
+        at the ``pre-append`` / ``post-append`` / ``mid-snapshot``
+        points by the chaos harness.
+    applied_seq:
+        Sequence number already applied to the engine (recovery sets
+        this to the snapshot's coverage before replay).
+    """
+
+    def __init__(
+        self,
+        engine: StreamingGPSServer,
+        *,
+        wal: WriteAheadLog,
+        snapshots: SnapshotStore,
+        snapshot_every: int | None = 1_000,
+        crash: Any = None,
+        applied_seq: int = 0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(engine, **kwargs)
+        if snapshot_every is not None and snapshot_every < 0:
+            raise ValidationError(
+                f"snapshot_every must be >= 0, got {snapshot_every}"
+            )
+        self._wal = wal
+        self._snapshots = snapshots
+        self._snapshot_every = (
+            None if not snapshot_every else int(snapshot_every)
+        )
+        self._crash = crash
+        self._applied_seq = int(applied_seq)
+        self._lineno = int(applied_seq)
+        self._replaying = False
+
+    # ------------------------------------------------------------------
+    @property
+    def applied_seq(self) -> int:
+        """Highest ingest sequence number applied to the engine."""
+        return self._applied_seq
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The write-ahead log behind this service."""
+        return self._wal
+
+    # ------------------------------------------------------------------
+    # service-state capture (snapshot payload alongside the engine)
+    # ------------------------------------------------------------------
+    def _service_state(self) -> dict[str, Any]:
+        return {
+            "errors": self._errors,
+            "shed": self._shed,
+            "heartbeats": self._heartbeats,
+            "shedding": self._shedding,
+            "lineno": self._lineno,
+            "drain_truncated": self._drain_truncated,
+        }
+
+    def _restore_service_state(self, state: dict[str, Any]) -> None:
+        self._errors = int(state["errors"])
+        self._shed = int(state["shed"])
+        self._heartbeats = int(state["heartbeats"])
+        self._shedding = bool(state["shedding"])
+        self._lineno = int(state["lineno"])
+        self._drain_truncated = bool(state["drain_truncated"])
+
+    # ------------------------------------------------------------------
+    # the durable ingest cycle
+    # ------------------------------------------------------------------
+    def _handle_line(self, lineno: int, line: str) -> None:
+        if self._crash is not None:
+            self._crash.fire("pre-append", lineno)
+        self._wal.append(lineno, line)
+        if self._crash is not None:
+            self._crash.fire("post-append", lineno)
+        super()._handle_line(lineno, line)
+        self._applied_seq = lineno
+        if (
+            self._snapshot_every is not None
+            and lineno % self._snapshot_every == 0
+        ):
+            self.snapshot()
+
+    def snapshot(self) -> Path:
+        """Commit a snapshot of the current state; prune covered WAL.
+
+        Returns the committed snapshot path.  The write is atomic and
+        round-trip-verified (see
+        :class:`~repro.online.durability.snapshot.SnapshotStore`);
+        WAL segments entirely covered by the oldest *retained*
+        snapshot are deleted afterwards.
+        """
+        path = self._snapshots.write(
+            self._applied_seq,
+            self._engine.export_state(),
+            self._service_state(),
+            crash_hook=self._crash,
+        )
+        oldest = self._snapshots.oldest_seq()
+        if oldest is not None:
+            self._wal.prune(oldest)
+        return path
+
+    def replay(self, entries: Iterable[WalEntry]) -> int:
+        """Re-apply recovered WAL entries past the snapshot coverage.
+
+        Entries at or below :attr:`applied_seq` are skipped (idempotent
+        replay); a sequence gap raises
+        :class:`repro.errors.RecoveryError`.  Replay runs the plain
+        (non-appending) service logic — the entries are already in the
+        log — and suppresses automatic snapshots.  Returns the number
+        of entries applied.
+        """
+        replayed = 0
+        self._replaying = True
+        try:
+            for entry in entries:
+                if entry.seq <= self._applied_seq:
+                    continue
+                if entry.seq != self._applied_seq + 1:
+                    raise RecoveryError(
+                        f"WAL replay gap: entry {entry.seq} follows "
+                        f"applied seq {self._applied_seq}; the log is "
+                        "missing acknowledged events"
+                    )
+                OnlineService._handle_line(self, entry.seq, entry.line)
+                self._applied_seq = entry.seq
+                self._lineno = entry.seq
+                replayed += 1
+        finally:
+            self._replaying = False
+        return replayed
+
+    def shutdown(self) -> Any:
+        """Drain, emit the summary, and sync/close the WAL."""
+        try:
+            return super().shutdown()
+        finally:
+            self._wal.close()
+
+
+# ----------------------------------------------------------------------
+# construction / recovery entry points
+# ----------------------------------------------------------------------
+def _build_engine(config: dict[str, Any]) -> StreamingGPSServer:
+    admission = None
+    if config["admission"]:
+        admission = AdmissionController(
+            rate=float(config["rate"]),
+            diagnostics=bool(config["diagnostics"]),
+            incremental=bool(config["incremental"]),
+        )
+    return StreamingGPSServer(
+        rate=float(config["rate"]),
+        admission=admission,
+        record_traces=bool(config["record_traces"]),
+    )
+
+
+def _build_service(
+    config: dict[str, Any],
+    engine: StreamingGPSServer,
+    wal: WriteAheadLog,
+    snapshots: SnapshotStore,
+    *,
+    sink: IO[str] | None,
+    crash: Any,
+    applied_seq: int,
+) -> DurableOnlineService:
+    return DurableOnlineService(
+        engine,
+        wal=wal,
+        snapshots=snapshots,
+        snapshot_every=config["snapshot_every"],
+        crash=crash,
+        applied_seq=applied_seq,
+        sink=sink,
+        strict=bool(config["strict"]),
+        drain_slots=int(config["drain_slots"]),
+        max_errors=config["max_errors"],
+        heartbeat_every=config["heartbeat_every"],
+        shed_backlog=config["shed_backlog"],
+        shed_resume=config["shed_resume"],
+    )
+
+
+def create_durable_service(
+    directory: str | Path,
+    *,
+    rate: float,
+    sink: IO[str] | None = None,
+    crash: Any = None,
+    **config_overrides: Any,
+) -> DurableOnlineService:
+    """Initialize a fresh WAL directory and return its durable service.
+
+    ``config_overrides`` may set any :data:`meta configuration
+    <_CONFIG_DEFAULTS>` key (``admission``, ``snapshot_every``,
+    ``fsync``, ``max_errors``, ...).  Raises
+    :class:`repro.errors.RecoveryError` if the directory already holds
+    a serving session — recover it instead of silently overwriting.
+    """
+    directory = Path(directory)
+    if (directory / _META_NAME).exists():
+        raise RecoveryError(
+            f"{directory} already contains a durable serving session; "
+            "use recover_durable_service (or `repro recover`) instead "
+            "of re-creating it"
+        )
+    unknown = set(config_overrides) - set(_CONFIG_DEFAULTS)
+    if unknown:
+        raise ValidationError(
+            f"unknown durable-service configuration keys: {sorted(unknown)}"
+        )
+    config = dict(_CONFIG_DEFAULTS)
+    config.update(config_overrides)
+    config["rate"] = float(rate)
+    _write_meta(directory, config)
+    wal = WriteAheadLog(
+        directory,
+        segment_events=int(config["segment_events"]),
+        fsync=str(config["fsync"]),
+        batch_events=int(config["batch_events"]),
+    )
+    entries = wal.recover()
+    if entries:
+        raise RecoveryError(
+            f"{directory} holds {len(entries)} WAL entries but no "
+            "metadata; refusing to adopt an unlabelled log"
+        )
+    snapshots = SnapshotStore(directory)
+    engine = _build_engine(config)
+    return _build_service(
+        config, engine, wal, snapshots,
+        sink=sink, crash=crash, applied_seq=0,
+    )
+
+
+def recover_durable_service(
+    directory: str | Path,
+    *,
+    sink: IO[str] | None = None,
+    crash: Any = None,
+    expected_rate: float | None = None,
+) -> tuple[DurableOnlineService, RecoveryReport]:
+    """Reconstruct the durable service of an existing WAL directory.
+
+    Loads the newest valid snapshot, truncates a torn WAL tail,
+    replays the log past the snapshot's coverage, and returns the
+    service plus a :class:`RecoveryReport`.  The reconstructed state —
+    engine arrays, admission-context counters, protection counters —
+    is exactly the state of an uninterrupted run over the same
+    acknowledged lines.
+    """
+    directory = Path(directory)
+    config = _read_meta(directory)
+    if expected_rate is not None and float(expected_rate) != float(
+        config["rate"]
+    ):
+        raise RecoveryError(
+            f"requested rate {float(expected_rate):g} contradicts the "
+            f"recorded rate {float(config['rate']):g} in {directory}; "
+            "refusing to resume with a different server"
+        )
+    wal = WriteAheadLog(
+        directory,
+        segment_events=int(config["segment_events"]),
+        fsync=str(config["fsync"]),
+        batch_events=int(config["batch_events"]),
+    )
+    entries = wal.recover()
+    snapshots = SnapshotStore(directory)
+    document = snapshots.load_newest()
+    if document is not None:
+        engine = StreamingGPSServer.from_state(document["engine"])
+        applied_seq = int(document["applied_seq"])
+        snapshot_seq: int | None = applied_seq
+    else:
+        engine = _build_engine(config)
+        applied_seq = 0
+        snapshot_seq = None
+    service = _build_service(
+        config, engine, wal, snapshots,
+        sink=sink, crash=crash, applied_seq=applied_seq,
+    )
+    if document is not None:
+        service._restore_service_state(document["service"])
+    replayed = service.replay(entries)
+    # Position the log so the next append continues the sequence even
+    # when every segment was pruned (snapshot-only recovery).
+    wal.position(service.applied_seq)
+    report = RecoveryReport(
+        fresh=document is None and not entries,
+        applied_seq=service.applied_seq,
+        snapshot_seq=snapshot_seq,
+        replayed=replayed,
+        truncated_bytes=wal.truncated_bytes,
+    )
+    return service, report
+
+
+def open_durable_service(
+    directory: str | Path,
+    *,
+    rate: float | None = None,
+    sink: IO[str] | None = None,
+    crash: Any = None,
+    **config_overrides: Any,
+) -> tuple[DurableOnlineService, RecoveryReport]:
+    """Create-or-recover: the idempotent entry point behind ``repro serve --wal``.
+
+    A directory without serving metadata is initialized fresh (``rate``
+    required); one with metadata is recovered, verifying ``rate``
+    against the recorded configuration when provided.  Returns the
+    service and the recovery report (``fresh=True`` for a new session).
+    """
+    directory = Path(directory)
+    if (directory / _META_NAME).exists():
+        service, report = recover_durable_service(
+            directory, sink=sink, crash=crash, expected_rate=rate
+        )
+        return service, report
+    if rate is None:
+        raise RecoveryError(
+            f"{directory} holds no serving session and no --rate was "
+            "given to create one"
+        )
+    service = create_durable_service(
+        directory, rate=rate, sink=sink, crash=crash, **config_overrides
+    )
+    report = RecoveryReport(
+        fresh=True,
+        applied_seq=0,
+        snapshot_seq=None,
+        replayed=0,
+        truncated_bytes=0,
+    )
+    return service, report

@@ -1,0 +1,258 @@
+"""Atomic, checksummed snapshots of the full serving state.
+
+A snapshot is one JSON document — the
+:meth:`repro.online.engine.StreamingGPSServer.export_state` payload
+(registry vectors, admission context version counters and Shewchuk
+partials included) plus the service's ingest-protection counters and
+the WAL sequence number it covers — written as::
+
+    <crc32:08x> <canonical json>\\n
+
+under ``snap-<applied_seq:016d>.json``.  Writes are crash-safe: the
+document goes to a ``*.tmp`` file first, is fsynced, and only then
+renamed into place (the rename is the commit point; recovery ignores
+``*.tmp`` leftovers).  Every write asserts *round-trip bit-identity*
+before committing: the state is re-imported from the serialized bytes
+and re-exported, and the two byte streams must match exactly — a
+snapshot that cannot provably resurrect the state is never written.
+
+Recovery loads the *newest valid* snapshot: candidates are tried in
+descending sequence order and a corrupt one (bad CRC, torn JSON) is
+skipped in favor of an older sibling, because an older snapshot plus a
+longer WAL replay reaches the same state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any
+
+from repro.errors import RecoveryError, ValidationError
+
+__all__ = ["SnapshotStore", "SNAPSHOT_PREFIX"]
+
+SNAPSHOT_PREFIX = "snap-"
+_SNAPSHOT_SUFFIX = ".json"
+_SEQ_DIGITS = 16
+
+#: Bumped when the snapshot document layout changes incompatibly.
+SNAPSHOT_FORMAT = 1
+
+
+def _snapshot_name(applied_seq: int) -> str:
+    return f"{SNAPSHOT_PREFIX}{applied_seq:0{_SEQ_DIGITS}d}{_SNAPSHOT_SUFFIX}"
+
+
+def _snapshot_seq(path: Path) -> int | None:
+    name = path.name
+    if not (
+        name.startswith(SNAPSHOT_PREFIX)
+        and name.endswith(_SNAPSHOT_SUFFIX)
+    ):
+        return None
+    digits = name[len(SNAPSHOT_PREFIX) : -len(_SNAPSHOT_SUFFIX)]
+    if not digits.isdigit():
+        return None
+    return int(digits)
+
+
+def _encode(document: dict[str, Any]) -> bytes:
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    data = payload.encode("utf-8")
+    crc = zlib.crc32(data) & 0xFFFFFFFF
+    return f"{crc:08x} ".encode("ascii") + data + b"\n"
+
+
+def _decode(raw: bytes) -> dict[str, Any] | None:
+    """Parse a checksummed snapshot file; ``None`` when invalid."""
+    raw = raw.rstrip(b"\n")
+    if len(raw) < 10 or raw[8:9] != b" ":
+        return None
+    try:
+        crc = int(raw[:8], 16)
+    except ValueError:
+        return None
+    data = raw[9:]
+    if zlib.crc32(data) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        document = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    return document
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class SnapshotStore:
+    """Write/load checksummed snapshots in a WAL directory.
+
+    Parameters
+    ----------
+    directory:
+        Where snapshot files live (shared with the WAL segments).
+    keep:
+        Number of committed snapshots retained; older ones are deleted
+        after each successful write (at least 1).
+    verify_roundtrip:
+        Assert export → serialize → import → export bit-identity
+        before committing each snapshot (the paranoid default; turn
+        off only for benchmarking).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        keep: int = 2,
+        verify_roundtrip: bool = True,
+    ) -> None:
+        if keep < 1:
+            raise ValidationError(f"keep must be >= 1, got {keep}")
+        self._dir = Path(directory)
+        self._keep = int(keep)
+        self._verify = bool(verify_roundtrip)
+
+    @property
+    def directory(self) -> Path:
+        """The directory snapshots are written to."""
+        return self._dir
+
+    def _candidates(self) -> list[Path]:
+        if not self._dir.is_dir():
+            return []
+        paths = [
+            path
+            for path in self._dir.iterdir()
+            if _snapshot_seq(path) is not None
+        ]
+        return sorted(paths, key=lambda p: _snapshot_seq(p) or 0)
+
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        applied_seq: int,
+        engine_state: dict[str, Any],
+        service_state: dict[str, Any],
+        *,
+        crash_hook: Any = None,
+    ) -> Path:
+        """Atomically commit a snapshot covering WAL seq ``applied_seq``.
+
+        ``crash_hook`` is the chaos harness's
+        :class:`repro.faults.injection.CrashInjector` (or None); it is
+        fired at the ``mid-snapshot`` point *after* the temp file is
+        written but *before* the rename, simulating a kill that leaves
+        a half-committed snapshot on disk.
+        """
+        document = {
+            "format": SNAPSHOT_FORMAT,
+            "applied_seq": int(applied_seq),
+            "engine": engine_state,
+            "service": service_state,
+        }
+        encoded = _encode(document)
+        if self._verify:
+            self._assert_roundtrip(document, encoded)
+        self._dir.mkdir(parents=True, exist_ok=True)
+        path = self._dir / _snapshot_name(applied_seq)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(encoded)
+            handle.flush()
+            if crash_hook is not None:
+                crash_hook.fire("mid-snapshot", int(applied_seq))
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        _fsync_dir(self._dir)
+        self._prune()
+        return path
+
+    def _assert_roundtrip(
+        self, document: dict[str, Any], encoded: bytes
+    ) -> None:
+        """Bit-identity gate: a snapshot must provably resurrect itself."""
+        from repro.online.engine import StreamingGPSServer
+
+        decoded = _decode(encoded)
+        if decoded is None:
+            raise RecoveryError(
+                "snapshot round-trip verification failed: the encoded "
+                "document does not decode"
+            )
+        restored = StreamingGPSServer.from_state(decoded["engine"])
+        re_encoded = _encode(
+            {
+                "format": decoded["format"],
+                "applied_seq": decoded["applied_seq"],
+                "engine": restored.export_state(),
+                "service": decoded["service"],
+            }
+        )
+        if re_encoded != encoded:
+            raise RecoveryError(
+                "snapshot round-trip verification failed: restoring the "
+                "engine and re-exporting produced different bytes; "
+                "refusing to commit a snapshot that cannot provably "
+                "resurrect the serving state"
+            )
+
+    def _prune(self) -> None:
+        candidates = self._candidates()
+        for path in candidates[: -self._keep]:
+            path.unlink()
+        # Crash leftovers from interrupted writes are dead weight.
+        if self._dir.is_dir():
+            for path in self._dir.iterdir():
+                if path.name.endswith(".tmp") and path.name.startswith(
+                    SNAPSHOT_PREFIX
+                ):
+                    path.unlink()
+
+    def oldest_seq(self) -> int | None:
+        """Sequence number of the oldest retained snapshot, or ``None``.
+
+        This is the WAL-prune horizon: every log entry at or below it
+        is covered by a snapshot recovery could fall back to.
+        """
+        candidates = self._candidates()
+        if not candidates:
+            return None
+        return _snapshot_seq(candidates[0])
+
+    # ------------------------------------------------------------------
+    def load_newest(self) -> dict[str, Any] | None:
+        """The newest *valid* snapshot document, or ``None``.
+
+        Candidates are tried newest-first; a corrupt file (bad CRC,
+        torn write that somehow got renamed, wrong format) is skipped —
+        an older snapshot plus a longer WAL replay reconstructs the
+        same state, so recovery prefers degrading to older snapshots
+        over failing.
+        """
+        for path in reversed(self._candidates()):
+            document = _decode(path.read_bytes())
+            if document is None:
+                continue
+            if document.get("format") != SNAPSHOT_FORMAT:
+                continue
+            if not isinstance(document.get("applied_seq"), int):
+                continue
+            return document
+        return None

@@ -1,0 +1,398 @@
+"""Checksummed, segmented write-ahead log for the online service.
+
+Every ingested line is framed and appended here *before* it is applied
+to the engine, so a crash at any point loses at most work that was
+never acknowledged.  The on-disk format is deliberately boring:
+
+* one frame per line: ``<crc32:08x> <payload json>\\n``, where the
+  payload is ``{"seq": <int>, "line": <raw ingest line>}`` and the CRC
+  covers the payload's UTF-8 bytes.  Logging the *raw line* (not the
+  parsed event) is what makes recovery provably equivalent to the
+  uninterrupted run — replay pushes the identical bytes through the
+  identical service logic, so error records, shed decisions and
+  admission outcomes all reproduce;
+* segments named ``wal-<first_seq:016d>.log``; a new segment starts
+  every ``segment_events`` appends, bounding the rewrite cost of
+  recovery scans and letting old segments be pruned once a snapshot
+  covers them;
+* a torn tail — a final frame cut short by a crash mid-``write`` — is
+  detected by the CRC/framing check and *truncated* on recovery.
+  Corruption anywhere except the tail of the final segment (a valid
+  frame following a bad one, or a bad frame in a non-final segment)
+  is not a torn tail and raises
+  :class:`repro.errors.RecoveryError` instead of being silently
+  dropped.
+
+The fsync policy trades durability for throughput:
+
+* ``"always"`` — fsync after every append: an acknowledged event
+  survives power loss (classic WAL semantics);
+* ``"batch"`` — fsync every ``batch_events`` appends and on segment
+  rotation/close: bounded ingest buffering, at most one batch of
+  acknowledged events is exposed to power loss;
+* ``"never"`` — leave syncing to the OS: crash-of-the-*process* safe
+  (the bytes are in the page cache) but not power-loss safe.
+
+All policies write and flush each frame to the operating system
+immediately, so an in-process crash (the :class:`SimulatedCrash` of
+the chaos harness, an OOM kill of the interpreter) never loses an
+appended frame regardless of policy.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Iterator
+
+from repro.errors import RecoveryError, ValidationError
+
+__all__ = [
+    "WalEntry",
+    "WriteAheadLog",
+    "FSYNC_POLICIES",
+    "SEGMENT_PREFIX",
+]
+
+#: Accepted values of the ``fsync`` policy.
+FSYNC_POLICIES: tuple[str, ...] = ("always", "batch", "never")
+
+SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+_SEQ_DIGITS = 16
+
+
+@dataclass(frozen=True)
+class WalEntry:
+    """One recovered WAL frame: the ingest sequence number and raw line."""
+
+    seq: int
+    line: str
+
+
+def _segment_name(first_seq: int) -> str:
+    return f"{SEGMENT_PREFIX}{first_seq:0{_SEQ_DIGITS}d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_first_seq(path: Path) -> int | None:
+    name = path.name
+    if not (
+        name.startswith(SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)
+    ):
+        return None
+    digits = name[len(SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+    if not digits.isdigit():
+        return None
+    return int(digits)
+
+
+def _frame(seq: int, line: str) -> bytes:
+    payload = json.dumps(
+        {"seq": seq, "line": line}, separators=(",", ":")
+    )
+    data = payload.encode("utf-8")
+    crc = zlib.crc32(data) & 0xFFFFFFFF
+    return f"{crc:08x} ".encode("ascii") + data + b"\n"
+
+
+def _parse_frame(raw: bytes) -> WalEntry | None:
+    """Decode one framed line (without the trailing newline).
+
+    Returns ``None`` for anything that is not a complete, checksummed
+    frame — the caller decides whether that means a torn tail or
+    mid-log corruption.
+    """
+    if len(raw) < 10 or raw[8:9] != b" ":
+        return None
+    try:
+        crc = int(raw[:8], 16)
+    except ValueError:
+        return None
+    data = raw[9:]
+    if zlib.crc32(data) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        payload = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if (
+        not isinstance(payload, dict)
+        or not isinstance(payload.get("seq"), int)
+        or not isinstance(payload.get("line"), str)
+    ):
+        return None
+    return WalEntry(seq=payload["seq"], line=payload["line"])
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort directory fsync (durability of renames/creates)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """Append-only, segmented, CRC-framed event log in one directory.
+
+    Construct, then call :meth:`recover` exactly once before the first
+    :meth:`append`: recovery scans the segments, truncates a torn
+    tail, validates sequence continuity and positions the log for new
+    appends.  A fresh (empty) directory recovers to an empty log.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        segment_events: int = 10_000,
+        fsync: str = "batch",
+        batch_events: int = 256,
+    ) -> None:
+        if segment_events < 1:
+            raise ValidationError(
+                f"segment_events must be >= 1, got {segment_events}"
+            )
+        if fsync not in FSYNC_POLICIES:
+            raise ValidationError(
+                f"fsync policy must be one of {FSYNC_POLICIES}, "
+                f"got {fsync!r}"
+            )
+        if batch_events < 1:
+            raise ValidationError(
+                f"batch_events must be >= 1, got {batch_events}"
+            )
+        self._dir = Path(directory)
+        self._segment_events = int(segment_events)
+        self._fsync = fsync
+        self._batch_events = int(batch_events)
+        self._handle: IO[bytes] | None = None
+        self._segment_count = 0  # appends in the open segment
+        self._unsynced = 0
+        self._last_seq = 0
+        self._recovered = False
+        self._truncated_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        """The directory holding the segments."""
+        return self._dir
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number on disk (0 when the log is empty)."""
+        return self._last_seq
+
+    @property
+    def truncated_bytes(self) -> int:
+        """Bytes dropped as a torn tail by the last :meth:`recover`."""
+        return self._truncated_bytes
+
+    @property
+    def fsync_policy(self) -> str:
+        """The configured fsync policy."""
+        return self._fsync
+
+    def _segments(self) -> list[Path]:
+        if not self._dir.is_dir():
+            return []
+        segments = [
+            path
+            for path in self._dir.iterdir()
+            if _segment_first_seq(path) is not None
+        ]
+        return sorted(segments, key=lambda p: _segment_first_seq(p) or 0)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> list[WalEntry]:
+        """Scan the segments; truncate a torn tail; return all entries.
+
+        Returns every valid entry in sequence order.  Raises
+        :class:`repro.errors.RecoveryError` on mid-log corruption (a
+        bad frame that is *not* the tail of the final segment) or on a
+        sequence discontinuity between frames.
+        """
+        self._dir.mkdir(parents=True, exist_ok=True)
+        entries: list[WalEntry] = []
+        self._truncated_bytes = 0
+        segments = self._segments()
+        for index, segment in enumerate(segments):
+            final = index == len(segments) - 1
+            entries.extend(self._scan_segment(segment, final=final))
+        for prev, cur in zip(entries, entries[1:]):
+            if cur.seq != prev.seq + 1:
+                raise RecoveryError(
+                    f"WAL sequence discontinuity in {self._dir}: frame "
+                    f"{cur.seq} follows frame {prev.seq}"
+                )
+        self._last_seq = entries[-1].seq if entries else 0
+        self._recovered = True
+        return entries
+
+    def _scan_segment(self, segment: Path, *, final: bool) -> list[WalEntry]:
+        raw = segment.read_bytes()
+        entries: list[WalEntry] = []
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline < 0:
+                # No terminating newline: can only be a torn tail.
+                self._truncate_tail(
+                    segment, offset, len(raw) - offset, final=final
+                )
+                break
+            entry = _parse_frame(raw[offset:newline])
+            if entry is None:
+                # A bad frame is tolerable only as the tail: nothing
+                # after it may parse as a valid frame.
+                if any(
+                    _parse_frame(chunk) is not None
+                    for chunk in raw[newline + 1 :].split(b"\n")
+                ):
+                    raise RecoveryError(
+                        f"WAL segment {segment.name} is corrupt mid-log "
+                        f"at byte {offset}: valid frames follow a bad "
+                        "frame (not a torn tail); refusing to replay"
+                    )
+                self._truncate_tail(
+                    segment, offset, len(raw) - offset, final=final
+                )
+                break
+            entries.append(entry)
+            offset = newline + 1
+        return entries
+
+    def _truncate_tail(
+        self, segment: Path, offset: int, dropped: int, *, final: bool
+    ) -> None:
+        if not final:
+            raise RecoveryError(
+                f"WAL segment {segment.name} is corrupt at byte {offset} "
+                "but is not the final segment; a torn tail can only "
+                "exist at the end of the log"
+            )
+        with open(segment, "r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._truncated_bytes = dropped
+
+    # ------------------------------------------------------------------
+    # appends
+    # ------------------------------------------------------------------
+    def append(self, seq: int, line: str) -> None:
+        """Frame and append one ingest line under sequence number ``seq``.
+
+        The frame is written and flushed to the OS before returning;
+        fsync follows the configured policy.  ``seq`` must be exactly
+        ``last_seq + 1``.
+        """
+        if not self._recovered:
+            raise ValidationError(
+                "WriteAheadLog.append before recover(); call recover() "
+                "to position the log first"
+            )
+        if seq != self._last_seq + 1:
+            raise ValidationError(
+                f"WAL append out of order: expected seq "
+                f"{self._last_seq + 1}, got {seq}"
+            )
+        handle = self._rotate_if_needed(seq)
+        handle.write(_frame(seq, line))
+        handle.flush()
+        self._last_seq = seq
+        self._segment_count += 1
+        self._unsynced += 1
+        if self._fsync == "always" or (
+            self._fsync == "batch" and self._unsynced >= self._batch_events
+        ):
+            self.sync()
+
+    def _rotate_if_needed(self, seq: int) -> IO[bytes]:
+        if (
+            self._handle is not None
+            and self._segment_count >= self._segment_events
+        ):
+            self.sync()
+            self._handle.close()
+            self._handle = None
+        if self._handle is None:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            path = self._dir / _segment_name(seq)
+            self._handle = open(path, "ab")
+            self._segment_count = 0
+            if self._fsync != "never":
+                _fsync_dir(self._dir)
+        return self._handle
+
+    def position(self, seq: int) -> None:
+        """Advance the append position to ``seq`` without writing.
+
+        Used after snapshot-only recovery (every covered segment was
+        pruned): the log may be empty on disk while the engine state is
+        already at ``seq``, and the next append must carry ``seq + 1``.
+        Never moves the position backwards.
+        """
+        if not self._recovered:
+            raise ValidationError(
+                "WriteAheadLog.position before recover(); call "
+                "recover() first"
+            )
+        if seq > self._last_seq:
+            self._last_seq = int(seq)
+
+    def sync(self) -> None:
+        """Flush and (policy permitting) fsync the open segment."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        if self._fsync != "never":
+            os.fsync(self._handle.fileno())
+        self._unsynced = 0
+
+    def close(self) -> None:
+        """Sync and close the open segment."""
+        if self._handle is None:
+            return
+        self.sync()
+        self._handle.close()
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    # pruning
+    # ------------------------------------------------------------------
+    def prune(self, upto_seq: int) -> int:
+        """Delete segments whose entries are all ``<= upto_seq``.
+
+        A segment is removable when the *next* segment starts at or
+        below ``upto_seq + 1`` (so every entry of the removed segment
+        is covered by a snapshot).  The active (final) segment is never
+        removed.  Returns the number of segments deleted.
+        """
+        segments = self._segments()
+        removed = 0
+        for path, successor in zip(segments, segments[1:]):
+            next_first = _segment_first_seq(successor)
+            if next_first is not None and next_first <= upto_seq + 1:
+                path.unlink()
+                removed += 1
+            else:
+                break
+        if removed:
+            _fsync_dir(self._dir)
+        return removed
+
+    def __iter__(self) -> Iterator[WalEntry]:  # pragma: no cover - debug aid
+        yield from self.recover()

@@ -246,6 +246,11 @@ class StreamingGPSServer:
         return self._capacity
 
     @property
+    def events_processed(self) -> int:
+        """Number of events applied so far."""
+        return self._events_processed
+
+    @property
     def num_active(self) -> int:
         """Number of active sessions."""
         return self._registry.num_active
@@ -269,6 +274,12 @@ class StreamingGPSServer:
         """Current backlog of one active session."""
         return float(
             self._registry.backlog[self._registry.index_of(name)]
+        )
+
+    def unfinished_work(self) -> float:
+        """Backlog plus the open slot's pending arrivals (drain target)."""
+        return float(
+            self._registry.backlog.sum() + self._registry.pending.sum()
         )
 
     # ------------------------------------------------------------------
@@ -469,6 +480,88 @@ class StreamingGPSServer:
             "arrived": info.arrived,
             "served": info.served,
         }
+
+    # ------------------------------------------------------------------
+    # durable state export/import
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the complete serving state.
+
+        Everything a restart needs to continue the run bit-for-bit:
+        the clock/capacity, every counter and trace backing
+        :meth:`result`, the registry vectors, and (when attached) the
+        admission controller with its
+        :class:`repro.analysis.context.AnalysisContext` version
+        counters and exact accumulators.  ``from_state(export_state())``
+        followed by any event sequence produces trajectories
+        ``np.array_equal`` to the uninterrupted engine's.
+        """
+        from repro.sim.results import to_jsonable
+
+        return {
+            "rate": self._nominal_rate,
+            "capacity": self._capacity,
+            "clock": self._clock,
+            "events_processed": self._events_processed,
+            "event_counts": dict(self._event_counts),
+            "decisions": to_jsonable(self._decisions),
+            "accepted": self._accepted,
+            "rejected": self._rejected,
+            "total_backlog_trace": [
+                float(v) for v in self._total_backlog_trace
+            ],
+            "dropped_residual": self._dropped_residual,
+            "record_traces": self._record_traces,
+            "backlog_snapshots": [
+                snap.tolist() for snap in self._backlog_snapshots
+            ],
+            "served_snapshots": [
+                snap.tolist() for snap in self._served_snapshots
+            ],
+            "registry": self._registry.export_state(),
+            "admission": (
+                None
+                if self._admission is None
+                else self._admission.export_state()
+            ),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "StreamingGPSServer":
+        """Rebuild an engine from an :meth:`export_state` snapshot."""
+        admission = (
+            None
+            if state["admission"] is None
+            else AdmissionController.from_state(state["admission"])
+        )
+        out = cls(
+            rate=float(state["rate"]),
+            admission=admission,
+            record_traces=bool(state["record_traces"]),
+        )
+        out._capacity = float(state["capacity"])
+        out._clock = int(state["clock"])
+        out._events_processed = int(state["events_processed"])
+        out._event_counts = {
+            str(k): int(v) for k, v in state["event_counts"].items()
+        }
+        out._decisions = [dict(d) for d in state["decisions"]]
+        out._accepted = int(state["accepted"])
+        out._rejected = int(state["rejected"])
+        out._total_backlog_trace = [
+            float(v) for v in state["total_backlog_trace"]
+        ]
+        out._dropped_residual = float(state["dropped_residual"])
+        out._backlog_snapshots = [
+            np.asarray(snap, dtype=float)
+            for snap in state["backlog_snapshots"]
+        ]
+        out._served_snapshots = [
+            np.asarray(snap, dtype=float)
+            for snap in state["served_snapshots"]
+        ]
+        out._registry = SessionRegistry.from_state(state["registry"])
+        return out
 
     # ------------------------------------------------------------------
     # whole-stream conveniences

@@ -9,20 +9,40 @@ a malformed line or a stream-level session error (duplicate join,
 unknown leave) produces an ``{"kind": "error", ...}`` record and the
 loop keeps going; ``strict=True`` turns those into raised exceptions.
 
+Production ingest protection rides on top of the resilience:
+
+* ``max_errors`` bounds the error budget — an adversarial garbage
+  stream can no longer emit error records forever; past the budget the
+  service aborts with a typed :class:`repro.errors.OverloadError`
+  carrying the error count;
+* ``shed_backlog`` / ``shed_resume`` are high/low watermarks on the
+  engine backlog — above the high watermark arrival events are *shed*
+  (the slot clock still advances, so the server keeps draining) and a
+  typed ``{"kind": "shed", ...}`` record is emitted for each, until
+  the backlog recedes below the low watermark;
+* ``heartbeat_every`` emits a periodic ``{"kind": "heartbeat", ...}``
+  health record (clock, backlog, error/shed counters, active
+  sessions) so an operator can watch a long-running ingest without
+  parsing every per-event record.
+
 Shutdown is graceful: when the stream ends — or the operator interrupts
 with Ctrl-C — the service drains the remaining backlog through empty
 slots and emits a final ``{"kind": "summary", ...}`` record carrying
-the :meth:`repro.online.engine.OnlineResult.summary` payload.
+the :meth:`repro.online.engine.OnlineResult.summary` payload.  A drain
+that hits ``drain_slots`` with backlog still standing emits an
+explicit ``{"kind": "drain-truncated", ...}`` record (and flags the
+summary) instead of silently under-reporting the residual.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from typing import IO, Any, Iterable
 
-from repro.errors import ReproError
+from repro.errors import OverloadError, ReproError, ValidationError
 from repro.online.engine import OnlineResult, StreamingGPSServer
-from repro.online.events import event_from_record
+from repro.online.events import ArrivalEvent, event_from_record
 from repro.sim.results import to_jsonable
 
 __all__ = ["OnlineService"]
@@ -44,6 +64,20 @@ class OnlineService:
         of emitting ``error`` records and continuing.
     drain_slots:
         Maximum number of empty slots served during the closing drain.
+    max_errors:
+        Error budget: after this many error records the service aborts
+        with :class:`repro.errors.OverloadError` (``None`` = unbounded,
+        the historical behavior).
+    heartbeat_every:
+        Emit a ``heartbeat`` health record every N ingested lines
+        (``None`` disables heartbeats).
+    shed_backlog:
+        High watermark on the engine backlog; at or above it arrival
+        events are shed with typed ``shed`` records until the backlog
+        recedes below ``shed_resume`` (``None`` disables shedding).
+    shed_resume:
+        Low watermark ending a shedding episode; defaults to half of
+        ``shed_backlog``.
     """
 
     def __init__(
@@ -53,12 +87,61 @@ class OnlineService:
         sink: IO[str] | None = None,
         strict: bool = False,
         drain_slots: int = 100_000,
+        max_errors: int | None = None,
+        heartbeat_every: int | None = None,
+        shed_backlog: float | None = None,
+        shed_resume: float | None = None,
     ) -> None:
+        if max_errors is not None and max_errors < 0:
+            raise ValidationError(
+                f"max_errors must be >= 0, got {max_errors}"
+            )
+        if heartbeat_every is not None and heartbeat_every < 1:
+            raise ValidationError(
+                f"heartbeat_every must be >= 1, got {heartbeat_every}"
+            )
+        if shed_backlog is not None and (
+            not math.isfinite(shed_backlog) or shed_backlog <= 0.0
+        ):
+            raise ValidationError(
+                f"shed_backlog must be finite and > 0, got {shed_backlog}"
+            )
+        if shed_resume is not None:
+            if shed_backlog is None:
+                raise ValidationError(
+                    "shed_resume requires shed_backlog to be set"
+                )
+            if not 0.0 <= shed_resume <= shed_backlog:
+                raise ValidationError(
+                    f"shed_resume must lie in [0, shed_backlog], got "
+                    f"{shed_resume} with shed_backlog={shed_backlog}"
+                )
         self._engine = engine
         self._sink = sink
         self._strict = bool(strict)
         self._drain_slots = int(drain_slots)
+        self._max_errors = (
+            None if max_errors is None else int(max_errors)
+        )
+        self._heartbeat_every = (
+            None if heartbeat_every is None else int(heartbeat_every)
+        )
+        self._shed_backlog = (
+            None if shed_backlog is None else float(shed_backlog)
+        )
+        self._shed_resume = (
+            None
+            if shed_backlog is None
+            else float(
+                shed_resume if shed_resume is not None else shed_backlog / 2.0
+            )
+        )
         self._errors = 0
+        self._shed = 0
+        self._heartbeats = 0
+        self._shedding = False
+        self._lineno = 0
+        self._drain_truncated = False
 
     @property
     def engine(self) -> StreamingGPSServer:
@@ -70,33 +153,120 @@ class OnlineService:
         """Number of lines that produced error records so far."""
         return self._errors
 
+    @property
+    def shed(self) -> int:
+        """Number of arrival events shed by overload protection."""
+        return self._shed
+
+    @property
+    def lineno(self) -> int:
+        """Sequence number of the last ingested line."""
+        return self._lineno
+
     def _emit(self, record: dict[str, Any]) -> None:
         if self._sink is None:
             return
         self._sink.write(json.dumps(to_jsonable(record)))
         self._sink.write("\n")
 
+    def _count_error(self) -> None:
+        """Bump the error counter, aborting past the ``max_errors`` budget."""
+        self._errors += 1
+        if self._max_errors is not None and self._errors > self._max_errors:
+            raise OverloadError(
+                f"error budget exhausted: {self._errors} error records "
+                f"exceed max_errors={self._max_errors}; aborting the "
+                "ingest loop (the stream looks adversarial or the "
+                "transport is corrupting lines)",
+                count=self._errors,
+            )
+
+    def _maybe_shed(self, lineno: int, event: Any) -> bool:
+        """Apply the backlog-watermark shed policy to one event.
+
+        Only arrival events are ever shed; membership and capacity
+        events always apply.  A shed arrival still advances the engine
+        clock to the event's slot — the server keeps serving (and
+        therefore draining) while refusing new work, which is what
+        makes the high/low watermark hysteresis converge.
+        """
+        if self._shed_backlog is None or not isinstance(event, ArrivalEvent):
+            return False
+        slot = int(math.floor(event.time))
+        if slot > self._engine.clock:
+            self._engine.advance_to(slot)
+        # Unfinished work (carried backlog plus same-slot pending), not
+        # the post-service backlog alone: a burst inside one slot must
+        # trip the watermark before the slot is ever served.
+        backlog = self._engine.unfinished_work()
+        if self._shedding:
+            assert self._shed_resume is not None
+            if backlog <= self._shed_resume:
+                self._shedding = False
+        elif backlog >= self._shed_backlog:
+            self._shedding = True
+        if not self._shedding:
+            return False
+        self._shed += 1
+        self._emit(
+            {
+                "kind": "shed",
+                "line": lineno,
+                "session": event.session,
+                "amount": event.amount,
+                "slot": slot,
+                "total_backlog": backlog,
+            }
+        )
+        return True
+
+    def _heartbeat(self, lineno: int) -> None:
+        if (
+            self._heartbeat_every is None
+            or lineno % self._heartbeat_every != 0
+        ):
+            return
+        self._heartbeats += 1
+        engine = self._engine
+        self._emit(
+            {
+                "kind": "heartbeat",
+                "line": lineno,
+                "clock": engine.clock,
+                "events_processed": engine.events_processed,
+                "total_backlog": engine.unfinished_work(),
+                "active_sessions": engine.num_active,
+                "errors": self._errors,
+                "shed": self._shed,
+                "shedding": self._shedding,
+            }
+        )
+
     def _handle_line(self, lineno: int, line: str) -> None:
         stripped = line.strip()
         if not stripped:
+            self._heartbeat(lineno)
             return
         try:
             event = event_from_record(json.loads(stripped))
+            if self._maybe_shed(lineno, event):
+                self._heartbeat(lineno)
+                return
             record = self._engine.process(event)
         except json.JSONDecodeError as exc:
             if self._strict:
                 raise ReproError(
                     f"line {lineno} is not valid JSON: {exc}"
                 ) from exc
-            self._errors += 1
             self._emit(
                 {"kind": "error", "line": lineno, "error": str(exc)}
             )
+            self._count_error()
+            self._heartbeat(lineno)
             return
         except ReproError as exc:
             if self._strict:
                 raise
-            self._errors += 1
             self._emit(
                 {
                     "kind": "error",
@@ -105,9 +275,23 @@ class OnlineService:
                     "error_type": type(exc).__name__,
                 }
             )
+            self._count_error()
+            self._heartbeat(lineno)
             return
         record["line"] = lineno
         self._emit(record)
+        self._heartbeat(lineno)
+
+    def ingest(self, lines: Iterable[str]) -> None:
+        """Feed a line stream to the engine without draining.
+
+        Line numbering continues from where the previous ingest left
+        off, so a service resumed after recovery keeps globally
+        consistent sequence numbers.
+        """
+        for line in lines:
+            self._lineno += 1
+            self._handle_line(self._lineno, line)
 
     def serve(self, lines: Iterable[str]) -> OnlineResult:
         """Ingest a line stream until it ends (or Ctrl-C), then drain.
@@ -116,8 +300,7 @@ class OnlineService:
         its summary is also emitted as the last output record.
         """
         try:
-            for lineno, line in enumerate(lines, start=1):
-                self._handle_line(lineno, line)
+            self.ingest(lines)
         except KeyboardInterrupt:
             # Graceful shutdown: fall through to the drain with
             # whatever has been ingested so far.
@@ -126,10 +309,24 @@ class OnlineService:
 
     def shutdown(self) -> OnlineResult:
         """Drain the engine and emit the final summary record."""
-        _, drained = self._engine.drain(max_slots=self._drain_slots)
+        slots_used, drained = self._engine.drain(
+            max_slots=self._drain_slots
+        )
+        if not drained:
+            self._drain_truncated = True
+            self._emit(
+                {
+                    "kind": "drain-truncated",
+                    "slots_used": slots_used,
+                    "residual_backlog": self._engine.unfinished_work(),
+                }
+            )
         result = self._engine.result(drained=drained)
         summary = result.summary()
         summary["errors"] = self._errors
+        summary["shed"] = self._shed
+        summary["heartbeats"] = self._heartbeats
+        summary["drain_truncated"] = self._drain_truncated
         self._emit({"kind": "summary", "summary": summary})
         if self._sink is not None:
             self._sink.flush()

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.analysis.admission import QoSTarget
 from repro.core.ebb import EBB
-from repro.errors import AdmissionError
+from repro.errors import AdmissionError, ValidationError
 from repro.utils.validation import check_positive
 
 __all__ = ["SessionInfo", "SessionRegistry"]
@@ -281,6 +281,100 @@ class SessionRegistry:
                 key = f"{info.name}@{info.left_at}#{suffix}"
                 suffix += 1
             out[key] = info.to_record()
+        return out
+
+    # ------------------------------------------------------------------
+    # durable state export/import
+    # ------------------------------------------------------------------
+    def export_state(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of the registry (active + departed).
+
+        The backing vectors are trimmed to the active prefix; the
+        restored registry reallocates them, and since JSON round-trips
+        finite floats exactly the restored vectors are element-for-
+        element ``np.array_equal`` with the originals.
+        """
+        from repro.online.events import _ebb_record, _target_record
+
+        self.sync_totals()
+
+        def info_state(info: SessionInfo) -> dict[str, Any]:
+            return {
+                "name": info.name,
+                "phi": info.phi,
+                "ebb": _ebb_record(info.ebb),
+                "target": _target_record(info.target),
+                "joined_at": info.joined_at,
+                "left_at": info.left_at,
+                "arrived": info.arrived,
+                "served": info.served,
+                "residual": info.residual,
+                "renegotiations": info.renegotiations,
+            }
+
+        return {
+            "names": list(self._names),
+            "active": [info_state(self._info[n]) for n in self._names],
+            "departed": [info_state(info) for info in self._departed],
+            "peak_active": self._peak_active,
+            "vectors": {
+                "phis": self.phis.tolist(),
+                "backlog": self.backlog.tolist(),
+                "pending": self.pending.tolist(),
+                "arrived": self.arrived.tolist(),
+                "served": self.served.tolist(),
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "SessionRegistry":
+        """Rebuild a registry from an :meth:`export_state` snapshot."""
+        from repro.online.events import _ebb_from, _target_from
+
+        def info_from(record: dict[str, Any]) -> SessionInfo:
+            return SessionInfo(
+                name=str(record["name"]),
+                phi=float(record["phi"]),
+                ebb=_ebb_from(record["ebb"]),
+                target=_target_from(record["target"]),
+                joined_at=int(record["joined_at"]),
+                left_at=(
+                    None
+                    if record["left_at"] is None
+                    else int(record["left_at"])
+                ),
+                arrived=float(record["arrived"]),
+                served=float(record["served"]),
+                residual=float(record["residual"]),
+                renegotiations=int(record["renegotiations"]),
+            )
+
+        out = cls()
+        names = [str(name) for name in state["names"]]
+        out._ensure_capacity(len(names))
+        out._names = names
+        out._index = {name: k for k, name in enumerate(names)}
+        out._info = {
+            record["name"]: info_from(record)
+            for record in state["active"]
+        }
+        out._departed = [info_from(r) for r in state["departed"]]
+        vectors = state["vectors"]
+        for attr, key in (
+            ("_phis", "phis"),
+            ("_backlog", "backlog"),
+            ("_pending", "pending"),
+            ("_arrived", "arrived"),
+            ("_served", "served"),
+        ):
+            values = [float(v) for v in vectors[key]]
+            if len(values) != len(names):
+                raise ValidationError(
+                    f"registry state vector {key!r} has {len(values)} "
+                    f"entries for {len(names)} active sessions"
+                )
+            getattr(out, attr)[: len(values)] = values
+        out._peak_active = int(state["peak_active"])
         return out
 
     def admitted_declarations(

@@ -364,3 +364,36 @@ class TestManifest:
         manifest = RunManifest(base_seed=0, num_trials=3)
         manifest.completed = {2: "c", 0: "a", 1: "b"}
         assert manifest.results == ["a", "b", "c"]
+
+
+class TestCheckpointDurability:
+    def test_unserializable_result_leaves_no_tmp_orphan(self, tmp_path):
+        path = tmp_path / "run.json"
+
+        def unserializable(trial, seed):
+            return {1, 2, 3}  # sets are not JSON
+
+        runner = SupervisedRunner(
+            trial_fn=unserializable,
+            num_trials=2,
+            base_seed=1,
+            checkpoint_path=path,
+        )
+        with pytest.raises(TypeError):
+            runner.run()
+        # The failed atomic write must not strand mkstemp files.
+        assert list(tmp_path.glob("*.tmp*")) == []
+        assert not path.exists()
+
+    def test_checkpoint_written_atomically_and_synced(self, tmp_path):
+        path = tmp_path / "run.json"
+        SupervisedRunner(
+            trial_fn=_mean_trial,
+            num_trials=3,
+            base_seed=1,
+            checkpoint_path=path,
+        ).run()
+        # Committed file only; no temp leftovers from any write.
+        assert [p.name for p in tmp_path.iterdir()] == ["run.json"]
+        payload = json.loads(path.read_text())
+        assert set(payload["completed"]) == {"0", "1", "2"}

@@ -151,3 +151,59 @@ class TestScheduleQueries:
         grown = base.extended(RateFault("n", 0, 1, 0.5))
         assert len(base) == 0
         assert len(grown) == 1
+
+
+class TestCrashFaults:
+    def test_crash_fault_validation(self):
+        from repro.faults import CRASH_POINTS, CrashFault
+
+        with pytest.raises(ValidationError, match="seq"):
+            CrashFault(seq=0, point="pre-append")
+        with pytest.raises(ValidationError, match="point"):
+            CrashFault(seq=1, point="sometime")
+        for point in CRASH_POINTS:
+            CrashFault(seq=1, point=point)
+
+    def test_crashes_at_queries(self):
+        from repro.faults import CrashFault
+
+        schedule = FaultSchedule(
+            [
+                CrashFault(seq=5, point="pre-append"),
+                CrashFault(seq=5, point="post-append"),
+            ]
+        )
+        assert schedule.crashes_at("pre-append", 5)
+        assert schedule.crashes_at("post-append", 5)
+        assert not schedule.crashes_at("mid-snapshot", 5)
+        assert not schedule.crashes_at("pre-append", 6)
+        assert len(schedule.crash_faults) == 2
+
+    def test_fault_mask_excludes_crash_faults(self):
+        from repro.faults import CrashFault
+
+        schedule = FaultSchedule(
+            [RateFault("n", 2, 4, 0.5), CrashFault(seq=1, point="pre-append")]
+        )
+        mask = schedule.fault_mask(6)
+        assert mask.tolist() == [False, False, True, True, False, False]
+
+    def test_injector_fires_each_fault_once(self):
+        from repro.faults import CrashFault, CrashInjector, SimulatedCrash
+
+        injector = CrashInjector(
+            FaultSchedule([CrashFault(seq=3, point="post-append")])
+        )
+        injector.fire("post-append", 2)  # not scheduled: no-op
+        with pytest.raises(SimulatedCrash):
+            injector.fire("post-append", 3)
+        # A restarted service re-handling seq 3 must not die again.
+        injector.fire("post-append", 3)
+        assert injector.fired == (("post-append", 3),)
+
+    def test_simulated_crash_bypasses_exception_handlers(self):
+        from repro.faults import SimulatedCrash
+
+        # Like a SIGKILL, the resilience layers must not absorb it.
+        assert not issubclass(SimulatedCrash, Exception)
+        assert issubclass(SimulatedCrash, BaseException)

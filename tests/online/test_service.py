@@ -175,3 +175,158 @@ class TestServeCommand:
             ["serve", path, "--rate", "1.0", "--drain-slots", "0"]
         )
         assert code == 2
+
+
+class TestIngestProtection:
+    def _garbage(self, n):
+        return ["not json\n"] * n
+
+    def test_error_budget_raises_typed_overload(self):
+        from repro.errors import OverloadError
+
+        service = OnlineService(
+            StreamingGPSServer(rate=1.0), max_errors=3
+        )
+        with pytest.raises(OverloadError) as excinfo:
+            service.serve(self._garbage(10))
+        assert excinfo.value.count == 4
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_error_budget_boundary_is_inclusive(self):
+        service = OnlineService(
+            StreamingGPSServer(rate=1.0), max_errors=3
+        )
+        result = service.serve(self._garbage(3))
+        assert service.errors == 3
+        assert result.drained is True
+
+    def test_heartbeat_records_emitted(self):
+        sink = io.StringIO()
+        service = OnlineService(
+            StreamingGPSServer(rate=1.0),
+            sink=sink,
+            heartbeat_every=2,
+        )
+        service.serve(_lines(_simple_events()))
+        beats = [
+            json.loads(line)
+            for line in sink.getvalue().splitlines()
+            if json.loads(line)["kind"] == "heartbeat"
+        ]
+        assert len(beats) == 2  # 5 events -> lines 2 and 4
+        assert {"clock", "total_backlog", "errors", "shed"} <= set(
+            beats[0]
+        )
+
+    def test_shedding_hysteresis_and_typed_records(self):
+        sink = io.StringIO()
+        service = OnlineService(
+            StreamingGPSServer(rate=1.0),
+            sink=sink,
+            shed_backlog=5.0,
+            shed_resume=1.0,
+        )
+        events = [SessionJoin(time=0.0, name="a", phi=1.0)]
+        # Flood slot 1 far past the watermark, then go quiet.
+        events += [
+            ArrivalEvent(time=1.0, session="a", amount=3.0)
+            for _ in range(5)
+        ]
+        # By slot 12 the backlog has drained below shed_resume.
+        events += [ArrivalEvent(time=12.0, session="a", amount=1.0)]
+        result = service.serve(_lines(events))
+        records = [
+            json.loads(line) for line in sink.getvalue().splitlines()
+        ]
+        shed = [r for r in records if r["kind"] == "shed"]
+        assert shed, "the flood must trigger shedding"
+        assert service.shed == len(shed)
+        assert {"session", "amount", "slot", "total_backlog"} <= set(
+            shed[0]
+        )
+        # The late arrival lands after the episode ends: applied.
+        arrivals = [
+            r
+            for r in records
+            if r["kind"] == "arrival" and r["time"] == 12.0
+        ]
+        assert len(arrivals) == 1
+        assert result.summary()["total_arrived"] == pytest.approx(
+            3.0 * (5 - len(shed)) + 1.0
+        )
+
+    def test_shed_watermarks_validated(self):
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            OnlineService(StreamingGPSServer(rate=1.0), shed_backlog=-1.0)
+        with pytest.raises(ValidationError):
+            OnlineService(StreamingGPSServer(rate=1.0), shed_resume=1.0)
+        with pytest.raises(ValidationError):
+            OnlineService(
+                StreamingGPSServer(rate=1.0),
+                shed_backlog=2.0,
+                shed_resume=3.0,
+            )
+
+
+class TestGracefulShutdown:
+    def test_keyboard_interrupt_drains_gracefully(self):
+        sink = io.StringIO()
+        service = OnlineService(StreamingGPSServer(rate=1.0), sink=sink)
+
+        def interrupted():
+            for line in _lines(_simple_events())[:3]:
+                yield line
+            raise KeyboardInterrupt
+
+        result = service.serve(interrupted())
+        assert result.drained is True
+        records = [
+            json.loads(line) for line in sink.getvalue().splitlines()
+        ]
+        assert records[-1]["kind"] == "summary"
+        assert records[-1]["summary"]["events_processed"] == 3
+
+    def test_truncated_drain_emits_typed_record(self):
+        sink = io.StringIO()
+        service = OnlineService(
+            StreamingGPSServer(rate=0.001), sink=sink, drain_slots=3
+        )
+        events = [
+            SessionJoin(time=0.0, name="a", phi=1.0),
+            ArrivalEvent(time=0.0, session="a", amount=100.0),
+        ]
+        result = service.serve(_lines(events))
+        assert result.drained is False
+        records = [
+            json.loads(line) for line in sink.getvalue().splitlines()
+        ]
+        truncated = [
+            r for r in records if r["kind"] == "drain-truncated"
+        ]
+        assert len(truncated) == 1
+        assert truncated[0]["slots_used"] == 3
+        assert truncated[0]["residual_backlog"] > 0.0
+        assert records[-1]["summary"]["drain_truncated"] is True
+
+
+class TestStrictPropagation:
+    def test_strict_raises_on_malformed_json(self):
+        service = OnlineService(
+            StreamingGPSServer(rate=1.0), strict=True
+        )
+        with pytest.raises(ReproError, match="not valid JSON"):
+            service.serve(["{broken\n"])
+
+    def test_strict_raises_on_stream_level_session_error(self):
+        from repro.errors import AdmissionError
+
+        service = OnlineService(
+            StreamingGPSServer(rate=1.0), strict=True
+        )
+        lines = _lines(
+            [ArrivalEvent(time=0.0, session="ghost", amount=1.0)]
+        )
+        with pytest.raises(AdmissionError, match="ghost"):
+            service.serve(lines)
