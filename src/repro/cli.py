@@ -17,6 +17,10 @@ Commands
 ``recover``
     Rebuild an interrupted durable serving session from its WAL
     directory and optionally resume or drain it.
+``cluster-recover``
+    Rebuild a sharded serving fleet (``serve --shards``) from its
+    cluster root: every shard's WAL is recovered to bit-identical
+    state, and ``--drain`` finishes the session.
 """
 
 from __future__ import annotations
@@ -236,6 +240,39 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "serve as a fault-tolerant fleet of N durable shards "
+            "(requires --wal for the cluster root): ingest lines are "
+            "routed by CRC32 session key, each shard keeps its own "
+            "WAL + snapshots, and a supervisor restarts crashed "
+            "shards with bounded backoff; an existing cluster root "
+            "is recovered and resumed"
+        ),
+    )
+    serve.add_argument(
+        "--shard-buffer",
+        type=int,
+        default=100_000,
+        help=(
+            "with --shards: per-shard degraded-mode buffer high "
+            "watermark; lines past it are shed with typed records "
+            "while the shard is down"
+        ),
+    )
+    serve.add_argument(
+        "--shard-retries",
+        type=int,
+        default=8,
+        help=(
+            "with --shards: consecutive-crash budget per shard "
+            "before the cluster fails with a typed ClusterError"
+        ),
+    )
+    serve.add_argument(
         "--snapshot-every",
         type=int,
         default=1_000,
@@ -282,6 +319,39 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "after recovery, drain the backlog and emit the final "
             "summary (finishes the session)"
+        ),
+    )
+    cluster_recover = sub.add_parser(
+        "cluster-recover",
+        help=(
+            "rebuild a sharded serving fleet from its cluster root "
+            "(every shard: newest valid snapshot + log replay)"
+        ),
+    )
+    cluster_recover.add_argument(
+        "root",
+        help="the --wal cluster root of the interrupted fleet",
+    )
+    cluster_recover.add_argument(
+        "--out",
+        default="-",
+        help="where output records go (default: stdout)",
+    )
+    cluster_recover.add_argument(
+        "--resume",
+        default=None,
+        metavar="STREAM",
+        help=(
+            "after recovery, continue routing this JSONL stream "
+            "('-' for stdin) across the fleet and drain at its end"
+        ),
+    )
+    cluster_recover.add_argument(
+        "--drain",
+        action="store_true",
+        help=(
+            "after recovery, drain every shard and emit the final "
+            "cluster summary (finishes the session)"
         ),
     )
     return parser
@@ -380,6 +450,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_serve(args)
     elif args.command == "recover":
         return _run_recover(args)
+    elif args.command == "cluster-recover":
+        return _run_cluster_recover(args)
     return 0
 
 
@@ -394,6 +466,17 @@ def _run_serve(args) -> int:
     if args.drain_slots < 1:
         print("error: --drain-slots must be >= 1", file=sys.stderr)
         return 2
+    if args.shards is not None:
+        if args.shards < 1:
+            print("error: --shards must be >= 1", file=sys.stderr)
+            return 2
+        if args.wal is None:
+            print(
+                "error: --shards requires --wal DIR (the cluster "
+                "root holding the per-shard WAL directories)",
+                file=sys.stderr,
+            )
+            return 2
     try:
         with contextlib.ExitStack() as stack:
             if args.stream == "-":
@@ -408,6 +491,41 @@ def _run_serve(args) -> int:
                 sink = stack.enter_context(
                     open(args.out, "w", encoding="utf-8")
                 )
+            if args.shards is not None:
+                from repro.online.cluster import open_cluster
+
+                cluster, reports = open_cluster(
+                    args.wal,
+                    num_shards=args.shards,
+                    rate=args.rate,
+                    sink=sink,
+                    buffer_limit=args.shard_buffer,
+                    max_retries=args.shard_retries,
+                    cluster_heartbeat_every=args.heartbeat_every,
+                    admission=args.admission,
+                    diagnostics=not args.no_diagnostics,
+                    incremental=not args.full_recompute,
+                    strict=args.strict,
+                    drain_slots=args.drain_slots,
+                    max_errors=args.max_errors,
+                    shed_backlog=args.shed_backlog,
+                    shed_resume=args.shed_resume,
+                    snapshot_every=args.snapshot_every,
+                    fsync=args.fsync,
+                )
+                for report in reports:
+                    sink.write(json.dumps(report.to_record()))
+                    sink.write("\n")
+                cluster_result = cluster.serve(lines)
+                drained = all(
+                    r.drained for r in cluster_result.results
+                )
+                errors = sum(
+                    h.service.errors
+                    for h in cluster.handles
+                    if h.service is not None
+                )
+                return 0 if errors == 0 and drained else 1
             if args.wal is not None:
                 from repro.online.durability import open_durable_service
 
@@ -492,6 +610,56 @@ def _run_recover(args) -> int:
             # durable without replaying the tail again next time.
             service.snapshot()
             service.wal.close()
+            sink.flush()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_cluster_recover(args) -> int:
+    """Rebuild a sharded fleet (see ``repro cluster-recover``)."""
+    import contextlib
+
+    from repro.online.cluster import recover_cluster
+
+    try:
+        with contextlib.ExitStack() as stack:
+            if args.out == "-":
+                sink = sys.stdout
+            else:
+                sink = stack.enter_context(
+                    open(args.out, "w", encoding="utf-8")
+                )
+            cluster, reports = recover_cluster(args.root, sink=sink)
+            for shard, report in enumerate(reports):
+                record = report.to_record()
+                record["shard"] = shard
+                sink.write(json.dumps(record))
+                sink.write("\n")
+            if args.resume is not None:
+                if args.resume == "-":
+                    lines = stack.enter_context(
+                        contextlib.nullcontext(sys.stdin)
+                    )
+                else:
+                    lines = stack.enter_context(
+                        open(args.resume, "r", encoding="utf-8")
+                    )
+                result = cluster.serve(lines)
+                return (
+                    0 if all(r.drained for r in result.results) else 1
+                )
+            if args.drain:
+                result = cluster.shutdown()
+                return (
+                    0 if all(r.drained for r in result.results) else 1
+                )
+            # Report-only: snapshot each shard so the recovered state
+            # is durable without replaying the tails again next time.
+            for handle in cluster.handles:
+                handle.service.snapshot()
+                handle.service.wal.close()
             sink.flush()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -37,6 +37,9 @@ actually treat differently:
 * :class:`OverloadError` — an ingest-protection limit was exhausted
   (the ``max_errors`` budget of a garbage-emitting stream); carries the
   offending count so supervisors can report it.
+* :class:`ClusterError` — the sharded serving fleet cannot supervise a
+  shard any further: a shard exhausted its restart budget, or the
+  cluster's on-disk layout contradicts the requested topology.
 """
 
 from __future__ import annotations
@@ -53,6 +56,7 @@ __all__ = [
     "AdmissionError",
     "RecoveryError",
     "OverloadError",
+    "ClusterError",
 ]
 
 
@@ -128,3 +132,19 @@ class OverloadError(ReproError, RuntimeError):
     def __init__(self, message: str, *, count: int = 0) -> None:
         super().__init__(message)
         self.count = int(count)
+
+
+class ClusterError(ReproError, RuntimeError):
+    """The sharded serving fleet cannot keep a shard under supervision.
+
+    Raised by :class:`repro.online.cluster.ShardSupervisor` when a
+    shard exhausts its bounded restart budget (the fault is persistent,
+    not transient — restarting further would loop forever) and when a
+    cluster directory's recorded topology contradicts the requested one
+    (resharding an existing WAL fleet is not supported).  The failing
+    shard index, when one exists, is attached as :attr:`shard`.
+    """
+
+    def __init__(self, message: str, *, shard: int | None = None) -> None:
+        super().__init__(message)
+        self.shard = shard

@@ -62,6 +62,7 @@ from repro.errors import (
     ValidationError,
 )
 from repro.sim.results import to_jsonable
+from repro.utils.retry import RetryPolicy
 
 __all__ = [
     "trial_seed",
@@ -250,23 +251,23 @@ class SupervisedRunner:
             raise ValidationError(
                 f"num_trials must be positive, got {num_trials}"
             )
-        if max_retries < 0:
-            raise ValidationError(
-                f"max_retries must be >= 0, got {max_retries}"
-            )
         if timeout is not None and timeout <= 0:
             raise ValidationError(f"timeout must be positive, got {timeout}")
-        if backoff_base < 0 or backoff_cap < 0 or jitter < 0:
-            raise ValidationError("backoff parameters must be >= 0")
         self._trial_fn = trial_fn
         self._num_trials = int(num_trials)
         self._base_seed = int(base_seed)
         self._max_retries = int(max_retries)
         self._retry_on = tuple(retry_on)
         self._timeout = timeout
-        self._backoff_base = float(backoff_base)
-        self._backoff_cap = float(backoff_cap)
-        self._jitter = float(jitter)
+        # The shared deterministic backoff policy (repro.utils.retry);
+        # jitter is keyed per (trial, attempt) via the run's base seed.
+        self._retry_policy = RetryPolicy(
+            max_retries=int(max_retries),
+            base=float(backoff_base),
+            cap=float(backoff_cap),
+            jitter=float(jitter),
+            seed=int(base_seed),
+        )
         self._checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
@@ -398,14 +399,7 @@ class SupervisedRunner:
                 ) from None
 
     def _backoff(self, trial: int, attempt: int) -> None:
-        delay = min(
-            self._backoff_cap, self._backoff_base * (2.0**attempt)
-        )
-        if self._jitter > 0.0:
-            rng = np.random.default_rng(
-                trial_seed(self._base_seed, trial, attempt)
-            )
-            delay *= 1.0 + self._jitter * float(rng.random())
+        delay = self._retry_policy.delay(attempt, key=trial)
         if delay > 0.0:
             self._sleep(delay)
 

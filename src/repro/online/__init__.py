@@ -25,13 +25,29 @@ call-admission story asks for:
   heartbeat records;
 * :mod:`repro.online.durability` — crash safety: the checksummed
   segmented write-ahead log, atomic verified snapshots, and the
-  recovery path behind ``repro serve --wal`` / ``repro recover``.
+  recovery path behind ``repro serve --wal`` / ``repro recover``;
+* :mod:`repro.online.cluster` — fault-tolerant sharded serving: pure
+  CRC32 session-key routing across N durable shards, a shard
+  supervisor with health checks, bounded-backoff failover and
+  exactly-once reconciliation, degraded-mode buffering with watermark
+  shedding, and real OS-process workers behind
+  ``repro serve --shards`` / ``repro cluster-recover``.
 
 Bridge in from a scenario with
 :meth:`repro.scenario.Scenario.to_event_stream`.
 """
 
 from repro.online.admission import AdmissionController, AdmissionDecision
+from repro.online.cluster import (
+    ClusterResult,
+    ShardedOnlineCluster,
+    ShardRouter,
+    ShardSupervisor,
+    create_cluster,
+    open_cluster,
+    recover_cluster,
+    shard_for,
+)
 from repro.online.durability import (
     DurableOnlineService,
     RecoveryReport,
@@ -84,4 +100,12 @@ __all__ = [
     "create_durable_service",
     "open_durable_service",
     "recover_durable_service",
+    "ClusterResult",
+    "ShardedOnlineCluster",
+    "ShardRouter",
+    "ShardSupervisor",
+    "create_cluster",
+    "open_cluster",
+    "recover_cluster",
+    "shard_for",
 ]

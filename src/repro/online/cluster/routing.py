@@ -1,0 +1,139 @@
+"""Deterministic session-key routing for the sharded serving fleet.
+
+The cluster splits one ingest stream across ``N`` independent GPS
+shards.  Routing must be a *pure function* of the raw line and the
+shard count — nothing else — because the fault-tolerance proof depends
+on it: the per-shard substream of any input stream is then fixed, so a
+shard that crashes and recovers can be compared ``np.array_equal``
+against a fresh uninterrupted run over :func:`ShardRouter.partition`
+of the same lines.
+
+Rules, in order:
+
+* an *empty* line (heartbeat tick) broadcasts to every shard — ticks
+  advance each service's line clock exactly as they would a single
+  server's;
+* a ``capacity`` event broadcasts — each shard is an independent GPS
+  server and a fleet-wide capacity change applies to each of them;
+* any record carrying a session key (``session`` for arrivals,
+  ``name`` for join/renegotiate/leave) routes to
+  ``crc32(key) % num_shards`` — CRC32 is stable across platforms and
+  Python versions, so a cluster restarted elsewhere routes
+  identically;
+* anything else — unparsable JSON, a record with no session key —
+  routes to ``crc32(raw line) % num_shards``: exactly one shard emits
+  the ``error`` record and charges its error budget, mirroring the
+  single-server behavior.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from typing import Iterable
+
+from repro.errors import ValidationError
+
+__all__ = ["shard_for", "ShardRouter"]
+
+
+def shard_for(key: str, num_shards: int) -> int:
+    """The shard index session ``key`` hashes to (stable CRC32)."""
+    if num_shards < 1:
+        raise ValidationError(
+            f"num_shards must be >= 1, got {num_shards}"
+        )
+    return (zlib.crc32(key.encode("utf-8")) & 0xFFFFFFFF) % num_shards
+
+
+class ShardRouter:
+    """Map raw JSONL ingest lines onto shard indices.
+
+    Stateless apart from the shard count; :meth:`route` returns the
+    target indices for one line and :meth:`partition` materializes the
+    per-shard substreams of a whole stream (the baseline the chaos
+    harness compares recovered shards against).
+    """
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValidationError(
+                f"num_shards must be >= 1, got {num_shards}"
+            )
+        self._num_shards = int(num_shards)
+        self._all = tuple(range(self._num_shards))
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards lines are routed across."""
+        return self._num_shards
+
+    def session_key(self, line: str) -> str | None:
+        """The session key a line routes by, or ``None`` for broadcast
+        / keyless lines.
+
+        Raises nothing: a malformed line simply has no key.
+        """
+        stripped = line.strip()
+        if not stripped:
+            return None
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(record, dict):
+            return None
+        key = record.get("session", record.get("name"))
+        if isinstance(key, str):
+            return key
+        return None
+
+    def route(self, line: str) -> tuple[int, ...]:
+        """Target shard indices for one raw line (1 shard, or all)."""
+        stripped = line.strip()
+        if not stripped:
+            return self._all
+        key = self.session_key(line)
+        if key is not None:
+            return (shard_for(key, self._num_shards),)
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError:
+            record = None
+        if isinstance(record, dict) and record.get("kind") == "capacity":
+            return self._all
+        # Keyless / malformed: exactly one shard owns the error record.
+        return (shard_for(stripped, self._num_shards),)
+
+    def partition(
+        self, lines: Iterable[str]
+    ) -> tuple[list[str], ...]:
+        """Split a stream into its per-shard substreams.
+
+        Pure: ``partition(lines)[i]`` is exactly the sequence of lines
+        shard ``i`` ingests when the cluster routes ``lines``, so a
+        fresh single service over it is the equivalence baseline for
+        shard ``i``.
+        """
+        out: tuple[list[str], ...] = tuple(
+            [] for _ in range(self._num_shards)
+        )
+        for line in lines:
+            for index in self.route(line):
+                out[index].append(line)
+        return out
+
+    def assignments(
+        self, lines: Iterable[str]
+    ) -> list[tuple[int, tuple[int, ...]]]:
+        """``(global_seq, shard_targets)`` for every line, 1-based.
+
+        The cross-shard accounting oracle: the chaos harness checks
+        that the union of applied ``(shard, local_seq)`` pairs covers
+        every global sequence number exactly once per target, with no
+        gaps or duplicates.
+        """
+        return [
+            (seq, self.route(line))
+            for seq, line in enumerate(lines, start=1)
+        ]

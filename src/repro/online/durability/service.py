@@ -276,8 +276,9 @@ class DurableOnlineService(OnlineService):
                 if entry.seq != self._applied_seq + 1:
                     raise RecoveryError(
                         f"WAL replay gap: entry {entry.seq} follows "
-                        f"applied seq {self._applied_seq}; the log is "
-                        "missing acknowledged events"
+                        f"applied seq {self._applied_seq} — entries "
+                        f"{self._applied_seq + 1}..{entry.seq - 1} are "
+                        "missing; the log lost acknowledged events"
                     )
                 OnlineService._handle_line(self, entry.seq, entry.line)
                 self._applied_seq = entry.seq

@@ -226,15 +226,25 @@ class SnapshotStore:
                     path.unlink()
 
     def oldest_seq(self) -> int | None:
-        """Sequence number of the oldest retained snapshot, or ``None``.
+        """Sequence number of the oldest retained *valid* snapshot.
 
         This is the WAL-prune horizon: every log entry at or below it
-        is covered by a snapshot recovery could fall back to.
+        is covered by a snapshot recovery could fall back to.  Only
+        snapshots that actually decode count — a corrupt file is not a
+        fallback, so letting it anchor the horizon would either retain
+        dead log (corrupt-oldest) or, worse, claim coverage the
+        recovery path cannot deliver.  Returns ``None`` when no valid
+        snapshot exists (then nothing may be pruned).
         """
-        candidates = self._candidates()
-        if not candidates:
-            return None
-        return _snapshot_seq(candidates[0])
+        for path in self._candidates():
+            document = _decode(path.read_bytes())
+            if (
+                document is not None
+                and document.get("format") == SNAPSHOT_FORMAT
+                and isinstance(document.get("applied_seq"), int)
+            ):
+                return int(document["applied_seq"])
+        return None
 
     # ------------------------------------------------------------------
     def load_newest(self) -> dict[str, Any] | None:

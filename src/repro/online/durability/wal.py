@@ -235,7 +235,8 @@ class WriteAheadLog:
             if cur.seq != prev.seq + 1:
                 raise RecoveryError(
                     f"WAL sequence discontinuity in {self._dir}: frame "
-                    f"{cur.seq} follows frame {prev.seq}"
+                    f"{cur.seq} follows frame {prev.seq} — entries "
+                    f"{prev.seq + 1}..{cur.seq - 1} are missing"
                 )
         self._last_seq = entries[-1].seq if entries else 0
         self._recovered = True
@@ -376,20 +377,34 @@ class WriteAheadLog:
     def prune(self, upto_seq: int) -> int:
         """Delete segments whose entries are all ``<= upto_seq``.
 
-        A segment is removable when the *next* segment starts at or
-        below ``upto_seq + 1`` (so every entry of the removed segment
-        is covered by a snapshot).  The active (final) segment is never
-        removed.  Returns the number of segments deleted.
+        ``upto_seq`` is the snapshot-covered horizon: every entry at or
+        below it can be reconstructed from a retained snapshot, so the
+        segments holding only such entries are dead weight.  Segments
+        are contiguous (``recover`` enforces sequence continuity), so a
+        segment's *tail* is ``first_seq(successor) - 1``; the segment
+        is removable exactly when that tail does not extend past the
+        horizon.  The boundary matters: a segment whose tail *is* the
+        horizon (rotation landed exactly on the snapshot seq) is fully
+        covered and removed; a tail even one past the horizon overlaps
+        un-snapshotted entries and must survive, or recovery from the
+        oldest retained snapshot would find a sequence gap.  The active
+        (final) segment is never removed.  Returns the number of
+        segments deleted.
         """
         segments = self._segments()
         removed = 0
         for path, successor in zip(segments, segments[1:]):
             next_first = _segment_first_seq(successor)
-            if next_first is not None and next_first <= upto_seq + 1:
-                path.unlink()
-                removed += 1
-            else:
+            if next_first is None:
+                # An unparsable successor name breaks the tail
+                # inference; keep everything from here on rather than
+                # guess at coverage.
                 break
+            tail = next_first - 1
+            if tail > upto_seq:
+                break
+            path.unlink()
+            removed += 1
         if removed:
             _fsync_dir(self._dir)
         return removed

@@ -1,4 +1,4 @@
-"""Shared numeric and validation utilities used across the library."""
+"""Shared numeric, validation and retry utilities used across the library."""
 
 from repro.utils.numeric import (
     bisect_root,
@@ -9,6 +9,7 @@ from repro.utils.numeric import (
     minimize_scalar_bounded,
     safe_exp,
 )
+from repro.utils.retry import RetryPolicy, retry_seed
 from repro.utils.validation import (
     check_in_open_interval,
     check_positive,
@@ -17,6 +18,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "RetryPolicy",
+    "retry_seed",
     "bisect_root",
     "expm1_neg",
     "geometric_tail_factor",

@@ -1,0 +1,124 @@
+"""Deterministic retry/backoff policy shared by the supervision layers.
+
+Both supervisors in the library retry failed work with exponential
+backoff: :class:`repro.experiments.supervisor.SupervisedRunner` retries
+Monte-Carlo trials, and the shard supervisor of
+:mod:`repro.online.cluster` restarts crashed shards.  The policy lives
+here once so the two agree on semantics:
+
+* attempt ``a`` (0-based) waits ``min(cap, base * 2**a)`` before the
+  next try — classic bounded exponential backoff;
+* optional *deterministic* jitter: the multiplier ``1 + jitter * U`` is
+  drawn from a :class:`numpy.random.SeedSequence` keyed by
+  ``(seed, key, attempt)``, so two runs with the same seed produce the
+  same delays (reproducible campaigns, reproducible chaos tests) while
+  different keys (trials, shards) still decorrelate;
+* a bounded attempt budget: :meth:`RetryPolicy.retryable` says whether
+  another attempt is allowed after ``attempt`` failures.
+
+The policy is unit-agnostic — the supervised runner feeds the delay to
+``time.sleep`` (seconds), the shard supervisor counts ingest ticks —
+and holds no state, so one frozen instance serves any number of
+concurrently retried keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["RetryPolicy", "retry_seed"]
+
+
+def retry_seed(seed: int, key: int, attempt: int) -> int:
+    """Deterministic RNG seed for one retry attempt of one key.
+
+    Derived through ``numpy.random.SeedSequence`` spawn keys — the same
+    derivation :func:`repro.experiments.supervisor.trial_seed` uses for
+    trial seeding — so delays for different keys (and different
+    attempts of one key) are statistically independent yet exactly
+    reproducible under a fixed ``seed``.
+    """
+    if key < 0 or attempt < 0:
+        raise ValidationError(
+            f"key and attempt must be >= 0, got {key}, {attempt}"
+        )
+    sequence = np.random.SeedSequence(
+        entropy=seed, spawn_key=(key, attempt)
+    )
+    return int(sequence.generate_state(1, dtype=np.uint64)[0])
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts allowed after the first failure; attempt indices
+        ``0 .. max_retries`` are retryable, anything later is not.
+    base, cap:
+        Attempt ``a`` waits ``min(cap, base * 2**a)`` (before jitter).
+    jitter:
+        Multiplies the delay by ``1 + jitter * U`` with ``U ~ [0, 1)``
+        drawn from a per-``(key, attempt)`` seeded RNG; ``0`` disables
+        jitter entirely (the delay sequence is then a pure function of
+        ``base``/``cap``).
+    seed:
+        Entropy for the jitter RNG; fixing it makes every delay of a
+        run reproducible.
+    """
+
+    max_retries: int = 2
+    base: float = 0.1
+    cap: float = 5.0
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base < 0 or self.cap < 0 or self.jitter < 0:
+            raise ValidationError("backoff parameters must be >= 0")
+
+    def retryable(self, attempt: int) -> bool:
+        """True when another attempt is allowed after ``attempt`` failures.
+
+        ``attempt`` is 0-based: with ``max_retries=2`` the failures at
+        attempts 0, 1 and 2 may retry; the failure at attempt 3 (the
+        fourth) exhausts the budget.
+        """
+        return attempt <= self.max_retries
+
+    def delay(self, attempt: int, *, key: int = 0) -> float:
+        """Backoff delay after the failure of 0-based ``attempt``.
+
+        The unit is the caller's: seconds for a sleeping supervisor,
+        ticks for a simulated one.  ``key`` identifies the retried work
+        item (trial index, shard index) so concurrent items draw
+        independent jitter.
+        """
+        if attempt < 0:
+            raise ValidationError(
+                f"attempt must be >= 0, got {attempt}"
+            )
+        delay = min(self.cap, self.base * (2.0**attempt))
+        if self.jitter > 0.0:
+            rng = np.random.default_rng(
+                retry_seed(self.seed, key, attempt)
+            )
+            delay *= 1.0 + self.jitter * float(rng.random())
+        return delay
+
+    def delays(self, *, key: int = 0) -> tuple[float, ...]:
+        """Every delay of a full retry cycle for ``key`` (diagnostics)."""
+        return tuple(
+            self.delay(attempt, key=key)
+            for attempt in range(self.max_retries + 1)
+        )

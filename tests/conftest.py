@@ -3,11 +3,45 @@
 Registers a deterministic hypothesis profile: property-based tests
 derandomize (the same examples every run) and drop the per-example
 deadline, so the suite is reproducible and robust on slow machines.
+
+Also provides an opt-in per-test timeout guard: when the
+``REPRO_TEST_TIMEOUT`` environment variable is set to a positive
+number of seconds, every test is armed with a ``SIGALRM`` that fails
+it with a ``TimeoutError`` instead of letting it stall the whole job.
+CI sets this for the chaos suites, where the failure mode under test
+is literally a hung shard — a bug there must fail fast, not eat the
+job's global timeout.  (``pytest-timeout`` is not a dependency; the
+alarm covers the POSIX runners CI uses.)
 """
 
+import os
+import signal
+
+import pytest
 from hypothesis import settings
 
 settings.register_profile(
     "repro", deadline=None, derandomize=True
 )
 settings.load_profile("repro")
+
+_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "0") or "0")
+
+
+@pytest.fixture(autouse=_TIMEOUT > 0 and hasattr(signal, "SIGALRM"))
+def _per_test_timeout(request):
+    """Fail any test exceeding REPRO_TEST_TIMEOUT seconds (opt-in)."""
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={_TIMEOUT:g}s: "
+            f"{request.node.nodeid}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, _TIMEOUT)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

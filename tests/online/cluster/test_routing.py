@@ -1,0 +1,141 @@
+"""Routing is a pure, stable function — the failover proof rests on it."""
+
+import json
+import zlib
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValidationError
+from repro.online.cluster import ShardRouter, shard_for
+
+
+def _arrival(session, t=1.0):
+    return json.dumps(
+        {"kind": "arrival", "session": session, "time": t, "amount": 1.0}
+    )
+
+
+class TestShardFor:
+    def test_crc32_modulo(self):
+        assert shard_for("alice", 4) == (
+            zlib.crc32(b"alice") & 0xFFFFFFFF
+        ) % 4
+
+    def test_single_shard_absorbs_everything(self):
+        assert shard_for("anything", 1) == 0
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValidationError):
+            shard_for("x", 0)
+
+    @given(st.text(max_size=40), st.integers(min_value=1, max_value=64))
+    def test_always_in_range(self, key, n):
+        assert 0 <= shard_for(key, n) < n
+
+
+class TestRoute:
+    def test_keyed_records_route_to_one_shard(self):
+        router = ShardRouter(4)
+        line = _arrival("alice")
+        assert router.route(line) == (shard_for("alice", 4),)
+
+    def test_session_and_name_keys_agree(self):
+        router = ShardRouter(8)
+        arrival = _arrival("bob")
+        join = json.dumps(
+            {"kind": "join", "name": "bob", "time": 0.0, "phi": 1.0}
+        )
+        assert router.route(arrival) == router.route(join)
+
+    def test_empty_line_broadcasts(self):
+        router = ShardRouter(3)
+        assert router.route("") == (0, 1, 2)
+        assert router.route("   \n") == (0, 1, 2)
+
+    def test_capacity_broadcasts(self):
+        router = ShardRouter(3)
+        line = json.dumps(
+            {"kind": "capacity", "time": 5.0, "capacity": 2.0}
+        )
+        assert router.route(line) == (0, 1, 2)
+
+    def test_malformed_line_routes_to_exactly_one_shard(self):
+        router = ShardRouter(5)
+        targets = router.route("this is not json")
+        assert len(targets) == 1
+        assert targets == (shard_for("this is not json", 5),)
+
+    def test_keyless_record_routes_to_exactly_one_shard(self):
+        router = ShardRouter(5)
+        line = json.dumps({"kind": "arrival", "time": 1.0})
+        assert len(router.route(line)) == 1
+
+    def test_routing_is_deterministic_across_instances(self):
+        lines = [_arrival(f"s{i}") for i in range(50)]
+        a, b = ShardRouter(7), ShardRouter(7)
+        assert [a.route(line) for line in lines] == [
+            b.route(line) for line in lines
+        ]
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValidationError):
+            ShardRouter(0)
+
+
+class TestPartition:
+    def test_partition_matches_route(self):
+        router = ShardRouter(3)
+        lines = [
+            _arrival("a"),
+            "",
+            _arrival("b"),
+            "garbage",
+            json.dumps({"kind": "capacity", "time": 1.0, "capacity": 2.0}),
+            _arrival("c"),
+        ]
+        parts = router.partition(lines)
+        rebuilt = [[] for _ in range(3)]
+        for line in lines:
+            for index in router.route(line):
+                rebuilt[index].append(line)
+        assert [list(p) for p in parts] == rebuilt
+
+    def test_every_line_lands_somewhere(self):
+        router = ShardRouter(4)
+        lines = [_arrival(f"s{i}") for i in range(100)]
+        parts = router.partition(lines)
+        assert sum(len(p) for p in parts) == 100
+
+    def test_assignments_cover_each_line_once(self):
+        router = ShardRouter(3)
+        lines = [_arrival("a"), "", _arrival("b"), "oops"]
+        assignments = router.assignments(lines)
+        assert [seq for seq, _ in assignments] == [1, 2, 3, 4]
+        # broadcast lines target every shard, keyed/keyless exactly one
+        assert len(assignments[1][1]) == 3
+        assert len(assignments[0][1]) == 1
+        for _, targets in assignments:
+            assert len(set(targets)) == len(targets)
+
+    @given(
+        st.lists(
+            st.sampled_from(
+                [_arrival("a"), _arrival("b"), "", "junk"]
+            ),
+            max_size=30,
+        ),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_partition_sizes_consistent_with_assignments(
+        self, lines, n
+    ):
+        router = ShardRouter(n)
+        parts = router.partition(lines)
+        assignments = router.assignments(lines)
+        per_shard = [0] * n
+        for _, targets in assignments:
+            for t in targets:
+                per_shard[t] += 1
+        assert [len(p) for p in parts] == per_shard

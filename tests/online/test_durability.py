@@ -431,3 +431,155 @@ class TestDurableCli:
         from repro.cli import main
 
         assert main(["recover", str(tmp_path / "nope")]) == 1
+
+
+class TestPruneRotationBoundary:
+    """Pin the prune boundary: tail == horizon goes, tail + 1 stays."""
+
+    def _filled(self, tmp_path, n=9, segment_events=3):
+        wal = WriteAheadLog(tmp_path, segment_events=segment_events)
+        wal.recover()
+        for seq in range(1, n + 1):
+            wal.append(seq, f"line {seq}")
+        return wal
+
+    def test_tail_exactly_at_horizon_is_removed(self, tmp_path):
+        # Segments [1..3][4..6][7..9]; a snapshot at 3 lands exactly on
+        # the first segment's tail — rotation on the snapshot cadence.
+        wal = self._filled(tmp_path)
+        assert wal.prune(3) == 1
+        wal.close()
+        assert [e.seq for e in WriteAheadLog(tmp_path).recover()] == list(
+            range(4, 10)
+        )
+
+    def test_tail_one_past_horizon_survives(self, tmp_path):
+        # Horizon 5 falls inside [4..6]: that segment holds entry 6,
+        # which no snapshot covers, so it must survive — dropping it
+        # would leave recovery from the snapshot with a sequence gap.
+        wal = self._filled(tmp_path)
+        assert wal.prune(5) == 1  # only [1..3] is fully covered
+        wal.close()
+        assert [e.seq for e in WriteAheadLog(tmp_path).recover()] == list(
+            range(4, 10)
+        )
+
+    def test_active_segment_survives_any_horizon(self, tmp_path):
+        wal = self._filled(tmp_path)
+        assert wal.prune(10_000) == 2
+        wal.close()
+        assert [e.seq for e in WriteAheadLog(tmp_path).recover()] == [
+            7,
+            8,
+            9,
+        ]
+
+    def test_prune_is_idempotent(self, tmp_path):
+        wal = self._filled(tmp_path)
+        assert wal.prune(6) == 2
+        assert wal.prune(6) == 0
+        wal.close()
+
+    def test_snapshot_cadence_on_segment_boundary_recovers(
+        self, tmp_path
+    ):
+        # snapshot_every == segment_events: every automatic prune lands
+        # exactly on a segment tail, the sharpest boundary case.  The
+        # pruned directory must still recover to the identical state.
+        lines = _stream(30)
+        svc = create_durable_service(
+            tmp_path, rate=2.0, snapshot_every=5, segment_events=5
+        )
+        svc.ingest(lines)
+        expected = json.loads(json.dumps(svc.engine.export_state()))
+        applied = svc.applied_seq
+        svc.wal.close()
+        recovered, report = recover_durable_service(tmp_path)
+        assert report.applied_seq == applied
+        assert (
+            json.loads(json.dumps(recovered.engine.export_state()))
+            == expected
+        )
+        recovered.wal.close()
+
+
+class TestRecoverErrorPaths:
+    """`repro recover` fails loudly and precisely, never half-recovers."""
+
+    def _session(self, tmp_path, n=30, **overrides):
+        svc = create_durable_service(tmp_path, rate=2.0, **overrides)
+        svc.ingest(_stream(n))
+        svc.wal.close()
+        return svc
+
+    def test_corrupt_meta_checksum_is_refused(self, tmp_path):
+        self._session(tmp_path)
+        meta = tmp_path / "meta.json"
+        raw = meta.read_bytes()
+        # Flip the stored checksum: the payload is intact but no longer
+        # provably so, which must read as corruption, not as config.
+        meta.write_bytes(b"00000000" + raw[8:])
+        with pytest.raises(RecoveryError, match="corrupt"):
+            recover_durable_service(tmp_path)
+
+    def test_corrupt_meta_fails_cli_with_exit_1(self, tmp_path):
+        from repro.cli import main
+
+        self._session(tmp_path)
+        meta = tmp_path / "meta.json"
+        meta.write_bytes(b"00000000" + meta.read_bytes()[8:])
+        assert (
+            main(
+                [
+                    "recover",
+                    str(tmp_path),
+                    "--out",
+                    str(tmp_path / "out.jsonl"),
+                ]
+            )
+            == 1
+        )
+
+    def test_missing_snapshot_with_pruned_wal_is_a_gap(self, tmp_path):
+        # Snapshots pruned the early segments; deleting the snapshots
+        # then leaves a log that visibly starts past seq 1.  Recovery
+        # must refuse — replaying the remainder from scratch would
+        # silently drop acknowledged events.
+        self._session(
+            tmp_path, snapshot_every=5, segment_events=5
+        )
+        pruned = [p for p in tmp_path.glob("snap-*.json")]
+        assert pruned, "the session should have snapshots to delete"
+        for path in pruned:
+            path.unlink()
+        with pytest.raises(
+            RecoveryError, match="are missing"
+        ) as excinfo:
+            recover_durable_service(tmp_path)
+        assert "entries 1.." in str(excinfo.value)
+
+    def test_wal_gap_message_names_the_missing_range(self, tmp_path):
+        segment_a = tmp_path / f"wal-{1:016d}.log"
+        segment_a.write_bytes(_frame(1, "a") + _frame(2, "b"))
+        segment_b = tmp_path / f"wal-{5:016d}.log"
+        segment_b.write_bytes(_frame(5, "e") + _frame(6, "f"))
+        with pytest.raises(
+            RecoveryError, match=r"entries 3\.\.4 are missing"
+        ):
+            WriteAheadLog(tmp_path).recover()
+
+    def test_recover_surfaces_wal_discontinuity_range(self, tmp_path):
+        svc = self._session(tmp_path, n=10)
+        applied = svc.applied_seq
+        # Append a frame two past the end of the log: the recovery
+        # scan sees applied..applied+2 with applied+1 missing, and the
+        # error carries the exact missing range.
+        segment = sorted(tmp_path.glob("wal-*.log"))[-1]
+        gap_seq = applied + 2
+        with open(segment, "ab") as handle:
+            handle.write(_frame(gap_seq, "past the gap"))
+        with pytest.raises(
+            RecoveryError,
+            match=rf"entries {applied + 1}\.\.{gap_seq - 1} are missing",
+        ):
+            recover_durable_service(tmp_path)

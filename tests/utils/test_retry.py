@@ -1,0 +1,131 @@
+"""The shared retry/backoff policy: determinism, bounds, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.utils.retry import RetryPolicy, retry_seed
+
+
+class TestRetrySeed:
+    def test_deterministic(self):
+        assert retry_seed(7, 3, 2) == retry_seed(7, 3, 2)
+
+    def test_distinct_across_keys_and_attempts(self):
+        seeds = {
+            retry_seed(0, key, attempt)
+            for key in range(4)
+            for attempt in range(4)
+        }
+        assert len(seeds) == 16
+
+    def test_matches_seedsequence_derivation(self):
+        expected = int(
+            np.random.SeedSequence(
+                entropy=11, spawn_key=(2, 5)
+            ).generate_state(1, dtype=np.uint64)[0]
+        )
+        assert retry_seed(11, 2, 5) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            retry_seed(0, -1, 0)
+        with pytest.raises(ValidationError):
+            retry_seed(0, 0, -1)
+
+
+class TestRetryPolicy:
+    def test_exponential_schedule_without_jitter(self):
+        policy = RetryPolicy(max_retries=4, base=1.0, cap=100.0)
+        assert policy.delays() == (1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def test_cap_bounds_the_growth(self):
+        policy = RetryPolicy(max_retries=6, base=1.0, cap=5.0)
+        assert policy.delays() == (1.0, 2.0, 4.0, 5.0, 5.0, 5.0, 5.0)
+
+    def test_retryable_budget_is_inclusive(self):
+        policy = RetryPolicy(max_retries=2)
+        assert [policy.retryable(a) for a in range(4)] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_zero_budget_never_retries(self):
+        policy = RetryPolicy(max_retries=0)
+        assert policy.retryable(0)
+        assert not policy.retryable(1)
+
+    def test_jitter_is_deterministic_under_seed(self):
+        a = RetryPolicy(max_retries=3, base=0.5, jitter=0.4, seed=9)
+        b = RetryPolicy(max_retries=3, base=0.5, jitter=0.4, seed=9)
+        assert a.delays(key=5) == b.delays(key=5)
+
+    def test_jitter_decorrelates_keys(self):
+        policy = RetryPolicy(max_retries=3, base=0.5, jitter=0.4)
+        assert policy.delays(key=0) != policy.delays(key=1)
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(
+            max_retries=5, base=1.0, cap=100.0, jitter=0.25, seed=3
+        )
+        for attempt in range(6):
+            raw = min(100.0, 2.0**attempt)
+            got = policy.delay(attempt, key=2)
+            assert raw <= got < raw * 1.25
+
+    def test_zero_jitter_ignores_seed_and_key(self):
+        a = RetryPolicy(seed=1).delays(key=0)
+        b = RetryPolicy(seed=2).delays(key=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValidationError):
+            RetryPolicy(base=-0.1)
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=-0.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy().delay(-1)
+
+
+class TestSupervisorIntegration:
+    def test_supervised_runner_uses_the_shared_policy(self):
+        """The refactor keeps SupervisedRunner's delays bit-identical."""
+        from repro.errors import NumericalError
+        from repro.experiments.supervisor import SupervisedRunner
+
+        calls = {"n": 0}
+
+        def flaky(trial, seed):
+            calls["n"] += 1
+            if calls["n"] <= 3:
+                raise NumericalError("transient")
+            return seed
+
+        sleeps = []
+        runner = SupervisedRunner(
+            trial_fn=flaky,
+            num_trials=1,
+            base_seed=42,
+            max_retries=3,
+            backoff_base=0.25,
+            backoff_cap=2.0,
+            jitter=0.5,
+            sleep=sleeps.append,
+        )
+        manifest = runner.run()
+        assert manifest.completed
+        expected = [
+            RetryPolicy(
+                max_retries=3,
+                base=0.25,
+                cap=2.0,
+                jitter=0.5,
+                seed=42,
+            ).delay(attempt, key=0)
+            for attempt in range(3)
+        ]
+        assert sleeps == expected
