@@ -33,7 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.online.cluster import create_cluster
+from repro.online.cluster import ShardedOnlineCluster
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
 
@@ -74,8 +74,9 @@ def bench_shard_count(lines: list[str], num_shards: int) -> dict:
     """Ingest the full stream through one fleet size."""
     root = Path(tempfile.mkdtemp(prefix=f"bench-cluster-{num_shards}-"))
     try:
-        cluster = create_cluster(
+        cluster, _ = ShardedOnlineCluster.open(
             root,
+            mode="create",
             num_shards=num_shards,
             rate=1.0,
             fsync="never",

@@ -35,7 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.online.durability import create_durable_service
+from repro.online.durability import DurableOnlineService
 from repro.online.engine import StreamingGPSServer
 from repro.online.events import ArrivalEvent, SessionJoin, event_to_record
 from repro.online.service import OnlineService
@@ -76,8 +76,9 @@ def bench_config(
         if fsync is None:
             service = OnlineService(StreamingGPSServer(rate=1.0))
         else:
-            service = create_durable_service(
+            service, _ = DurableOnlineService.open(
                 workdir / "wal",
+                mode="create",
                 rate=1.0,
                 snapshot_every=0,  # isolate pure logging cost
                 fsync=fsync,

@@ -492,10 +492,11 @@ def _run_serve(args) -> int:
                     open(args.out, "w", encoding="utf-8")
                 )
             if args.shards is not None:
-                from repro.online.cluster import open_cluster
+                from repro.online.cluster import ShardedOnlineCluster
 
-                cluster, reports = open_cluster(
+                cluster, reports = ShardedOnlineCluster.open(
                     args.wal,
+                    mode="attach",
                     num_shards=args.shards,
                     rate=args.rate,
                     sink=sink,
@@ -527,10 +528,11 @@ def _run_serve(args) -> int:
                 )
                 return 0 if errors == 0 and drained else 1
             if args.wal is not None:
-                from repro.online.durability import open_durable_service
+                from repro.online.durability import DurableOnlineService
 
-                service, report = open_durable_service(
+                service, report = DurableOnlineService.open(
                     args.wal,
+                    mode="attach",
                     rate=args.rate,
                     sink=sink,
                     admission=args.admission,
@@ -579,7 +581,7 @@ def _run_recover(args) -> int:
     """Rebuild a durable serving session (see ``repro recover``)."""
     import contextlib
 
-    from repro.online.durability import recover_durable_service
+    from repro.online.durability import DurableOnlineService
 
     try:
         with contextlib.ExitStack() as stack:
@@ -589,8 +591,8 @@ def _run_recover(args) -> int:
                 sink = stack.enter_context(
                     open(args.out, "w", encoding="utf-8")
                 )
-            service, report = recover_durable_service(
-                args.waldir, sink=sink
+            service, report = DurableOnlineService.open(
+                args.waldir, mode="recover", sink=sink
             )
             sink.write(json.dumps(report.to_record()))
             sink.write("\n")
@@ -621,7 +623,7 @@ def _run_cluster_recover(args) -> int:
     """Rebuild a sharded fleet (see ``repro cluster-recover``)."""
     import contextlib
 
-    from repro.online.cluster import recover_cluster
+    from repro.online.cluster import ShardedOnlineCluster
 
     try:
         with contextlib.ExitStack() as stack:
@@ -631,7 +633,9 @@ def _run_cluster_recover(args) -> int:
                 sink = stack.enter_context(
                     open(args.out, "w", encoding="utf-8")
                 )
-            cluster, reports = recover_cluster(args.root, sink=sink)
+            cluster, reports = ShardedOnlineCluster.open(
+                args.root, mode="recover", sink=sink
+            )
             for shard, report in enumerate(reports):
                 record = report.to_record()
                 record["shard"] = shard

@@ -23,6 +23,10 @@ call-admission story asks for:
   behind ``repro serve``, with graceful drain on shutdown, a bounded
   error budget, backlog-watermark load shedding and periodic
   heartbeat records;
+* :mod:`repro.online.records` — the typed
+  :class:`~repro.online.records.RecordSink` protocol every component
+  reports through (JSONL terminal sink, tag-stamping adapter, null
+  sink), with the record schema documented in ``docs/ONLINE.md``;
 * :mod:`repro.online.durability` — crash safety: the checksummed
   segmented write-ahead log, atomic verified snapshots, and the
   recovery path behind ``repro serve --wal`` / ``repro recover``;
@@ -58,6 +62,13 @@ from repro.online.durability import (
     recover_durable_service,
 )
 from repro.online.engine import OnlineResult, StreamingGPSServer
+from repro.online.records import (
+    JsonlSink,
+    NullSink,
+    RecordSink,
+    TaggedSink,
+    as_record_sink,
+)
 from repro.online.events import (
     ArrivalEvent,
     CapacityEvent,
@@ -93,6 +104,11 @@ __all__ = [
     "OnlineService",
     "SessionInfo",
     "SessionRegistry",
+    "RecordSink",
+    "JsonlSink",
+    "NullSink",
+    "TaggedSink",
+    "as_record_sink",
     "DurableOnlineService",
     "RecoveryReport",
     "SnapshotStore",

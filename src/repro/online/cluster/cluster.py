@@ -10,8 +10,9 @@ every shard's output — tagged ``"shard": i`` — into one sink.
 The cluster root is self-describing, mirroring the single-shard
 layout: a checksummed ``cluster.json`` records the shard count and the
 full serving configuration, so ``repro cluster-recover`` needs nothing
-but the directory.  Construct via :func:`create_cluster` /
-:func:`recover_cluster` / :func:`open_cluster`.
+but the directory.  Construct via
+:meth:`ShardedOnlineCluster.open` with ``mode="create"`` /
+``"recover"`` / ``"attach"``.
 
 Failure semantics
 -----------------
@@ -22,8 +23,8 @@ state is ``np.array_equal`` to an uninterrupted run over
 :meth:`repro.online.cluster.routing.ShardRouter.partition` of the same
 lines.  The degraded-mode buffers live in memory: a *process*-level
 kill of the whole cluster loses them, but never loses acknowledged
-lines — those are in the shards' WALs, and :func:`recover_cluster`
-resurrects exactly the acknowledged prefix of each shard's substream.
+lines — those are in the shards' WALs, and recovery resurrects exactly
+the acknowledged prefix of each shard's substream.
 
 Shutdown is graceful: the drain first force-restarts any shard that is
 still down, flushes its buffer, then drains every engine and emits the
@@ -32,8 +33,8 @@ per-shard summaries plus one final ``cluster-summary`` record.
 
 from __future__ import annotations
 
-import json
 import os
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Any, Iterable
@@ -45,18 +46,18 @@ from repro.online.cluster.shard import (
     RUNNING,
     STOPPED,
     ShardHandle,
-    ShardRecordSink,
     shard_directory,
 )
 from repro.online.cluster.supervisor import ShardSupervisor
 from repro.online.durability.service import (
+    DurableOnlineService,
     RecoveryReport,
-    create_durable_service,
-    recover_durable_service,
 )
 from repro.online.durability.snapshot import _decode, _encode
 from repro.online.durability.wal import _fsync_dir
 from repro.online.engine import OnlineResult
+from repro.online.factory import check_open_mode, check_recover_overrides
+from repro.online.records import RecordSink, TaggedSink, as_record_sink
 from repro.utils.retry import RetryPolicy
 
 __all__ = [
@@ -157,16 +158,83 @@ class ClusterResult:
 class ShardedOnlineCluster:
     """Route, supervise, and drain a fleet of durable shards.
 
-    Construct via :func:`create_cluster` / :func:`recover_cluster` /
-    :func:`open_cluster`; the constructor wires already-built handles.
+    Construct via :meth:`ShardedOnlineCluster.open`; the constructor
+    wires already-built handles (the old ``create_cluster`` /
+    ``recover_cluster`` / ``open_cluster`` triple remains as
+    deprecated shims).
     """
+
+    @classmethod
+    def open(
+        cls,
+        root: str | Path,
+        *,
+        mode: str = "attach",
+        num_shards: int | None = None,
+        rate: float | None = None,
+        sink: "RecordSink | IO[str] | None" = None,
+        crash_factory: Any = None,
+        **config_overrides: Any,
+    ) -> tuple["ShardedOnlineCluster", tuple[RecoveryReport, ...]]:
+        """Open a cluster root as a running fleet.
+
+        The single entry point replacing the old ``create`` /
+        ``recover`` / ``open`` function triple; every mode returns
+        ``(cluster, reports)`` with one
+        :class:`~repro.online.durability.service.RecoveryReport` per
+        shard.
+
+        ``mode="create"``
+            Initialize a fresh root (``num_shards`` and ``rate``
+            required).  ``config_overrides`` may set any cluster key
+            (``buffer_limit``, ``max_retries``, ``backoff_base``, ...)
+            or any per-shard serving key (``snapshot_every``,
+            ``fsync``, ``admission``, ...); ``crash_factory`` maps a
+            shard index to a
+            :class:`repro.faults.injection.CrashInjector` (or
+            ``None``) — the chaos harness's hook, carried across that
+            shard's restarts.  An already-initialized root raises
+            :class:`repro.errors.RecoveryError`.
+        ``mode="recover"``
+            Rebuild the fleet from the root alone: every shard's WAL
+            is recovered to bit-identical state and acknowledged
+            counters re-anchored at its ``applied_seq``.
+            ``num_shards``/``rate`` act as cross-checks; overrides are
+            rejected.
+        ``mode="attach"`` (default)
+            Create-or-recover, the idempotent path behind
+            ``repro serve --shards``.
+        """
+        if mode == "create":
+            if num_shards is None or rate is None:
+                raise ValidationError(
+                    "mode='create' requires num_shards= and rate="
+                )
+            cluster = _create_cluster(
+                Path(root),
+                num_shards=num_shards,
+                rate=rate,
+                sink=as_record_sink(sink),
+                crash_factory=crash_factory,
+                **config_overrides,
+            )
+            return cluster, _fresh_reports(cluster.num_shards)
+        return _open_cluster(
+            root,
+            mode=mode,
+            num_shards=num_shards,
+            rate=rate,
+            sink=sink,
+            crash_factory=crash_factory,
+            **config_overrides,
+        )
 
     def __init__(
         self,
         root: Path,
         handles: list[ShardHandle],
         *,
-        sink: IO[str] | None = None,
+        sink: RecordSink | IO[str] | None = None,
         cluster_heartbeat_every: int | None = None,
         policy: RetryPolicy | None = None,
     ) -> None:
@@ -182,7 +250,7 @@ class ShardedOnlineCluster:
         self._root = Path(root)
         self._handles = handles
         self._router = ShardRouter(len(handles))
-        self._sink = sink
+        self._sink = as_record_sink(sink)
         self._heartbeat_every = cluster_heartbeat_every
         self._supervisor = ShardSupervisor(
             handles, policy=policy, emit=self._emit
@@ -216,9 +284,7 @@ class ShardedOnlineCluster:
         return self._global_seq
 
     def _emit(self, record: dict[str, Any]) -> None:
-        if self._sink is None:
-            return
-        self._sink.write(json.dumps(record) + "\n")
+        self._sink.emit(record)
 
     def _heartbeat(self, tick: int) -> None:
         if (
@@ -320,8 +386,7 @@ class ShardedOnlineCluster:
         self._emit(
             {"kind": "cluster-summary", "summary": result.summary()}
         )
-        if self._sink is not None:
-            self._sink.flush()
+        self._sink.flush()
         return result
 
 
@@ -343,14 +408,11 @@ def _build_handles(
     root: Path,
     config: dict[str, Any],
     *,
-    sink: IO[str] | None,
+    sink: RecordSink,
     crash_factory: Any,
 ) -> list[ShardHandle]:
     handles = []
     for index in range(int(config["num_shards"])):
-        shard_sink = (
-            ShardRecordSink(sink, index) if sink is not None else None
-        )
         handles.append(
             ShardHandle(
                 index,
@@ -362,7 +424,7 @@ def _build_handles(
                     if crash_factory is not None
                     else None
                 ),
-                sink=shard_sink,
+                sink=TaggedSink(sink, shard=index),
             )
         )
     return handles
@@ -373,7 +435,7 @@ def _build_cluster(
     config: dict[str, Any],
     handles: list[ShardHandle],
     *,
-    sink: IO[str] | None,
+    sink: RecordSink,
 ) -> ShardedOnlineCluster:
     policy = RetryPolicy(
         max_retries=int(config["max_retries"]),
@@ -389,35 +451,37 @@ def _build_cluster(
     )
 
 
-def create_cluster(
-    root: str | Path,
+def _fresh_reports(count: int) -> tuple[RecoveryReport, ...]:
+    return tuple(
+        RecoveryReport(
+            fresh=True,
+            applied_seq=0,
+            snapshot_seq=None,
+            replayed=0,
+            truncated_bytes=0,
+        )
+        for _ in range(count)
+    )
+
+
+def _create_cluster(
+    root: Path,
     *,
     num_shards: int,
     rate: float,
-    sink: IO[str] | None = None,
-    crash_factory: Any = None,
+    sink: RecordSink,
+    crash_factory: Any,
     **config_overrides: Any,
 ) -> ShardedOnlineCluster:
-    """Initialize a fresh cluster root and return its running fleet.
-
-    ``config_overrides`` may set any cluster key
-    (``buffer_limit``, ``max_retries``, ``backoff_base``, ...) or any
-    per-shard serving key (``snapshot_every``, ``fsync``,
-    ``admission``, ...).  ``crash_factory`` maps a shard index to a
-    :class:`repro.faults.injection.CrashInjector` (or ``None``) — the
-    chaos harness's hook, carried across that shard's restarts.
-    Raises :class:`repro.errors.RecoveryError` if the root already
-    holds a cluster.
-    """
-    root = Path(root)
     if num_shards < 1:
         raise ValidationError(
             f"num_shards must be >= 1, got {num_shards}"
         )
     if (root / _CLUSTER_META).exists():
         raise RecoveryError(
-            f"{root} already contains a cluster; use recover_cluster "
-            "(or `repro cluster-recover`) instead of re-creating it"
+            f"{root} already contains a cluster; open it with "
+            "mode='recover' (or `repro cluster-recover`) instead of "
+            "re-creating it"
         )
     cluster_overrides, shard_overrides = _split_config(
         dict(config_overrides)
@@ -432,8 +496,9 @@ def create_cluster(
         root, config, sink=sink, crash_factory=crash_factory
     )
     for handle in handles:
-        service = create_durable_service(
+        service, _ = DurableOnlineService.open(
             handle.directory,
+            mode="create",
             rate=float(config["rate"]),
             sink=handle.sink,
             crash=handle.crash,
@@ -443,29 +508,23 @@ def create_cluster(
     return _build_cluster(root, config, handles, sink=sink)
 
 
-def recover_cluster(
-    root: str | Path,
+def _recover_cluster(
+    root: Path,
     *,
-    sink: IO[str] | None = None,
-    crash_factory: Any = None,
+    sink: RecordSink,
+    crash_factory: Any,
 ) -> tuple[ShardedOnlineCluster, tuple[RecoveryReport, ...]]:
-    """Reconstruct a cluster from its root directory alone.
-
-    Every shard's WAL is recovered to bit-identical state (newest
-    valid snapshot + replay, torn tails truncated) and acknowledged
-    counters are re-anchored at each shard's ``applied_seq`` — the
-    durable truth.  In-memory degraded-mode buffers do not survive a
-    whole-cluster kill; acknowledged lines always do.
-    """
-    root = Path(root)
     config = _read_cluster_meta(root)
     handles = _build_handles(
         root, config, sink=sink, crash_factory=crash_factory
     )
     reports = []
     for handle in handles:
-        service, report = recover_durable_service(
-            handle.directory, sink=handle.sink, crash=handle.crash
+        service, report = DurableOnlineService.open(
+            handle.directory,
+            mode="recover",
+            sink=handle.sink,
+            crash=handle.crash,
         )
         handle.acked = service.applied_seq
         handle.attach(service)
@@ -474,62 +533,142 @@ def recover_cluster(
     return cluster, tuple(reports)
 
 
+def _check_recorded_fleet(
+    root: Path, num_shards: int | None, rate: float | None
+) -> None:
+    config = _read_cluster_meta(root)
+    if num_shards is not None and int(num_shards) != int(
+        config["num_shards"]
+    ):
+        raise RecoveryError(
+            f"requested {num_shards} shards but {root} records "
+            f"{config['num_shards']}; resharding is not supported "
+            "— recover with the recorded shard count"
+        )
+    if rate is not None and float(rate) != float(config["rate"]):
+        raise RecoveryError(
+            f"requested rate {float(rate):g} contradicts the "
+            f"recorded rate {float(config['rate']):g} in {root}"
+        )
+
+
+def _open_cluster(
+    root: str | Path,
+    *,
+    mode: str = "attach",
+    num_shards: int | None = None,
+    rate: float | None = None,
+    sink: RecordSink | IO[str] | None = None,
+    crash_factory: Any = None,
+    **config_overrides: Any,
+) -> tuple[ShardedOnlineCluster, tuple[RecoveryReport, ...]]:
+    check_open_mode(mode)
+    root = Path(root)
+    base = as_record_sink(sink)
+    if mode == "recover":
+        check_recover_overrides(config_overrides)
+    if mode == "recover" or (
+        mode == "attach" and (root / _CLUSTER_META).exists()
+    ):
+        # Attach tolerates creation-time overrides — they apply only
+        # on the creation branch — but still cross-checks the fleet
+        # shape against the recorded configuration.
+        _check_recorded_fleet(root, num_shards, rate)
+        return _recover_cluster(
+            root, sink=base, crash_factory=crash_factory
+        )
+    if num_shards is None or rate is None:
+        raise RecoveryError(
+            f"{root} holds no cluster and no num_shards=/rate= were "
+            "given to create one"
+        )
+    cluster = _create_cluster(
+        root,
+        num_shards=num_shards,
+        rate=rate,
+        sink=base,
+        crash_factory=crash_factory,
+        **config_overrides,
+    )
+    return cluster, _fresh_reports(cluster.num_shards)
+
+
+# ----------------------------------------------------------------------
+# deprecated pre-unification entry points
+# ----------------------------------------------------------------------
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def create_cluster(
+    root: str | Path,
+    *,
+    num_shards: int,
+    rate: float,
+    sink: RecordSink | IO[str] | None = None,
+    crash_factory: Any = None,
+    **config_overrides: Any,
+) -> ShardedOnlineCluster:
+    """Deprecated: use ``ShardedOnlineCluster.open(root, mode="create")``.
+
+    Kept as a thin shim for one release; returns the bare cluster
+    (the unified factory also returns the fresh per-shard
+    :class:`RecoveryReport` tuple).
+    """
+    _deprecated(
+        "create_cluster",
+        "ShardedOnlineCluster.open(root, mode='create', ...)",
+    )
+    return _create_cluster(
+        Path(root),
+        num_shards=num_shards,
+        rate=rate,
+        sink=as_record_sink(sink),
+        crash_factory=crash_factory,
+        **config_overrides,
+    )
+
+
+def recover_cluster(
+    root: str | Path,
+    *,
+    sink: RecordSink | IO[str] | None = None,
+    crash_factory: Any = None,
+) -> tuple[ShardedOnlineCluster, tuple[RecoveryReport, ...]]:
+    """Deprecated: use ``ShardedOnlineCluster.open(root, mode="recover")``."""
+    _deprecated(
+        "recover_cluster",
+        "ShardedOnlineCluster.open(root, mode='recover', ...)",
+    )
+    return _recover_cluster(
+        Path(root), sink=as_record_sink(sink), crash_factory=crash_factory
+    )
+
+
 def open_cluster(
     root: str | Path,
     *,
     num_shards: int | None = None,
     rate: float | None = None,
-    sink: IO[str] | None = None,
+    sink: RecordSink | IO[str] | None = None,
     crash_factory: Any = None,
     **config_overrides: Any,
 ) -> tuple[ShardedOnlineCluster, tuple[RecoveryReport, ...]]:
-    """Create-or-recover: the entry point behind ``repro serve --shards``.
-
-    A root without cluster metadata is initialized fresh
-    (``num_shards`` and ``rate`` required); one with metadata is
-    recovered, verifying ``num_shards``/``rate`` against the recorded
-    configuration when provided.
-    """
-    root = Path(root)
-    if (root / _CLUSTER_META).exists():
-        config = _read_cluster_meta(root)
-        if num_shards is not None and int(num_shards) != int(
-            config["num_shards"]
-        ):
-            raise RecoveryError(
-                f"requested {num_shards} shards but {root} records "
-                f"{config['num_shards']}; resharding is not supported "
-                "— recover with the recorded shard count"
-            )
-        if rate is not None and float(rate) != float(config["rate"]):
-            raise RecoveryError(
-                f"requested rate {float(rate):g} contradicts the "
-                f"recorded rate {float(config['rate']):g} in {root}"
-            )
-        return recover_cluster(
-            root, sink=sink, crash_factory=crash_factory
-        )
-    if num_shards is None or rate is None:
-        raise RecoveryError(
-            f"{root} holds no cluster and no --shards/--rate were "
-            "given to create one"
-        )
-    cluster = create_cluster(
+    """Deprecated: use ``ShardedOnlineCluster.open(root, mode="attach")``."""
+    _deprecated(
+        "open_cluster",
+        "ShardedOnlineCluster.open(root, mode='attach', ...)",
+    )
+    return _open_cluster(
         root,
+        mode="attach",
         num_shards=num_shards,
         rate=rate,
         sink=sink,
         crash_factory=crash_factory,
         **config_overrides,
     )
-    reports = tuple(
-        RecoveryReport(
-            fresh=True,
-            applied_seq=0,
-            snapshot_seq=None,
-            replayed=0,
-            truncated_bytes=0,
-        )
-        for _ in range(cluster.num_shards)
-    )
-    return cluster, reports

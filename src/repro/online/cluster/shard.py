@@ -23,6 +23,7 @@ applied twice or skipped.
 from __future__ import annotations
 
 import json
+import warnings
 from collections import deque
 from pathlib import Path
 from typing import IO, Any
@@ -50,17 +51,23 @@ def shard_directory(root: str | Path, index: int) -> Path:
 
 
 class ShardRecordSink:
-    """Tag every record a shard emits with its shard index.
+    """Deprecated: use ``TaggedSink(sink, shard=index)``.
 
-    The durable service writes serialized JSON lines to its sink; the
-    cluster funnels all shards into one output stream, so each line is
-    re-parsed and stamped with ``"shard": index`` before reaching the
-    shared sink.  Writes are buffered to newline boundaries, so the
-    ``json.dumps(...)`` + ``"\\n"`` write pairs of the service arrive
-    as complete records.
+    The old serialize/re-parse shard tagger: the durable service wrote
+    serialized JSON lines to its sink, so each line had to be re-parsed
+    and stamped with ``"shard": index`` before reaching the shared
+    stream.  The typed :class:`repro.online.records.TaggedSink` stamps
+    the structured record before it is ever serialized; this shim is
+    kept for one release for callers still holding raw text sinks.
     """
 
     def __init__(self, sink: IO[str], index: int) -> None:
+        warnings.warn(
+            "ShardRecordSink is deprecated; use "
+            "repro.online.records.TaggedSink(sink, shard=index)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._sink = sink
         self._index = int(index)
         self._buffer = ""

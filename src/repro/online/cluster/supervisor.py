@@ -57,7 +57,7 @@ from repro.online.cluster.shard import (
     RUNNING,
     ShardHandle,
 )
-from repro.online.durability.service import recover_durable_service
+from repro.online.durability.service import DurableOnlineService
 from repro.utils.retry import RetryPolicy
 
 __all__ = ["ShardSupervisor"]
@@ -200,8 +200,9 @@ class ShardSupervisor:
             and tick < handle.restart_due
         ):
             return False
-        service, report = recover_durable_service(
+        service, report = DurableOnlineService.open(
             Path(handle.directory),
+            mode="recover",
             sink=handle.sink,
             crash=handle.crash,
         )

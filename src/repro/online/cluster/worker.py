@@ -28,7 +28,7 @@ import time
 from pathlib import Path
 
 from repro.errors import ReproError
-from repro.online.durability.service import open_durable_service
+from repro.online.durability.service import DurableOnlineService
 
 __all__ = ["main"]
 
@@ -77,8 +77,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.snapshot_every is not None:
         overrides["snapshot_every"] = args.snapshot_every
     try:
-        service, report = open_durable_service(
-            Path(args.dir), rate=args.rate, sink=sink, **overrides
+        service, report = DurableOnlineService.open(
+            Path(args.dir),
+            mode="attach",
+            rate=args.rate,
+            sink=sink,
+            **overrides,
         )
     except ReproError as exc:
         print(f"shard worker: {exc}", file=sys.stderr)

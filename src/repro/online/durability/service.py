@@ -12,7 +12,8 @@ logging and periodic snapshots.  The ingest cycle for line ``seq`` is::
         snapshot (tmp → fsync → rename; [mid-snapshot crash point])
 
 Because the *raw line* is logged before anything observes it, a kill
-anywhere in the cycle is recoverable: :func:`recover_durable_service`
+anywhere in the cycle is recoverable:
+``DurableOnlineService.open(directory, mode="recover")``
 loads the newest valid snapshot, truncates a torn WAL tail, replays
 the remaining entries by sequence number (idempotently — entries at or
 below the snapshot's ``applied_seq`` are skipped), and hands back a
@@ -33,6 +34,7 @@ needing exactly-once must deduplicate on the ``line`` sequence number.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Any, Iterable
@@ -42,6 +44,8 @@ from repro.online.admission import AdmissionController
 from repro.online.durability.snapshot import SnapshotStore, _decode, _encode
 from repro.online.durability.wal import WalEntry, WriteAheadLog, _fsync_dir
 from repro.online.engine import StreamingGPSServer
+from repro.online.factory import check_open_mode, check_recover_overrides
+from repro.online.records import RecordSink
 from repro.online.service import OnlineService
 
 __all__ = [
@@ -137,10 +141,11 @@ def _read_meta(directory: Path) -> dict[str, Any]:
 class DurableOnlineService(OnlineService):
     """An :class:`OnlineService` whose ingest survives process kills.
 
-    Construct via :func:`create_durable_service` /
-    :func:`recover_durable_service` /
-    :func:`open_durable_service` rather than directly — they wire the
-    WAL, the snapshot store and the on-disk metadata consistently.
+    Construct via :meth:`DurableOnlineService.open` rather than
+    directly — it wires the WAL, the snapshot store and the on-disk
+    metadata consistently (the old ``create_durable_service`` /
+    ``recover_durable_service`` / ``open_durable_service`` triple
+    remains as deprecated shims).
 
     Parameters (beyond :class:`OnlineService`)
     ------------------------------------------
@@ -198,6 +203,68 @@ class DurableOnlineService(OnlineService):
     def wal(self) -> WriteAheadLog:
         """The write-ahead log behind this service."""
         return self._wal
+
+    # ------------------------------------------------------------------
+    # the unified factory
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        directory: str | Path,
+        *,
+        mode: str = "attach",
+        rate: float | None = None,
+        sink: RecordSink | IO[str] | None = None,
+        crash: Any = None,
+        **config_overrides: Any,
+    ) -> tuple["DurableOnlineService", RecoveryReport]:
+        """Open a WAL directory as a durable service.
+
+        The single entry point replacing the old ``create`` /
+        ``recover`` / ``open`` function triple; every mode returns
+        ``(service, report)``.
+
+        ``mode="create"``
+            Initialize a fresh directory (``rate`` required;
+            ``config_overrides`` may set any
+            :data:`meta configuration <_CONFIG_DEFAULTS>` key —
+            ``admission``, ``snapshot_every``, ``fsync``, ...).  An
+            already-initialized directory raises
+            :class:`repro.errors.RecoveryError`; the report is the
+            trivial ``fresh=True`` one.
+        ``mode="recover"``
+            Rebuild from the directory's metadata, newest valid
+            snapshot and WAL replay — state bit-identical to the
+            uninterrupted run.  ``rate`` is an optional cross-check
+            against the recorded configuration; overrides are
+            rejected (:class:`repro.errors.ValidationError`).
+        ``mode="attach"`` (default)
+            Create-or-recover, the idempotent path behind
+            ``repro serve --wal``: a bare directory is created, an
+            initialized one recovered (with the same ``rate``
+            cross-check).
+        """
+        if mode == "create":
+            if rate is None:
+                raise ValidationError(
+                    "mode='create' requires rate= to size the server"
+                )
+            service = _create(
+                Path(directory),
+                rate=rate,
+                sink=sink,
+                crash=crash,
+                **config_overrides,
+            )
+            return service, _fresh_report()
+        return _open_durable(
+            directory,
+            mode=mode,
+            rate=rate,
+            sink=sink,
+            crash=crash,
+            **config_overrides,
+        )
 
     # ------------------------------------------------------------------
     # service-state capture (snapshot payload alongside the engine)
@@ -341,27 +408,28 @@ def _build_service(
     )
 
 
-def create_durable_service(
-    directory: str | Path,
+def _fresh_report() -> RecoveryReport:
+    return RecoveryReport(
+        fresh=True,
+        applied_seq=0,
+        snapshot_seq=None,
+        replayed=0,
+        truncated_bytes=0,
+    )
+
+
+def _create(
+    directory: Path,
     *,
     rate: float,
-    sink: IO[str] | None = None,
-    crash: Any = None,
+    sink: RecordSink | IO[str] | None,
+    crash: Any,
     **config_overrides: Any,
 ) -> DurableOnlineService:
-    """Initialize a fresh WAL directory and return its durable service.
-
-    ``config_overrides`` may set any :data:`meta configuration
-    <_CONFIG_DEFAULTS>` key (``admission``, ``snapshot_every``,
-    ``fsync``, ``max_errors``, ...).  Raises
-    :class:`repro.errors.RecoveryError` if the directory already holds
-    a serving session — recover it instead of silently overwriting.
-    """
-    directory = Path(directory)
     if (directory / _META_NAME).exists():
         raise RecoveryError(
             f"{directory} already contains a durable serving session; "
-            "use recover_durable_service (or `repro recover`) instead "
+            "open it with mode='recover' (or `repro recover`) instead "
             "of re-creating it"
         )
     unknown = set(config_overrides) - set(_CONFIG_DEFAULTS)
@@ -393,23 +461,13 @@ def create_durable_service(
     )
 
 
-def recover_durable_service(
-    directory: str | Path,
+def _recover(
+    directory: Path,
     *,
-    sink: IO[str] | None = None,
-    crash: Any = None,
-    expected_rate: float | None = None,
+    sink: RecordSink | IO[str] | None,
+    crash: Any,
+    expected_rate: float | None,
 ) -> tuple[DurableOnlineService, RecoveryReport]:
-    """Reconstruct the durable service of an existing WAL directory.
-
-    Loads the newest valid snapshot, truncates a torn WAL tail,
-    replays the log past the snapshot's coverage, and returns the
-    service plus a :class:`RecoveryReport`.  The reconstructed state —
-    engine arrays, admission-context counters, protection counters —
-    is exactly the state of an uninterrupted run over the same
-    acknowledged lines.
-    """
-    directory = Path(directory)
     config = _read_meta(directory)
     if expected_rate is not None and float(expected_rate) != float(
         config["rate"]
@@ -456,40 +514,117 @@ def recover_durable_service(
     return service, report
 
 
+def _open_durable(
+    directory: str | Path,
+    *,
+    mode: str = "attach",
+    rate: float | None = None,
+    sink: RecordSink | IO[str] | None = None,
+    crash: Any = None,
+    **config_overrides: Any,
+) -> tuple[DurableOnlineService, RecoveryReport]:
+    check_open_mode(mode)
+    directory = Path(directory)
+    if mode == "recover":
+        check_recover_overrides(config_overrides)
+        return _recover(
+            directory, sink=sink, crash=crash, expected_rate=rate
+        )
+    if mode == "attach" and (directory / _META_NAME).exists():
+        # Attach tolerates creation-time overrides: they apply only on
+        # the creation branch (restart loops pass the same command
+        # line whether the directory is fresh or not).
+        return _recover(
+            directory, sink=sink, crash=crash, expected_rate=rate
+        )
+    if rate is None:
+        raise RecoveryError(
+            f"{directory} holds no serving session and no rate= was "
+            "given to create one"
+        )
+    service = _create(
+        directory, rate=rate, sink=sink, crash=crash, **config_overrides
+    )
+    return service, _fresh_report()
+
+
+# ----------------------------------------------------------------------
+# deprecated pre-unification entry points
+# ----------------------------------------------------------------------
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def create_durable_service(
+    directory: str | Path,
+    *,
+    rate: float,
+    sink: RecordSink | IO[str] | None = None,
+    crash: Any = None,
+    **config_overrides: Any,
+) -> DurableOnlineService:
+    """Deprecated: use ``DurableOnlineService.open(dir, mode="create")``.
+
+    Kept as a thin shim for one release; returns the bare service
+    (the unified factory also returns the fresh
+    :class:`RecoveryReport`).
+    """
+    _deprecated(
+        "create_durable_service",
+        "DurableOnlineService.open(directory, mode='create', ...)",
+    )
+    return _create(
+        Path(directory),
+        rate=rate,
+        sink=sink,
+        crash=crash,
+        **config_overrides,
+    )
+
+
+def recover_durable_service(
+    directory: str | Path,
+    *,
+    sink: RecordSink | IO[str] | None = None,
+    crash: Any = None,
+    expected_rate: float | None = None,
+) -> tuple[DurableOnlineService, RecoveryReport]:
+    """Deprecated: use ``DurableOnlineService.open(dir, mode="recover")``.
+
+    The old ``expected_rate`` cross-check is the unified factory's
+    ``rate`` parameter.
+    """
+    _deprecated(
+        "recover_durable_service",
+        "DurableOnlineService.open(directory, mode='recover', ...)",
+    )
+    return _recover(
+        Path(directory), sink=sink, crash=crash, expected_rate=expected_rate
+    )
+
+
 def open_durable_service(
     directory: str | Path,
     *,
     rate: float | None = None,
-    sink: IO[str] | None = None,
+    sink: RecordSink | IO[str] | None = None,
     crash: Any = None,
     **config_overrides: Any,
 ) -> tuple[DurableOnlineService, RecoveryReport]:
-    """Create-or-recover: the idempotent entry point behind ``repro serve --wal``.
-
-    A directory without serving metadata is initialized fresh (``rate``
-    required); one with metadata is recovered, verifying ``rate``
-    against the recorded configuration when provided.  Returns the
-    service and the recovery report (``fresh=True`` for a new session).
-    """
-    directory = Path(directory)
-    if (directory / _META_NAME).exists():
-        service, report = recover_durable_service(
-            directory, sink=sink, crash=crash, expected_rate=rate
-        )
-        return service, report
-    if rate is None:
-        raise RecoveryError(
-            f"{directory} holds no serving session and no --rate was "
-            "given to create one"
-        )
-    service = create_durable_service(
-        directory, rate=rate, sink=sink, crash=crash, **config_overrides
+    """Deprecated: use ``DurableOnlineService.open(dir, mode="attach")``."""
+    _deprecated(
+        "open_durable_service",
+        "DurableOnlineService.open(directory, mode='attach', ...)",
     )
-    report = RecoveryReport(
-        fresh=True,
-        applied_seq=0,
-        snapshot_seq=None,
-        replayed=0,
-        truncated_bytes=0,
+    return _open_durable(
+        directory,
+        mode="attach",
+        rate=rate,
+        sink=sink,
+        crash=crash,
+        **config_overrides,
     )
-    return service, report

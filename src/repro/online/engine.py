@@ -46,7 +46,7 @@ from repro.online.events import (
     SessionLeave,
 )
 from repro.online.session import SessionRegistry
-from repro.sim.fluid import _batch_water_fill
+from repro.sim.fluid import busy_gps_slot_allocation
 from repro.utils.validation import check_positive
 
 __all__ = ["StreamingGPSServer", "OnlineResult"]
@@ -267,8 +267,8 @@ class StreamingGPSServer:
 
     def total_backlog(self) -> float:
         """Current system backlog (excluding the open slot's pending
-        arrivals)."""
-        return float(self._registry.backlog.sum())
+        arrivals).  O(1) — a cached registry scalar."""
+        return self._registry.total_backlog()
 
     def session_backlog(self, name: str) -> float:
         """Current backlog of one active session."""
@@ -277,40 +277,52 @@ class StreamingGPSServer:
         )
 
     def unfinished_work(self) -> float:
-        """Backlog plus the open slot's pending arrivals (drain target)."""
-        return float(
-            self._registry.backlog.sum() + self._registry.pending.sum()
+        """Backlog plus the open slot's pending arrivals (drain target).
+        O(1) — cached registry scalars."""
+        return (
+            self._registry.total_backlog()
+            + self._registry.total_pending()
         )
 
     # ------------------------------------------------------------------
     # slot machinery
     # ------------------------------------------------------------------
     def _serve_slot(self) -> None:
-        """Close the current slot: water-fill pending work, advance."""
+        """Close the current slot: water-fill pending work, advance.
+
+        O(busy), not O(active): only the busy slice is gathered and
+        water-filled.  Idle sessions hold exactly zero work, and the
+        kernel's sequential reductions are invariant to exact zeros
+        (:func:`repro.sim.fluid.busy_gps_slot_allocation`), so the
+        gathered allocation is bit-for-bit the dense one — idle
+        sessions' φ mass never enters the sharing denominator, exactly
+        as eq. 1's work-conserving redistribution prescribes.
+        """
         registry = self._registry
-        if registry.num_active:
+        busy = registry.busy_indices()
+        if self._record_traces:
+            # commit_slot rewrites the busy index buffer in place; the
+            # trace block below still needs this slot's gather order.
+            busy = busy.copy()
+        if busy.size:
             # Mirrors FluidGPSServer._step_fast operation for
             # operation; same kernel, same clip — the bit-for-bit
             # equivalence guarantee rests on this block.
-            work = registry.backlog + registry.pending
-            served = _batch_water_fill(
-                work[None, :],
-                np.ascontiguousarray(registry.phis),
-                np.array([self._capacity]),
-            )[0]
+            work = registry.backlog[busy] + registry.pending[busy]
+            served = busy_gps_slot_allocation(
+                work, registry.phis[busy], self._capacity
+            )
             new_backlog = np.clip(work - served, 0.0, None)
-            registry.backlog[:] = new_backlog
-            registry.arrived[:] += registry.pending
-            registry.served[:] += served
-            registry.pending[:] = 0.0
-            total = float(new_backlog.sum())
+            total = registry.commit_slot(busy, new_backlog, served)
         else:
             served = np.zeros(0)
-            total = 0.0
+            total = registry.commit_slot(busy, served, served)
         self._total_backlog_trace.append(total)
         if self._record_traces:
             self._backlog_snapshots.append(registry.backlog.copy())
-            self._served_snapshots.append(np.array(served, copy=True))
+            dense_served = np.zeros(registry.num_active)
+            dense_served[busy] = served
+            self._served_snapshots.append(dense_served)
         self._clock += 1
 
     def advance_to(self, slot: int) -> None:
@@ -337,18 +349,11 @@ class StreamingGPSServer:
         check_positive("max_slots", max_slots)
         used = 0
         while used < max_slots:
-            if (
-                self.total_backlog() <= _EPS
-                and float(self._registry.pending.sum()) <= _EPS
-            ):
+            if self.unfinished_work() <= _EPS:
                 return used, True
             self._serve_slot()
             used += 1
-        drained = (
-            self.total_backlog() <= _EPS
-            and float(self._registry.pending.sum()) <= _EPS
-        )
-        return used, drained
+        return used, self.unfinished_work() <= _EPS
 
     # ------------------------------------------------------------------
     # event processing
@@ -587,7 +592,7 @@ class StreamingGPSServer:
             self.advance_to(horizon)
         elif not drain:
             # Close the last open slot so stamped arrivals are served.
-            if float(self._registry.pending.sum()) > _EPS:
+            if self._registry.total_pending() > _EPS:
                 self._serve_slot()
         if drain:
             _, drained = self.drain(max_slots=max_drain_slots)

@@ -1,0 +1,56 @@
+"""Shared plumbing of the unified ``open(dir, mode=...)`` factories.
+
+:meth:`repro.online.durability.service.DurableOnlineService.open` and
+:meth:`repro.online.cluster.cluster.ShardedOnlineCluster.open` accept
+the same three modes and enforce the same option discipline; this
+module is the single place that discipline is defined:
+
+``create``
+    Initialize a fresh directory; the creation-time parameters
+    (``rate``, ``num_shards``, configuration overrides) are required
+    or allowed, and an already-initialized directory is an error.
+``recover``
+    Rebuild from an existing directory; configuration comes from the
+    persisted metadata, so overrides are rejected rather than silently
+    ignored, and creation-time parameters act only as cross-checks.
+``attach``
+    Create-or-recover (the idempotent CLI path): a bare directory is
+    created (creation parameters required), an initialized one is
+    recovered (creation parameters cross-checked, overrides applied
+    only on the creation branch).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ValidationError
+
+__all__ = ["OPEN_MODES", "check_open_mode", "check_recover_overrides"]
+
+#: The modes every unified ``open`` factory accepts.
+OPEN_MODES = ("create", "recover", "attach")
+
+
+def check_open_mode(mode: str) -> str:
+    """Validate an ``open`` factory mode; returns it normalized."""
+    if mode not in OPEN_MODES:
+        raise ValidationError(
+            f"mode must be one of {OPEN_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def check_recover_overrides(overrides: dict[str, Any]) -> None:
+    """Reject configuration overrides in ``recover`` mode.
+
+    Recovery takes its configuration from the directory's persisted
+    metadata; accepting overrides here would silently diverge the
+    rebuilt service from the recorded one.
+    """
+    if overrides:
+        raise ValidationError(
+            "mode='recover' takes its configuration from the "
+            "directory's metadata; unexpected overrides: "
+            f"{sorted(overrides)}"
+        )

@@ -43,7 +43,7 @@ from typing import IO, Any, Iterable
 from repro.errors import OverloadError, ReproError, ValidationError
 from repro.online.engine import OnlineResult, StreamingGPSServer
 from repro.online.events import ArrivalEvent, event_from_record
-from repro.sim.results import to_jsonable
+from repro.online.records import RecordSink, as_record_sink
 
 __all__ = ["OnlineService"]
 
@@ -56,9 +56,11 @@ class OnlineService:
     engine:
         The :class:`~repro.online.engine.StreamingGPSServer` to feed.
     sink:
-        Open text file for per-event output records; ``None`` discards
-        them (the final :class:`~repro.online.engine.OnlineResult` is
-        still returned).
+        Destination for per-event output records: a
+        :class:`repro.online.records.RecordSink`, an open text file
+        (wrapped in a :class:`repro.online.records.JsonlSink`), or
+        ``None`` to discard them (the final
+        :class:`~repro.online.engine.OnlineResult` is still returned).
     strict:
         Raise on malformed lines / stream-level session errors instead
         of emitting ``error`` records and continuing.
@@ -84,7 +86,7 @@ class OnlineService:
         self,
         engine: StreamingGPSServer,
         *,
-        sink: IO[str] | None = None,
+        sink: RecordSink | IO[str] | None = None,
         strict: bool = False,
         drain_slots: int = 100_000,
         max_errors: int | None = None,
@@ -117,7 +119,7 @@ class OnlineService:
                     f"{shed_resume} with shed_backlog={shed_backlog}"
                 )
         self._engine = engine
-        self._sink = sink
+        self._sink = as_record_sink(sink)
         self._strict = bool(strict)
         self._drain_slots = int(drain_slots)
         self._max_errors = (
@@ -164,10 +166,7 @@ class OnlineService:
         return self._lineno
 
     def _emit(self, record: dict[str, Any]) -> None:
-        if self._sink is None:
-            return
-        self._sink.write(json.dumps(to_jsonable(record)))
-        self._sink.write("\n")
+        self._sink.emit(record)
 
     def _count_error(self) -> None:
         """Bump the error counter, aborting past the ``max_errors`` budget."""
@@ -328,6 +327,5 @@ class OnlineService:
         summary["heartbeats"] = self._heartbeats
         summary["drain_truncated"] = self._drain_truncated
         self._emit({"kind": "summary", "summary": summary})
-        if self._sink is not None:
-            self._sink.flush()
+        self._sink.flush()
         return result

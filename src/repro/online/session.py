@@ -1,12 +1,32 @@
 """Session registry of the streaming GPS engine.
 
-The registry is the O(active sessions) replacement for the offline
-engines' fixed ``(N, T)`` arrays: the only dense state it keeps is one
-float64 vector per per-session quantity (weight, backlog, pending
-arrivals, cumulative totals), all aligned with a stable insertion
-order.  Joins append (amortized O(1)), leaves compact the vectors
-(O(active)), and the per-slot water-filling reads the vectors directly
-— no per-session Python objects are touched on the hot path.
+The registry keeps one float64 vector per per-session quantity
+(weight, backlog, pending arrivals, cumulative totals), all aligned
+with a stable insertion order.  Joins append (amortized O(1)), leaves
+compact the vectors (O(active)), and the per-slot water-filling reads
+the vectors directly — no per-session Python objects are touched on
+the hot path.
+
+On top of the dense vectors the registry maintains an explicit **busy
+set**: the compact int index array of sessions with non-zero backlog
+or non-zero pending arrivals.  GPS is work-conserving — a session with
+zero work receives nothing and changes nothing in a slot — so the
+engine's per-slot cost is O(busy), not O(active): a million idle
+sessions cost nothing per event.  The index is maintained
+incrementally (O(1) on :meth:`add_arrival`, O(busy) pruning on
+:meth:`commit_slot`, O(busy) fix-up on :meth:`leave`) and the invariant
+is one-sided: the busy set always *contains* every session with
+non-zero work, and may transiently hold sessions whose work is exactly
+zero — harmless, because the water-filling kernel's sequential
+reductions are invariant to exact-zero entries
+(:func:`repro.sim.fluid.busy_gps_slot_allocation`).
+
+Idle-session bookkeeping is **epoch-lazy**: cumulative totals are
+copied back onto the Python-side :class:`SessionInfo` records only for
+sessions touched since the last sync (a dirty mask pruned per slot),
+and the system-wide backlog/pending totals are cached scalars updated
+incrementally, so none of the reporting paths scan the full active
+set per event.
 
 For a population that joined in scenario order and never churned, the
 registry's vectors are element-for-element the rows of the offline
@@ -86,6 +106,21 @@ class SessionRegistry:
         self._arrived = np.zeros(self._capacity)
         self._served = np.zeros(self._capacity)
         self._peak_active = 0
+        # Busy-set index: _busy_idx[:_busy_count] are the (unordered)
+        # indices of sessions with backlog != 0 or pending != 0;
+        # _busy_mask is the membership bitmap keeping appends O(1).
+        self._busy_mask = np.zeros(self._capacity, dtype=bool)
+        self._busy_capacity = _GROW
+        self._busy_idx = np.zeros(self._busy_capacity, dtype=np.int64)
+        self._busy_count = 0
+        # Epoch-lazy bookkeeping: cached system totals plus the dirty
+        # mask of sessions whose cumulative vectors changed since the
+        # last sync_totals().  _epoch counts committed slots.
+        self._total_backlog = 0.0
+        self._total_pending = 0.0
+        self._epoch = 0
+        self._synced_epoch = 0
+        self._dirty_mask = np.zeros(self._capacity, dtype=bool)
 
     # ------------------------------------------------------------------
     # vector views (length == num_active)
@@ -130,6 +165,89 @@ class SessionRegistry:
         """Cumulative per-session service (view)."""
         return self._served[: self.num_active]
 
+    # ------------------------------------------------------------------
+    # busy-set index and cached totals
+    # ------------------------------------------------------------------
+    @property
+    def num_busy(self) -> int:
+        """Number of sessions currently in the busy set."""
+        return self._busy_count
+
+    @property
+    def epoch(self) -> int:
+        """Number of slots committed so far (the lazy-sync clock)."""
+        return self._epoch
+
+    def busy_indices(self) -> np.ndarray:
+        """Busy-session indices, sorted ascending (a view; do not keep).
+
+        Ascending session order is load-bearing: it makes the gathered
+        work/weight slices subsequences of the dense vectors, which is
+        what the sequential-sum kernel needs for bit-identity with the
+        dense path — and it makes the array canonical, so it round-trips
+        through snapshots byte-for-byte.
+        """
+        view = self._busy_idx[: self._busy_count]
+        view.sort()
+        return view
+
+    def total_backlog(self) -> float:
+        """System backlog (cached scalar; O(1))."""
+        return self._total_backlog
+
+    def total_pending(self) -> float:
+        """Pending arrivals for the open slot (cached scalar; O(1))."""
+        return self._total_pending
+
+    def _mark_busy(self, index: int) -> None:
+        if self._busy_mask[index]:
+            return
+        if self._busy_count >= self._busy_capacity:
+            self._busy_capacity *= 2
+            grown = np.zeros(self._busy_capacity, dtype=np.int64)
+            grown[: self._busy_count] = self._busy_idx[: self._busy_count]
+            self._busy_idx = grown
+        self._busy_idx[self._busy_count] = index
+        self._busy_count += 1
+        self._busy_mask[index] = True
+
+    def commit_slot(
+        self,
+        busy: np.ndarray,
+        new_backlog: np.ndarray,
+        served: np.ndarray,
+    ) -> float:
+        """Apply one served slot's gathered results to the busy slice.
+
+        ``busy`` must be the array :meth:`busy_indices` returned for
+        this slot; ``new_backlog``/``served`` the post-water-fill
+        gathered values.  Folds pending arrivals into the cumulative
+        vectors, prunes sessions that emptied out of the busy set,
+        refreshes the cached totals from the slice (a sequential sum,
+        bit-identical to the dense total) and advances the epoch.
+        Returns the new system backlog.  O(busy).
+        """
+        if busy.size:
+            self._arrived[busy] += self._pending[busy]
+            self._served[busy] += served
+            self._backlog[busy] = new_backlog
+            self._pending[busy] = 0.0
+            self._dirty_mask[busy] = True
+            kept = busy[new_backlog > 0.0]
+            self._busy_mask[busy] = False
+            self._busy_mask[kept] = True
+            self._busy_idx[: kept.size] = kept
+            self._busy_count = int(kept.size)
+            backlog_kept = self._backlog[kept]
+            self._total_backlog = (
+                float(np.cumsum(backlog_kept)[-1]) if kept.size else 0.0
+            )
+        else:
+            self._total_backlog = 0.0
+        self._total_pending = 0.0
+        self._epoch += 1
+        return self._total_backlog
+
     def __contains__(self, name: str) -> bool:
         return name in self._index
 
@@ -156,9 +274,17 @@ class SessionRegistry:
             return
         while self._capacity < needed:
             self._capacity *= 2
-        for attr in ("_phis", "_backlog", "_pending", "_arrived", "_served"):
+        for attr in (
+            "_phis",
+            "_backlog",
+            "_pending",
+            "_arrived",
+            "_served",
+            "_busy_mask",
+            "_dirty_mask",
+        ):
             old = getattr(self, attr)
-            grown = np.zeros(self._capacity)
+            grown = np.zeros(self._capacity, dtype=old.dtype)
             grown[: old.size] = old
             setattr(self, attr, grown)
 
@@ -188,6 +314,8 @@ class SessionRegistry:
         self._pending[index] = 0.0
         self._arrived[index] = 0.0
         self._served[index] = 0.0
+        self._busy_mask[index] = False
+        self._dirty_mask[index] = False
         info = SessionInfo(
             name=name, phi=float(phi), ebb=ebb, target=target, joined_at=at
         )
@@ -207,6 +335,26 @@ class SessionRegistry:
         info.arrived = float(self._arrived[index])
         info.served = float(self._served[index])
         info.residual = float(self._backlog[index] + self._pending[index])
+        # Busy-set fix-up (O(busy)): drop the leaver, then shift every
+        # busy index past the compaction point down one slot.  The
+        # cached totals lose the leaver's contribution; they are
+        # recomputed exactly from the busy slice at the next commit.
+        busy = self._busy_idx[: self._busy_count]
+        if self._busy_mask[index]:
+            pos = int(np.flatnonzero(busy == index)[0])
+            busy[pos] = busy[self._busy_count - 1]
+            self._busy_count -= 1
+            busy = self._busy_idx[: self._busy_count]
+        busy[busy > index] -= 1
+        if self._busy_count == 0:
+            # Empty busy set means every remaining backlog/pending is
+            # exactly zero; pin the cached totals so incremental
+            # subtraction dust cannot accumulate.
+            self._total_backlog = 0.0
+            self._total_pending = 0.0
+        else:
+            self._total_backlog -= float(self._backlog[index])
+            self._total_pending -= float(self._pending[index])
         last = self.num_active - 1
         if index != last:
             # Compact by shifting the tail down one slot; O(active).
@@ -216,11 +364,15 @@ class SessionRegistry:
                 "_pending",
                 "_arrived",
                 "_served",
+                "_busy_mask",
+                "_dirty_mask",
             ):
                 vec = getattr(self, attr)
                 vec[index:last] = vec[index + 1 : last + 1]
             for shifted in self._names[index + 1 :]:
                 self._index[shifted] -= 1
+        self._busy_mask[last] = False
+        self._dirty_mask[last] = False
         del self._names[index]
         del self._index[name]
         self._departed.append(info)
@@ -249,19 +401,38 @@ class SessionRegistry:
         return info
 
     def add_arrival(self, name: str, amount: float) -> None:
-        """Accumulate work for the current slot (O(1))."""
-        self._pending[self.index_of(name)] += amount
+        """Accumulate work for the current slot (O(1)).
+
+        Marks the session busy, so the next slot's water-fill gathers
+        it; the cached pending total tracks incrementally.
+        """
+        index = self.index_of(name)
+        self._pending[index] += amount
+        self._total_pending += amount
+        if self._pending[index] != 0.0 or self._backlog[index] != 0.0:
+            self._mark_busy(index)
 
     # ------------------------------------------------------------------
     # reporting
     # ------------------------------------------------------------------
     def sync_totals(self) -> None:
-        """Copy the cumulative vectors back onto the active info records."""
-        for index, name in enumerate(self._names):
-            info = self._info[name]
+        """Copy the cumulative vectors back onto the active info records.
+
+        Epoch-lazy: only sessions dirtied by a slot commit since the
+        last sync are touched, so a large idle population costs one
+        vectorized mask scan, not a Python loop over every session.
+        """
+        if self._epoch == self._synced_epoch:
+            return
+        for index in np.flatnonzero(
+            self._dirty_mask[: self.num_active]
+        ).tolist():
+            info = self._info[self._names[index]]
             info.arrived = float(self._arrived[index])
             info.served = float(self._served[index])
             info.residual = float(self._backlog[index])
+        self._dirty_mask[: self.num_active] = False
+        self._synced_epoch = self._epoch
 
     def stats(self) -> dict[str, dict[str, Any]]:
         """Per-session summaries, active sessions first then departed.
@@ -324,6 +495,14 @@ class SessionRegistry:
                 "arrived": self.arrived.tolist(),
                 "served": self.served.tolist(),
             },
+            # Busy-set/epoch state: exported explicitly (not derived)
+            # so a recovered registry reproduces the live one bit for
+            # bit — including transient zero-work members and the
+            # incremental rounding of the cached totals.
+            "busy": self.busy_indices().tolist(),
+            "epoch": self._epoch,
+            "total_backlog": self._total_backlog,
+            "total_pending": self._total_pending,
         }
 
     @classmethod
@@ -375,6 +554,40 @@ class SessionRegistry:
                 )
             getattr(out, attr)[: len(values)] = values
         out._peak_active = int(state["peak_active"])
+        if "busy" in state:
+            busy = [int(k) for k in state["busy"]]
+            if any(k < 0 or k >= len(names) for k in busy):
+                raise ValidationError(
+                    f"registry busy index out of range for {len(names)} "
+                    "active sessions"
+                )
+            out._total_backlog = float(state["total_backlog"])
+            out._total_pending = float(state["total_pending"])
+            out._epoch = int(state["epoch"])
+        else:
+            # Pre-busy-set snapshot: derive the index and totals from
+            # the vectors (sequential sums over the sorted busy slice,
+            # the same computation commit_slot performs).
+            busy = np.flatnonzero(
+                (out.backlog != 0.0) | (out.pending != 0.0)
+            ).tolist()
+            backlog_busy = out._backlog[busy]
+            pending_busy = out._pending[busy]
+            out._total_backlog = (
+                float(np.cumsum(backlog_busy)[-1]) if busy else 0.0
+            )
+            out._total_pending = (
+                float(np.cumsum(pending_busy)[-1]) if busy else 0.0
+            )
+            out._epoch = 0
+        out._synced_epoch = out._epoch
+        count = len(busy)
+        while out._busy_capacity < max(count, 1):
+            out._busy_capacity *= 2
+        out._busy_idx = np.zeros(out._busy_capacity, dtype=np.int64)
+        out._busy_idx[:count] = busy
+        out._busy_count = count
+        out._busy_mask[busy] = True
         return out
 
     def admitted_declarations(

@@ -106,8 +106,15 @@ class BatchGPSSimResult:
         )
 
     def total_backlog(self) -> np.ndarray:
-        """System backlog per trial and slot, shape ``(B, T)``."""
-        return self.backlog.sum(axis=1)
+        """System backlog per trial and slot, shape ``(B, T)``.
+
+        Sequential over sessions, matching
+        :meth:`repro.sim.fluid.GPSSimResult.total_backlog` bit for bit
+        on each trial slice.
+        """
+        if self.backlog.shape[1] == 0:
+            return np.zeros((self.num_trials, self.num_slots))
+        return np.cumsum(self.backlog, axis=1)[:, -1, :]
 
     def utilization(self) -> np.ndarray:
         """Per-trial fraction of offered capacity actually used."""

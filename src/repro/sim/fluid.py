@@ -37,12 +37,32 @@ from repro.errors import ValidationError
 __all__ = [
     "gps_slot_allocation",
     "batch_gps_slot_allocation",
+    "busy_gps_slot_allocation",
     "FluidGPSServer",
     "GPSSimResult",
     "clearing_delays",
 ]
 
 _EPS = 1e-12
+
+
+def _row_sum(values: np.ndarray) -> np.ndarray:
+    """Strictly sequential (left-to-right) row sums of a ``(B, N)`` array.
+
+    ``np.sum`` uses pairwise summation, whose grouping — and therefore
+    rounding — depends on *where* entries sit in the row: interleaving
+    exact zeros between the non-zero entries changes the result by an
+    ulp or two.  A sequential sum is invariant to exact-zero entries
+    (``x + 0.0 == x`` for every finite non-negative ``x``), which is
+    the property the busy-set hot path rests on: summing a gathered
+    slice of the non-zero entries is *bit-for-bit* the sum of the full
+    row with idle zeros in place.  ``np.cumsum`` is contractually
+    sequential (every prefix is exposed), so its last column is exactly
+    that left-to-right sum.
+    """
+    if values.shape[1] == 0:
+        return np.zeros(values.shape[0])
+    return np.cumsum(values, axis=1)[:, -1]
 
 
 def _batch_water_fill(
@@ -58,7 +78,10 @@ def _batch_water_fill(
     Every floating-point operation applied to row ``b`` is independent
     of the other rows (elementwise arithmetic plus row-wise
     reductions), so the result for each row is bit-for-bit the result
-    of running the kernel on that row alone.
+    of running the kernel on that row alone.  All row reductions are
+    strictly sequential (:func:`_row_sum`), so the result is also
+    invariant to dropping (or inserting) sessions whose work is exactly
+    zero — the contract :func:`busy_gps_slot_allocation` exposes.
     """
     served = np.zeros_like(work)
     remaining = capacity.astype(float, copy=True)
@@ -67,7 +90,7 @@ def _batch_water_fill(
         live = (remaining > _EPS) & active.any(axis=1)
         if not live.any():
             break
-        total_phi = np.where(active, phis, 0.0).sum(axis=1)
+        total_phi = _row_sum(np.where(active, phis, 0.0))
         # Inactive-only rows would divide by zero; their shares are
         # masked out, the guard merely keeps the arithmetic finite.
         denom = np.where(total_phi > 0.0, total_phi, 1.0)
@@ -83,7 +106,7 @@ def _batch_water_fill(
             grants = np.where(finishing, deficit, 0.0)
             served += grants
             remaining = np.where(
-                granting, remaining - grants.sum(axis=1), remaining
+                granting, remaining - _row_sum(grants), remaining
             )
             active &= ~finishing
         flat = live & ~granting
@@ -152,6 +175,32 @@ def batch_gps_slot_allocation(
     return _batch_water_fill(work_arr, phi_arr, caps)
 
 
+def busy_gps_slot_allocation(
+    work: np.ndarray, phis: np.ndarray, capacity: float
+) -> np.ndarray:
+    """Water-fill one slot over a gathered *busy* slice (hot path).
+
+    ``work`` and ``phis`` are the compressed vectors of the sessions
+    that can possibly receive service this slot (everything with
+    non-zero backlog or pending arrivals), gathered in ascending
+    session order.  Sessions left out must have exactly zero work:
+    because every reduction in :func:`_batch_water_fill` is strictly
+    sequential (:func:`_row_sum`), the returned allocation is
+    *bit-for-bit* the slice of the dense allocation over the full
+    session vector — the streaming engine's busy-set path and the
+    offline dense path are ``np.array_equal``, not merely close.
+
+    Performs no validation or copies; inputs must be float64 and
+    C-contiguous.  This is the kernel entry point shared by
+    :class:`repro.online.engine.StreamingGPSServer` (gathered slices)
+    and the offline servers (the full vector is the degenerate
+    "everything is busy" slice).
+    """
+    return _batch_water_fill(
+        work[None, :], phis, np.array([float(capacity)])
+    )[0]
+
+
 @dataclass(frozen=True)
 class GPSSimResult:
     """Batch simulation traces for a fluid GPS server.
@@ -190,8 +239,16 @@ class GPSSimResult:
         return self.arrivals.shape[1]
 
     def total_backlog(self) -> np.ndarray:
-        """System backlog per slot (sum over sessions)."""
-        return self.backlog.sum(axis=0)
+        """System backlog per slot (sum over sessions).
+
+        Summed sequentially over sessions (not pairwise) so the value
+        is bit-identical to the streaming engine's busy-set total: a
+        sequential sum is invariant to the exact zeros contributed by
+        idle sessions, a pairwise sum is not.
+        """
+        if self.backlog.shape[0] == 0:
+            return np.zeros(self.backlog.shape[1])
+        return np.cumsum(self.backlog, axis=0)[-1]
 
     def effective_capacities(self) -> np.ndarray:
         """Per-slot server capacity actually offered.

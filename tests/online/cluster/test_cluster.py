@@ -9,17 +9,30 @@ import pytest
 from repro.errors import ClusterError, RecoveryError, ValidationError
 from repro.faults import CrashFault, CrashInjector, FaultSchedule
 from repro.online import (
+    JsonlSink,
     OnlineService,
+    ShardedOnlineCluster,
     ShardRouter,
     StreamingGPSServer,
-    create_cluster,
-    open_cluster,
-    recover_cluster,
+    TaggedSink,
 )
 from repro.online.cluster.shard import ShardHandle, ShardRecordSink
 
 RATE = 4.0
 NAMES = ("a", "b", "c", "d", "e", "f")
+
+
+def create_cluster(root, **kwargs):
+    cluster, _ = ShardedOnlineCluster.open(root, mode="create", **kwargs)
+    return cluster
+
+
+def recover_cluster(root, **kwargs):
+    return ShardedOnlineCluster.open(root, mode="recover", **kwargs)
+
+
+def open_cluster(root, **kwargs):
+    return ShardedOnlineCluster.open(root, mode="attach", **kwargs)
 
 
 def _stream(n=80, seed=7):
@@ -328,7 +341,8 @@ class TestDegradedMode:
 class TestShardRecordSink:
     def test_tags_complete_records(self):
         out = io.StringIO()
-        sink = ShardRecordSink(out, 3)
+        with pytest.warns(DeprecationWarning, match="TaggedSink"):
+            sink = ShardRecordSink(out, 3)
         sink.write('{"kind": "arrival"')
         sink.write(', "line": 1}\n')
         assert json.loads(out.getvalue()) == {
@@ -339,8 +353,20 @@ class TestShardRecordSink:
 
     def test_passes_malformed_lines_through(self):
         out = io.StringIO()
-        ShardRecordSink(out, 1).write("not json\n")
+        with pytest.warns(DeprecationWarning, match="TaggedSink"):
+            sink = ShardRecordSink(out, 1)
+        sink.write("not json\n")
         assert out.getvalue() == "not json\n"
+
+    def test_tagged_sink_is_the_replacement(self):
+        out = io.StringIO()
+        sink = TaggedSink(JsonlSink(out), shard=3)
+        sink.emit({"kind": "arrival", "line": 1})
+        assert json.loads(out.getvalue()) == {
+            "kind": "arrival",
+            "line": 1,
+            "shard": 3,
+        }
 
 
 class TestDrainConvergenceGuard:

@@ -24,15 +24,23 @@ from repro.faults import (
 )
 from repro.online import (
     OnlineService,
+    ShardedOnlineCluster,
     ShardRouter,
     StreamingGPSServer,
-    create_cluster,
-    recover_cluster,
 )
 from repro.online.durability.wal import WriteAheadLog
 
 RATE = 4.0
 NAMES = ("a", "b", "c", "d", "e", "f")
+
+
+def create_cluster(root, **kwargs):
+    cluster, _ = ShardedOnlineCluster.open(root, mode="create", **kwargs)
+    return cluster
+
+
+def recover_cluster(root, **kwargs):
+    return ShardedOnlineCluster.open(root, mode="recover", **kwargs)
 
 
 def _stream(n=90, seed=11):

@@ -16,9 +16,9 @@ import pytest
 
 from repro.errors import ClusterError
 from repro.online import (
+    DurableOnlineService,
     OnlineService,
     StreamingGPSServer,
-    recover_durable_service,
 )
 from repro.online.cluster.process import (
     ALIVE,
@@ -29,6 +29,10 @@ from repro.online.cluster.process import (
 )
 
 RATE = 3.0
+
+
+def recover_durable_service(directory, **kwargs):
+    return DurableOnlineService.open(directory, mode="recover", **kwargs)
 
 
 def _lines(n=30):

@@ -11,12 +11,10 @@ from repro.core.ebb import EBB
 from repro.errors import RecoveryError, ReproError, ValidationError
 from repro.online.admission import AdmissionController
 from repro.online.durability import (
+    DurableOnlineService,
     SnapshotStore,
     WalEntry,
     WriteAheadLog,
-    create_durable_service,
-    open_durable_service,
-    recover_durable_service,
 )
 from repro.online.durability.wal import _frame
 from repro.online.engine import StreamingGPSServer
@@ -28,6 +26,23 @@ from repro.online.events import (
     SessionLeave,
     event_to_record,
 )
+
+
+def create_durable_service(directory, **kwargs):
+    service, _ = DurableOnlineService.open(
+        directory, mode="create", **kwargs
+    )
+    return service
+
+
+def recover_durable_service(directory, *, expected_rate=None, **kwargs):
+    return DurableOnlineService.open(
+        directory, mode="recover", rate=expected_rate, **kwargs
+    )
+
+
+def open_durable_service(directory, **kwargs):
+    return DurableOnlineService.open(directory, mode="attach", **kwargs)
 
 
 def _lines(events):
@@ -276,7 +291,7 @@ class TestDurableServiceLifecycle:
             create_durable_service(tmp_path, rate=1.0, snapshots_every=5)
 
     def test_open_requires_rate_for_fresh_directory(self, tmp_path):
-        with pytest.raises(RecoveryError, match="no --rate"):
+        with pytest.raises(RecoveryError, match="no rate"):
             open_durable_service(tmp_path)
 
     def test_recover_rejects_contradictory_rate(self, tmp_path):

@@ -1,0 +1,105 @@
+"""The typed record-sink protocol (`repro.online.records`)."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.online.records import (
+    JsonlSink,
+    NullSink,
+    RecordSink,
+    TaggedSink,
+    as_record_sink,
+)
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_record(self):
+        out = io.StringIO()
+        sink = JsonlSink(out)
+        sink.emit({"kind": "a"})
+        sink.emit({"kind": "b", "n": 2})
+        lines = out.getvalue().splitlines()
+        assert [json.loads(line) for line in lines] == [
+            {"kind": "a"},
+            {"kind": "b", "n": 2},
+        ]
+
+    def test_serializes_numpy_values(self):
+        out = io.StringIO()
+        JsonlSink(out).emit(
+            {"total": np.float64(1.5), "counts": np.arange(3)}
+        )
+        assert json.loads(out.getvalue()) == {
+            "total": 1.5,
+            "counts": [0, 1, 2],
+        }
+
+    def test_rejects_non_stream(self):
+        with pytest.raises(ValidationError, match="writable"):
+            JsonlSink("not-a-stream")
+
+    def test_satisfies_the_protocol(self):
+        assert isinstance(JsonlSink(io.StringIO()), RecordSink)
+        assert isinstance(NullSink(), RecordSink)
+
+
+class TestTaggedSink:
+    def test_stamps_tags(self):
+        out = io.StringIO()
+        TaggedSink(JsonlSink(out), shard=2, host="x").emit(
+            {"kind": "arrival"}
+        )
+        assert json.loads(out.getvalue()) == {
+            "kind": "arrival",
+            "shard": 2,
+            "host": "x",
+        }
+
+    def test_record_keys_win_over_tags(self):
+        out = io.StringIO()
+        TaggedSink(JsonlSink(out), shard=2).emit(
+            {"kind": "x", "shard": 9}
+        )
+        assert json.loads(out.getvalue())["shard"] == 9
+
+    def test_does_not_mutate_the_record(self):
+        record = {"kind": "x"}
+        TaggedSink(NullSink(), shard=1).emit(record)
+        assert record == {"kind": "x"}
+
+    def test_requires_at_least_one_tag(self):
+        with pytest.raises(ValidationError, match="tag"):
+            TaggedSink(NullSink())
+
+    def test_nests(self):
+        out = io.StringIO()
+        inner = TaggedSink(JsonlSink(out), shard=1)
+        TaggedSink(inner, region="eu").emit({"kind": "x"})
+        assert json.loads(out.getvalue()) == {
+            "kind": "x",
+            "shard": 1,
+            "region": "eu",
+        }
+
+
+class TestCoercion:
+    def test_none_becomes_null_sink(self):
+        assert isinstance(as_record_sink(None), NullSink)
+
+    def test_record_sink_passes_through(self):
+        sink = NullSink()
+        assert as_record_sink(sink) is sink
+
+    def test_stream_is_wrapped(self):
+        out = io.StringIO()
+        sink = as_record_sink(out)
+        assert isinstance(sink, JsonlSink)
+        assert sink.stream is out
+
+    def test_garbage_is_rejected(self):
+        with pytest.raises(ValidationError, match="sink"):
+            as_record_sink(42)

@@ -24,10 +24,9 @@ from repro.faults import (
     SimulatedCrash,
 )
 from repro.online import (
+    DurableOnlineService,
     OnlineService,
     StreamingGPSServer,
-    create_durable_service,
-    recover_durable_service,
 )
 from repro.online.admission import AdmissionController
 from repro.online.events import (
@@ -38,6 +37,17 @@ from repro.online.events import (
 )
 
 RATE = 3.0
+
+
+def create_durable_service(directory, **kwargs):
+    service, _ = DurableOnlineService.open(
+        directory, mode="create", **kwargs
+    )
+    return service
+
+
+def recover_durable_service(directory, **kwargs):
+    return DurableOnlineService.open(directory, mode="recover", **kwargs)
 
 
 def _stream(n_slots=50, seed=3):
