@@ -156,6 +156,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--packet",
+        action="store_true",
+        help=(
+            "serve a packetized PGPS/WFQ stream instead of slotted "
+            "fluid events: the input is a packet trace (one "
+            "packet-trace-header line, then packet lines in arrival "
+            "order) and the output carries packet-accepted / "
+            "packet-served / gap-report records; composes with --wal "
+            "and repro recover"
+        ),
+    )
+    serve.add_argument(
         "--admission",
         action="store_true",
         help=(
@@ -466,6 +478,21 @@ def _run_serve(args) -> int:
     if args.drain_slots < 1:
         print("error: --drain-slots must be >= 1", file=sys.stderr)
         return 2
+    if args.packet:
+        incompatible = []
+        if args.shards is not None:
+            incompatible.append("--shards")
+        if args.admission:
+            incompatible.append("--admission")
+        if args.shed_backlog is not None or args.shed_resume is not None:
+            incompatible.append("--shed-backlog/--shed-resume")
+        if incompatible:
+            print(
+                "error: --packet cannot be combined with "
+                + ", ".join(incompatible),
+                file=sys.stderr,
+            )
+            return 2
     if args.shards is not None:
         if args.shards < 1:
             print("error: --shards must be >= 1", file=sys.stderr)
@@ -535,6 +562,7 @@ def _run_serve(args) -> int:
                     mode="attach",
                     rate=args.rate,
                     sink=sink,
+                    packet=args.packet,
                     admission=args.admission,
                     diagnostics=not args.no_diagnostics,
                     incremental=not args.full_recompute,
@@ -549,6 +577,20 @@ def _run_serve(args) -> int:
                 )
                 sink.write(json.dumps(report.to_record()))
                 sink.write("\n")
+            elif args.packet:
+                from repro.packet.serving import (
+                    PacketOnlineService,
+                    PacketStreamEngine,
+                )
+
+                service = PacketOnlineService(
+                    PacketStreamEngine(rate=args.rate),
+                    sink=sink,
+                    strict=args.strict,
+                    drain_slots=args.drain_slots,
+                    max_errors=args.max_errors,
+                    heartbeat_every=args.heartbeat_every,
+                )
             else:
                 admission = None
                 if args.admission:

@@ -63,6 +63,7 @@ _META_FORMAT = 1
 #: directory needs to rebuild the service).
 _CONFIG_DEFAULTS: dict[str, Any] = {
     "rate": None,  # required at creation
+    "packet": False,
     "admission": False,
     "diagnostics": True,
     "incremental": True,
@@ -366,7 +367,12 @@ class DurableOnlineService(OnlineService):
 # ----------------------------------------------------------------------
 # construction / recovery entry points
 # ----------------------------------------------------------------------
-def _build_engine(config: dict[str, Any]) -> StreamingGPSServer:
+def _build_engine(config: dict[str, Any]) -> Any:
+    if config.get("packet"):
+        # Imported lazily: repro.packet.serving imports this module.
+        from repro.packet.serving import PacketStreamEngine
+
+        return PacketStreamEngine(rate=float(config["rate"]))
     admission = None
     if config["admission"]:
         admission = AdmissionController(
@@ -383,7 +389,7 @@ def _build_engine(config: dict[str, Any]) -> StreamingGPSServer:
 
 def _build_service(
     config: dict[str, Any],
-    engine: StreamingGPSServer,
+    engine: Any,
     wal: WriteAheadLog,
     snapshots: SnapshotStore,
     *,
@@ -391,7 +397,12 @@ def _build_service(
     crash: Any,
     applied_seq: int,
 ) -> DurableOnlineService:
-    return DurableOnlineService(
+    cls: type[DurableOnlineService] = DurableOnlineService
+    if config.get("packet"):
+        from repro.packet.serving import DurablePacketService
+
+        cls = DurablePacketService
+    return cls(
         engine,
         wal=wal,
         snapshots=snapshots,
@@ -440,6 +451,16 @@ def _create(
     config = dict(_CONFIG_DEFAULTS)
     config.update(config_overrides)
     config["rate"] = float(rate)
+    if config["packet"] and config["admission"]:
+        raise ValidationError(
+            "packet serving has no join/leave admission path; "
+            "packet=True cannot be combined with admission=True"
+        )
+    if config["packet"] and config["shed_backlog"] is not None:
+        raise ValidationError(
+            "packet serving has no slot backlog to shed; packet=True "
+            "cannot be combined with shed_backlog"
+        )
     _write_meta(directory, config)
     wal = WriteAheadLog(
         directory,
@@ -487,7 +508,14 @@ def _recover(
     snapshots = SnapshotStore(directory)
     document = snapshots.load_newest()
     if document is not None:
-        engine = StreamingGPSServer.from_state(document["engine"])
+        if config.get("packet"):
+            from repro.packet.serving import PacketStreamEngine
+
+            engine: Any = PacketStreamEngine.from_state(
+                document["engine"]
+            )
+        else:
+            engine = StreamingGPSServer.from_state(document["engine"])
         applied_seq = int(document["applied_seq"])
         snapshot_seq: int | None = applied_seq
     else:

@@ -188,15 +188,24 @@ class SnapshotStore:
         self, document: dict[str, Any], encoded: bytes
     ) -> None:
         """Bit-identity gate: a snapshot must provably resurrect itself."""
-        from repro.online.engine import StreamingGPSServer
-
         decoded = _decode(encoded)
         if decoded is None:
             raise RecoveryError(
                 "snapshot round-trip verification failed: the encoded "
                 "document does not decode"
             )
-        restored = StreamingGPSServer.from_state(decoded["engine"])
+        if decoded["engine"].get("kind") == "packet-stream-engine":
+            # Imported lazily: the packet serving stack sits above the
+            # durability layer.
+            from repro.packet.serving import PacketStreamEngine
+
+            restored: Any = PacketStreamEngine.from_state(
+                decoded["engine"]
+            )
+        else:
+            from repro.online.engine import StreamingGPSServer
+
+            restored = StreamingGPSServer.from_state(decoded["engine"])
         re_encoded = _encode(
             {
                 "format": decoded["format"],

@@ -241,13 +241,23 @@ class OnlineService:
             }
         )
 
+    def _parse_event(self, payload: dict[str, Any]) -> Any:
+        """Decode one JSON payload into an engine event.
+
+        Subclasses override this to speak other wire vocabularies
+        (:class:`repro.packet.serving.PacketOnlineService` dispatches
+        packet-trace records here); the surrounding resilience,
+        durability and replay machinery is shared untouched.
+        """
+        return event_from_record(payload)
+
     def _handle_line(self, lineno: int, line: str) -> None:
         stripped = line.strip()
         if not stripped:
             self._heartbeat(lineno)
             return
         try:
-            event = event_from_record(json.loads(stripped))
+            event = self._parse_event(json.loads(stripped))
             if self._maybe_shed(lineno, event):
                 self._heartbeat(lineno)
                 return

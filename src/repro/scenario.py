@@ -45,7 +45,9 @@ if TYPE_CHECKING:  # imported lazily at runtime to keep layering acyclic
     from repro.faults.schedule import FaultSchedule
     from repro.sim.batch import BatchFluidGPSServer, BatchGPSSimResult
     from repro.sim.fluid import FluidGPSServer, GPSSimResult
+    from repro.packet.trace import PacketTrace
     from repro.sim.packet import Packet, WFQResult, WFQServer
+    from repro.sim.packetize import PacketSizeModel
 
 __all__ = ["Scenario"]
 
@@ -419,6 +421,49 @@ class Scenario:
         return self.packet_server().simulate(
             self.packetize(packet_size, trial)
         )
+
+    def to_packet_trace(
+        self,
+        packet_size: float | None = None,
+        *,
+        model: "PacketSizeModel | None" = None,
+        trial: int = 0,
+    ) -> "PacketTrace":
+        """Sample one trial as a :class:`repro.packet.trace.PacketTrace`.
+
+        Pass either ``packet_size`` (the fixed-length chopper) or
+        ``model`` (any :class:`repro.sim.packetize.PacketSizeModel`).
+        The trace header carries this scenario's weights, rate and
+        session names, so the file is self-describing — feed it to
+        :class:`repro.packet.engine.PacketEngine`, ``repro serve
+        --packet``, or write it to disk with
+        :meth:`~repro.packet.trace.PacketTrace.write`.
+
+        Arrivals come from :meth:`sample_arrivals` for the given
+        trial; model-drawn packet lengths are seeded from
+        ``(self.seed, trial)``, so the same scenario and trial always
+        produce the same trace.
+        """
+        from repro.packet.trace import PacketTrace, PacketTraceHeader
+        from repro.sim.packetize import FixedSize, packetize_traces_model
+
+        if (packet_size is None) == (model is None):
+            raise ValidationError(
+                "pass exactly one of packet_size= or model= to "
+                "to_packet_trace()"
+            )
+        if model is None:
+            assert packet_size is not None
+            model = FixedSize(packet_size)
+        packets = packetize_traces_model(
+            self.sample_arrivals(trial),
+            model,
+            seed=(self.seed, trial),
+        )
+        header = PacketTraceHeader(
+            phis=self.phis, rate=self.rate, names=self.names
+        )
+        return PacketTrace(header=header, packets=tuple(packets))
 
     # ------------------------------------------------------------------
     # analysis side

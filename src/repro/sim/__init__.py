@@ -41,7 +41,16 @@ from repro.sim.packet_baselines import (
     TaggedResult,
     VirtualClockServer,
 )
-from repro.sim.packetize import packetize_trace, packetize_traces
+from repro.sim.packetize import (
+    FixedSize,
+    PacketSizeModel,
+    TruncatedGeometricSize,
+    UniformSize,
+    packetize_trace,
+    packetize_trace_model,
+    packetize_traces,
+    packetize_traces_model,
+)
 from repro.sim.results import SimResult, to_jsonable
 from repro.sim.statistics import (
     BatchMeansEstimate,
@@ -74,7 +83,13 @@ __all__ = [
     "WFQResult",
     "WFQServer",
     "packetize_trace",
+    "packetize_trace_model",
     "packetize_traces",
+    "packetize_traces_model",
+    "FixedSize",
+    "PacketSizeModel",
+    "TruncatedGeometricSize",
+    "UniformSize",
     "SCFQServer",
     "TaggedPacket",
     "TaggedResult",

@@ -148,7 +148,18 @@ class WFQResult:
 
 
 class _VirtualClock:
-    """Piecewise-linear virtual time with crossing-aware advancement."""
+    """Piecewise-linear virtual time with crossing-aware advancement.
+
+    The GPS-busy set is maintained *incrementally* as a sorted index
+    list: a session enters when a stamp pushes its last virtual finish
+    past ``V`` and leaves when ``V`` crosses that finish, so each slope
+    change costs O(busy) instead of rescanning the full φ vector.  All
+    busy-φ sums are exactly rounded (``math.fsum``), which makes the
+    slope — and therefore every breakpoint — a pure function of the
+    busy *set*, independent of summation order.  The streaming engine
+    in :mod:`repro.packet` relies on that to reproduce this clock bit
+    for bit from an incremental accumulator.
+    """
 
     def __init__(self, rate: float, phis: np.ndarray) -> None:
         self._rate = rate
@@ -158,6 +169,9 @@ class _VirtualClock:
         # Largest assigned virtual finish per session; the session is
         # GPS-busy while this exceeds V.
         self._last_finish = np.zeros(phis.size)
+        # Sorted indices of the GPS-busy set, kept equal to
+        # {i : last_finish[i] > V + eps} across every mutation.
+        self._busy: list[int] = []
         # Recorded (time, virtual) breakpoints for inversion.
         self._segments: list[tuple[float, float]] = [(0.0, 0.0)]
         # Cached virtual-value index for binary-search inversion.
@@ -168,7 +182,16 @@ class _VirtualClock:
         return self._virtual
 
     def _busy_sessions(self) -> np.ndarray:
-        return np.flatnonzero(self._last_finish > self._virtual + _EPS)
+        return np.asarray(self._busy, dtype=np.intp)
+
+    def _drop_settled(self) -> None:
+        """Evict busy sessions whose last finish ``V`` has crossed."""
+        threshold = self._virtual + _EPS
+        last = self._last_finish
+        if any(last[k] <= threshold for k in self._busy):
+            self._busy = [
+                k for k in self._busy if last[k] > threshold
+            ]
 
     def advance_to(self, target_time: float) -> None:
         """Advance real time to ``target_time``, updating ``V``.
@@ -178,14 +201,18 @@ class _VirtualClock:
         crossing changes the slope of ``V``.
         """
         while self._time < target_time - _EPS:
-            busy = self._busy_sessions()
-            if busy.size == 0:
+            busy = self._busy
+            if not busy:
                 # Idle: V holds its value.
                 self._time = target_time
                 self._segments.append((self._time, self._virtual))
                 return
-            slope = self._rate / float(self._phis[busy].sum())
-            next_finish = float(self._last_finish[busy].min())
+            slope = self._rate / math.fsum(
+                self._phis[k] for k in busy
+            )
+            next_finish = float(
+                min(self._last_finish[k] for k in busy)
+            )
             crossing_dt = (next_finish - self._virtual) / slope
             remaining = target_time - self._time
             if crossing_dt <= remaining + _EPS:
@@ -194,6 +221,7 @@ class _VirtualClock:
             else:
                 self._time = target_time
                 self._virtual += slope * remaining
+            self._drop_settled()
             self._segments.append((self._time, self._virtual))
 
     def stamp_packet(self, packet: Packet) -> tuple[float, float]:
@@ -203,26 +231,38 @@ class _VirtualClock:
         start = max(self._virtual, self._last_finish[i])
         finish = start + packet.size / self._phis[i]
         self._last_finish[i] = finish
+        if finish > self._virtual + _EPS:
+            pos = bisect.bisect_left(self._busy, i)
+            if pos == len(self._busy) or self._busy[pos] != i:
+                self._busy.insert(pos, i)
         return start, finish
 
     def drain(self) -> None:
         """Run the clock forward until every session finishes in the
         fluid reference (so all virtual finishes can be inverted)."""
-        while True:
-            busy = self._busy_sessions()
-            if busy.size == 0:
-                return
-            slope = self._rate / float(self._phis[busy].sum())
-            next_finish = float(self._last_finish[busy].min())
+        while self._busy:
+            busy = self._busy
+            slope = self._rate / math.fsum(
+                self._phis[k] for k in busy
+            )
+            next_finish = float(
+                min(self._last_finish[k] for k in busy)
+            )
             self._time += (next_finish - self._virtual) / slope
             self._virtual = next_finish
+            self._drop_settled()
             self._segments.append((self._time, self._virtual))
 
     def real_time_of(self, virtual_value: float) -> float:
         """Invert ``V(t)``: first real time at which ``V`` reaches the
         value (defined because ``V`` is non-decreasing).
 
-        Binary search over the recorded breakpoints; the breakpoint
+        Binary search over the recorded breakpoints — the *first*
+        breakpoint whose value reaches the query resolves it, with
+        linear interpolation inside the segment.  A query within
+        ``eps`` above the final drained value resolves to the final
+        breakpoint (such a stamp never re-entered the busy set, so
+        ``V`` legitimately stops just short of it).  The breakpoint
         index is built lazily on first use (after :meth:`drain`) and
         reused for every packet — the inversion is called once per
         packet, so anything slower makes the simulation quadratic.
@@ -232,10 +272,10 @@ class _VirtualClock:
         ) != len(self._segments):
             self._index_values = [v for _, v in self._segments]
         segments = self._segments
-        k = bisect.bisect_left(
-            self._index_values, virtual_value - 1e-9
-        )
+        k = bisect.bisect_left(self._index_values, virtual_value)
         if k >= len(segments):
+            if virtual_value <= self._virtual + _EPS:
+                return segments[-1][0]
             raise ValidationError(
                 f"virtual value {virtual_value} was never reached; "
                 "call drain() first"

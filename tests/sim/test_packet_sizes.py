@@ -1,0 +1,191 @@
+"""Variable packet-length models and the model-driven chopper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim.packetize import (
+    FixedSize,
+    TruncatedGeometricSize,
+    UniformSize,
+    packetize_trace,
+    packetize_trace_model,
+    packetize_traces,
+    packetize_traces_model,
+)
+
+
+class TestSizeModels:
+    def test_fixed_size_needs_no_rng(self):
+        model = FixedSize(0.25)
+        assert model.sample(None) == 0.25
+        assert model.max_size == 0.25
+
+    def test_fixed_size_validates(self):
+        with pytest.raises(ValidationError):
+            FixedSize(0.0)
+
+    def test_uniform_bounds_and_max(self):
+        model = UniformSize(0.2, 0.8)
+        rng = np.random.default_rng(0)
+        draws = [model.sample(rng) for _ in range(500)]
+        assert all(0.2 <= x <= 0.8 for x in draws)
+        assert model.max_size == 0.8
+        with pytest.raises(ValidationError, match="high"):
+            UniformSize(0.8, 0.2)
+        with pytest.raises(ValidationError, match="generator"):
+            model.sample(None)
+
+    def test_truncated_geometric_support(self):
+        model = TruncatedGeometricSize(quantum=0.1, p=0.3, l_max=0.55)
+        assert model.k_max == 5
+        assert model.max_size == pytest.approx(0.5)
+        rng = np.random.default_rng(1)
+        draws = [model.sample(rng) for _ in range(2000)]
+        ks = {round(x / 0.1) for x in draws}
+        assert ks == {1, 2, 3, 4, 5}
+        assert max(draws) <= model.max_size + 1e-12
+        # Geometric shape: minimum-size packets dominate.
+        assert sum(1 for x in draws if round(x / 0.1) == 1) > sum(
+            1 for x in draws if round(x / 0.1) == 2
+        )
+
+    def test_truncated_geometric_validates(self):
+        with pytest.raises(ValidationError, match="p must"):
+            TruncatedGeometricSize(quantum=0.1, p=1.0, l_max=0.5)
+        with pytest.raises(ValidationError, match="no packet"):
+            TruncatedGeometricSize(quantum=1.0, p=0.5, l_max=0.5)
+
+    def test_sampling_is_deterministic_per_seed(self):
+        model = TruncatedGeometricSize(quantum=0.1, p=0.4, l_max=1.0)
+        a = [
+            model.sample(np.random.default_rng(42)) for _ in range(3)
+        ]
+        assert a[0] == a[1] == a[2]
+
+
+class TestModelChopper:
+    def trace(self):
+        rng = np.random.default_rng(3)
+        return rng.uniform(0.0, 1.0, 50)
+
+    def test_fixed_model_matches_legacy_api_exactly(self):
+        increments = self.trace()
+        legacy = packetize_trace(increments, 0, 0.3)
+        model = packetize_trace_model(increments, 0, FixedSize(0.3))
+        assert legacy == model
+
+    def test_matrix_fixed_model_matches_legacy(self):
+        rng = np.random.default_rng(4)
+        matrix = rng.uniform(0.0, 1.0, (3, 40))
+        assert packetize_traces(matrix, 0.25) == (
+            packetize_traces_model(matrix, FixedSize(0.25))
+        )
+
+    def test_variable_sizes_conserve_fluid(self):
+        increments = self.trace()
+        model = UniformSize(0.1, 0.4)
+        rng = np.random.default_rng(5)
+        packets = packetize_trace_model(increments, 0, model, rng)
+        total = sum(p.size for p in packets)
+        # Everything but the incomplete residual packet is released.
+        assert total <= increments.sum() + 1e-9
+        assert total >= increments.sum() - model.max_size
+
+    def test_release_times_are_nondecreasing(self):
+        increments = self.trace()
+        rng = np.random.default_rng(6)
+        packets = packetize_trace_model(
+            increments,
+            0,
+            TruncatedGeometricSize(quantum=0.05, p=0.5, l_max=0.3),
+            rng,
+        )
+        times = [p.arrival_time for p in packets]
+        assert times == sorted(times)
+
+    def test_matrix_model_is_seed_deterministic(self):
+        rng = np.random.default_rng(8)
+        matrix = rng.uniform(0.0, 1.0, (3, 30))
+        model = UniformSize(0.1, 0.5)
+        a = packetize_traces_model(matrix, model, seed=11)
+        b = packetize_traces_model(matrix, model, seed=11)
+        c = packetize_traces_model(matrix, model, seed=12)
+        assert a == b
+        assert a != c
+
+    def test_per_session_streams_are_independent(self):
+        # Session 0's packets must not change when session 1 appears.
+        rng = np.random.default_rng(9)
+        row = rng.uniform(0.0, 1.0, 30)
+        model = UniformSize(0.1, 0.5)
+        alone = packetize_traces_model(
+            row[np.newaxis, :], model, seed=21
+        )
+        paired = packetize_traces_model(
+            np.vstack([row, row]), model, seed=21
+        )
+        assert [p for p in paired if p.session == 0] == alone
+
+    def test_random_model_without_seed_raises(self):
+        matrix = np.ones((1, 5))
+        with pytest.raises(ValidationError, match="generator"):
+            packetize_traces_model(matrix, UniformSize(0.1, 0.2))
+
+
+class TestScenarioTrace:
+    def scenario(self):
+        from repro import Scenario
+        from repro.markov.onoff import OnOffSource
+        from repro.traffic.sources import (
+            BernoulliBurstTraffic,
+            OnOffTraffic,
+        )
+
+        return Scenario(
+            rate=1.0,
+            phis=(2.0, 1.0),
+            sources=(
+                OnOffTraffic(
+                    OnOffSource(p=0.2, q=0.4, peak_rate=0.8)
+                ),
+                BernoulliBurstTraffic(
+                    burst_probability=0.3, burst_size=0.6
+                ),
+            ),
+            horizon=120,
+            seed=5,
+        )
+
+    def test_header_carries_scenario_identity(self):
+        scenario = self.scenario()
+        trace = scenario.to_packet_trace(packet_size=0.25)
+        assert trace.header.phis == scenario.phis
+        assert trace.header.rate == scenario.rate
+        assert trace.header.names == scenario.names
+
+    def test_fixed_size_matches_packetize(self):
+        scenario = self.scenario()
+        trace = scenario.to_packet_trace(packet_size=0.25)
+        assert list(trace.packets) == scenario.packetize(0.25)
+
+    def test_model_traces_are_deterministic_per_trial(self):
+        scenario = self.scenario()
+        model = TruncatedGeometricSize(
+            quantum=0.1, p=0.4, l_max=0.5
+        )
+        assert scenario.to_packet_trace(model=model) == (
+            scenario.to_packet_trace(model=model)
+        )
+        assert scenario.to_packet_trace(model=model) != (
+            scenario.to_packet_trace(model=model, trial=1)
+        )
+
+    def test_exactly_one_size_spec_required(self):
+        scenario = self.scenario()
+        with pytest.raises(ValidationError, match="exactly one"):
+            scenario.to_packet_trace()
+        with pytest.raises(ValidationError, match="exactly one"):
+            scenario.to_packet_trace(
+                packet_size=0.1, model=FixedSize(0.1)
+            )

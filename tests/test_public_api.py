@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.faults",
     "repro.online",
+    "repro.packet",
     "repro.utils",
 ]
 
@@ -77,6 +78,12 @@ MODULES = [
     "repro.online.events",
     "repro.online.service",
     "repro.online.session",
+    "repro.packet.engine",
+    "repro.packet.gap",
+    "repro.packet.results",
+    "repro.packet.serving",
+    "repro.packet.trace",
+    "repro.packet.vclock",
     "repro.sim.baselines",
     "repro.sim.class_based",
     "repro.sim.decay",
