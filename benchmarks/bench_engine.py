@@ -8,13 +8,16 @@ on-off / Bernoulli / CBR session mix sampled from one ``Scenario``):
   slot rate (trial-slots per second);
 * **batched** — ``BatchFluidGPSServer.run`` over the whole ``(B, N,
   T)`` stack; the tentpole speedup this PR exists to demonstrate;
-* **supervised** — ``SupervisedRunner`` trial throughput, serial vs
-  process fan-out, on a smaller per-trial horizon (the packet/network
-  path that cannot batch).
+* **supervised** — ``SupervisedRunner`` trial throughput under each
+  dispatch backend: ``serial`` (the reference), ``process`` (the
+  legacy per-trial pickle fan-out) and ``shared-memory`` (chunked
+  ``(B, N, T)`` blocks through the batch engine) — the manifest of
+  the shared-memory run is asserted bit-identical to the serial one.
 
 Writes ``BENCH_engine.json`` (see ``--out``) with raw timings and the
-derived speedups; the CI bench job uploads it as a non-gating
-artifact so regressions are visible without blocking merges.
+derived speedups; the CI bench job runs the ``--quick`` variant as a
+regression gate (shared-memory must beat serial by >= 2x at 4
+workers — see ci.yml).
 
 Run:  PYTHONPATH=src python benchmarks/bench_engine.py
 """
@@ -108,32 +111,45 @@ def bench_fluid(
 def bench_supervised(
     scenario: Scenario, num_trials: int, workers: int
 ) -> dict:
-    """Serial vs process-pool trial throughput of SupervisedRunner."""
+    """Trial throughput of SupervisedRunner under each dispatch backend."""
     from repro.experiments.supervisor import SupervisedRunner
 
-    def timed(max_workers: int | None) -> float:
+    def timed(dispatch: str, max_workers: int | None):
         runner = SupervisedRunner(
             scenario=scenario,
             num_trials=num_trials,
             max_workers=max_workers,
+            dispatch=dispatch,
         )
         start = time.perf_counter()
         manifest = runner.run()
         elapsed = time.perf_counter() - start
         assert manifest.num_completed == num_trials
-        return elapsed
+        return elapsed, manifest
 
-    serial_s = timed(None)
-    parallel_s = timed(workers)
+    serial_s, serial_manifest = timed("serial", None)
+    process_s, _ = timed("process", workers)
+    shm_s, shm_manifest = timed("shared-memory", workers)
+    # The headline guarantee: the shared-memory fast path is
+    # bit-for-bit the serial reference.
+    assert shm_manifest.completed == serial_manifest.completed
     return {
         "num_trials": num_trials,
         "num_slots": scenario.horizon,
         "workers": workers,
         "serial_seconds": serial_s,
-        "parallel_seconds": parallel_s,
+        "process_seconds": process_s,
+        "shared_memory_seconds": shm_s,
         "serial_trials_per_sec": num_trials / serial_s,
-        "parallel_trials_per_sec": num_trials / parallel_s,
-        "speedup": serial_s / parallel_s,
+        "process_trials_per_sec": num_trials / process_s,
+        "shared_memory_trials_per_sec": num_trials / shm_s,
+        "process_speedup": serial_s / process_s,
+        "shared_memory_speedup": serial_s / shm_s,
+        "bit_identical": True,
+        # Back-compat aliases (pre-dispatch schema).
+        "parallel_seconds": process_s,
+        "parallel_trials_per_sec": num_trials / process_s,
+        "speedup": serial_s / process_s,
     }
 
 
@@ -155,7 +171,7 @@ def main() -> int:
     parser.add_argument(
         "--supervised-trials",
         type=int,
-        default=8,
+        default=32,
         help="trials for the supervised-runner comparison",
     )
     parser.add_argument(
@@ -167,7 +183,19 @@ def main() -> int:
     parser.add_argument(
         "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small sweep for CI (<60s total, same comparisons)",
+    )
     args = parser.parse_args()
+    if args.quick:
+        # Shrinks the fluid sweep but keeps the supervised trial count:
+        # the shared-memory speedup the CI gate checks needs enough
+        # trials per worker for chunked batching to amortize.
+        args.slots = min(args.slots, 1_000)
+        args.batch_sizes = [16, 64]
+        args.repeats = 1
 
     scenario = build_scenario(args.slots)
     fluid_rows = []
@@ -188,11 +216,13 @@ def main() -> int:
         supervised_scenario, args.supervised_trials, args.workers
     )
     print(
-        f"supervised n={supervised['num_trials']}: serial "
-        f"{supervised['serial_trials_per_sec']:.2f} trials/s, "
-        f"{supervised['workers']} workers "
-        f"{supervised['parallel_trials_per_sec']:.2f} trials/s "
-        f"({supervised['speedup']:.1f}x)"
+        f"supervised n={supervised['num_trials']} "
+        f"({supervised['workers']} workers): serial "
+        f"{supervised['serial_trials_per_sec']:.2f} trials/s, process "
+        f"{supervised['process_trials_per_sec']:.2f} trials/s "
+        f"({supervised['process_speedup']:.1f}x), shared-memory "
+        f"{supervised['shared_memory_trials_per_sec']:.2f} trials/s "
+        f"({supervised['shared_memory_speedup']:.1f}x)"
     )
 
     payload = {
@@ -200,7 +230,9 @@ def main() -> int:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
+        "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "quick": bool(args.quick),
         "fluid": fluid_rows,
         "supervised": supervised,
     }

@@ -2,22 +2,28 @@
 """Benchmark the durability tax of the write-ahead log.
 
 Measures sustained ingest throughput (events per second) of the online
-service over one JSONL arrival stream under four configurations:
+service over one JSONL arrival stream under every durability policy:
 
 * **off** — the plain :class:`repro.online.service.OnlineService`
   baseline, no durability at all;
 * **never** — WAL appends but no fsync (process-crash safe: the frames
   are in the page cache);
-* **batch** — the default: fsync every ``--batch-events`` appends and
-  on rotation/close (bounded buffering; at most one batch exposed to
+* **batch** — fsync every ``--batch-events`` appends and on
+  rotation/close (bounded buffering; at most one batch exposed to
   power loss);
+* **group** — group commit: coalesce appends within a time window
+  into one fsync (exposure bounded in *time*, not just count);
+* **budget:5ms** — latency budget: no acked frame sits unsynced past
+  the budget;
+* **async** — a background thread fsyncs behind the appends
+  (``wait_durable`` gives the power-loss ack);
 * **always** — fsync per append (classic power-loss-safe WAL
   semantics; the upper bound on the tax).
 
 Snapshots are disabled so the numbers isolate pure logging cost.
-Writes ``BENCH_wal.json`` (see ``--out``); the CI bench job uploads it
-as a non-gating artifact so regressions are visible without blocking
-merges.
+Writes ``BENCH_wal.json`` (see ``--out``); the CI bench job runs the
+``--quick`` variant as a regression gate (group commit must stay
+within 3x of ``always``'s throughput advantage — see ci.yml).
 
 Run:  PYTHONPATH=src python benchmarks/bench_wal.py
 """
@@ -132,12 +138,29 @@ def main() -> int:
     parser.add_argument(
         "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small stream for CI (<60s total, same policy sweep)",
+    )
     args = parser.parse_args()
+    if args.quick:
+        args.sessions = min(args.sessions, 100)
+        args.arrivals = min(args.arrivals, 8_000)
+        args.slots = min(args.slots, 80)
 
     lines = build_lines(args.sessions, args.arrivals, args.slots)
     rows = []
     baseline = None
-    for fsync in (None, "never", "batch", "always"):
+    for fsync in (
+        None,
+        "never",
+        "batch",
+        "group",
+        "budget:5ms",
+        "async",
+        "always",
+    ):
         row = bench_config(lines, fsync, args.batch_events)
         if baseline is None:
             baseline = row["events_per_sec"]
@@ -153,7 +176,9 @@ def main() -> int:
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
+        "platform": platform.platform(),
         "cpu_count": os.cpu_count(),
+        "quick": bool(args.quick),
         "batch_events": args.batch_events,
         "throughput": rows,
     }

@@ -104,6 +104,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     simulate.add_argument(
+        "--dispatch",
+        choices=("serial", "process"),
+        default=None,
+        help=(
+            "execution backend for the supervised run (default: "
+            "'process' when --workers > 1, else 'serial'); the "
+            "shared-memory batch backend is Scenario-API-only "
+            "(SupervisedRunner(scenario=..., dispatch='shared-memory'))"
+        ),
+    )
+    simulate.add_argument(
         "--json",
         action="store_true",
         help=(
@@ -292,12 +303,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--fsync",
-        choices=("batch", "always", "never"),
         default="batch",
         help=(
             "with --wal: fsync policy — 'always' syncs every append "
             "(power-loss safe), 'batch' syncs periodically, 'never' "
-            "leaves syncing to the OS (process-crash safe only)"
+            "leaves syncing to the OS (process-crash safe only), "
+            "'group[:Nms]' coalesces appends in a window into one "
+            "fdatasync, 'budget[:Nms]' bounds unsynced-append age "
+            "(default 5ms), 'async' fsyncs on a background thread "
+            "with bounded backpressure"
         ),
     )
     recover = sub.add_parser(
@@ -737,6 +751,7 @@ def _run_simulate(args) -> int:
             checkpoint_path=args.checkpoint,
             fail_fast=args.fail_fast,
             max_workers=args.workers,
+            dispatch=args.dispatch,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -29,6 +29,14 @@ from repro.experiments.runner import (
     run_all_resilient,
     simulation_trial,
 )
+from repro.experiments.dispatch import (
+    DISPATCH_BACKENDS,
+    DispatchBackend,
+    ProcessPickleDispatch,
+    SerialDispatch,
+    SharedMemoryDispatch,
+    make_dispatch_backend,
+)
 from repro.experiments.supervisor import (
     RunManifest,
     SupervisedRunner,
@@ -68,6 +76,12 @@ __all__ = [
     "RunManifest",
     "SupervisedRunner",
     "trial_seed",
+    "DISPATCH_BACKENDS",
+    "DispatchBackend",
+    "SerialDispatch",
+    "ProcessPickleDispatch",
+    "SharedMemoryDispatch",
+    "make_dispatch_backend",
     "RhoTradeoffPoint",
     "rho_tradeoff_curve",
 ]

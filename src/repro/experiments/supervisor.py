@@ -21,12 +21,15 @@ with the standard production defenses:
 * **JSON checkpoint/resume** — completed and failed trials are flushed
   to a checkpoint file after every trial (atomic rename), and a rerun
   with the same ``checkpoint_path`` skips finished work;
-* **process fan-out** — ``max_workers > 1`` runs trials concurrently in
-  a ``concurrent.futures.ProcessPoolExecutor``; per-trial seeds keep
-  the aggregate identical to a serial run, so fan-out is purely a
-  wall-clock lever for the packet/network simulators that stay scalar
-  (the batched fluid engine covers the single-node case without
-  processes);
+* **pluggable dispatch** — *how* pending trials execute is a
+  :class:`repro.experiments.dispatch.DispatchBackend`: ``"serial"``
+  (the reference), ``"process"`` (the legacy per-trial
+  ``ProcessPoolExecutor`` pickle fan-out that ``max_workers > 1``
+  selects by default), or ``"shared-memory"`` (scenario campaigns
+  only: chunked ``(B, N, T)`` arrival blocks in
+  ``multiprocessing.shared_memory``, executed through the batched
+  fluid engine — bit-identical per-trial results, one pickle and one
+  shm segment per chunk instead of per trial);
 * **graceful degradation** — trials that exhaust their retries are
   recorded in the manifest's ``failed`` map and the run continues
   (unless ``fail_fast``), so a 1000-trial campaign with three bad seeds
@@ -41,12 +44,7 @@ import os
 import tempfile
 import time
 import warnings
-from concurrent.futures import (
-    FIRST_COMPLETED,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-    wait,
-)
+from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -60,6 +58,10 @@ from repro.errors import (
     ReproError,
     SimulationFaultError,
     ValidationError,
+)
+from repro.experiments.dispatch import (
+    DispatchBackend,
+    make_dispatch_backend,
 )
 from repro.sim.results import to_jsonable
 from repro.utils.retry import RetryPolicy
@@ -175,6 +177,18 @@ class SupervisedRunner:
         Per-trial seeding keeps the completed results identical to a
         serial run; retry backoff sleeps are skipped (a retried trial
         simply re-enters the queue).
+    dispatch:
+        How pending trials execute: ``"serial"``, ``"process"``,
+        ``"shared-memory"``, or a
+        :class:`repro.experiments.dispatch.DispatchBackend` instance.
+        ``None`` (default) keeps the historical mapping —
+        ``"process"`` when ``max_workers > 1``, else ``"serial"``.
+        ``"shared-memory"`` requires ``scenario=`` (it samples and
+        batches the scenario's arrivals itself).
+    chunk_size:
+        Trials per shared-memory batch chunk (``dispatch=
+        "shared-memory"`` only); default splits the pending trials
+        evenly across the pool.
     backoff_base, backoff_cap, jitter:
         Attempt ``a`` sleeps ``min(cap, base * 2**a) * (1 + U*jitter)``
         before retrying, with ``U`` drawn from a deterministic
@@ -201,6 +215,8 @@ class SupervisedRunner:
         retry_on: Sequence[type] = _DEFAULT_RETRYABLE,
         timeout: float | None = None,
         max_workers: int | None = None,
+        dispatch: "str | DispatchBackend | None" = None,
+        chunk_size: int | None = None,
         backoff_base: float = 0.1,
         backoff_cap: float = 5.0,
         jitter: float = 0.25,
@@ -247,6 +263,23 @@ class SupervisedRunner:
                 "per-attempt timeout is not supported with "
                 "max_workers > 1; drop one of the two"
             )
+        if dispatch is None:
+            resolved_workers = (
+                int(max_workers) if max_workers is not None else 1
+            )
+            dispatch = "process" if resolved_workers > 1 else "serial"
+        backend = make_dispatch_backend(dispatch, chunk_size=chunk_size)
+        if backend.name == "shared-memory" and scenario is None:
+            raise ValidationError(
+                "dispatch='shared-memory' requires scenario= (the "
+                "backend samples and batches the scenario's arrivals); "
+                "use dispatch='process' for arbitrary trial functions"
+            )
+        if backend.name != "serial" and timeout is not None:
+            raise ValidationError(
+                "per-attempt timeout is not supported with the "
+                f"'{backend.name}' dispatch backend; drop one of the two"
+            )
         if num_trials <= 0:
             raise ValidationError(
                 f"num_trials must be positive, got {num_trials}"
@@ -274,6 +307,8 @@ class SupervisedRunner:
         self._fail_fast = bool(fail_fast)
         self._max_workers = int(max_workers) if max_workers is not None else 1
         self._sleep = sleep
+        self._scenario = scenario
+        self._dispatch = backend
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -403,8 +438,20 @@ class SupervisedRunner:
         if delay > 0.0:
             self._sleep(delay)
 
+    @property
+    def dispatch(self) -> DispatchBackend:
+        """The backend executing this runner's pending trials."""
+        return self._dispatch
+
     def run(self) -> RunManifest:
-        """Execute (or resume) the campaign and return its manifest."""
+        """Execute (or resume) the campaign and return its manifest.
+
+        The pending trials are handed to the configured
+        :class:`~repro.experiments.dispatch.DispatchBackend`; every
+        backend fills the manifest exactly as the serial reference
+        would (same per-``(trial, attempt)`` seeds, same retry
+        accounting, same fail-fast contract).
+        """
         manifest = self.load_checkpoint()
         indices = [
             k
@@ -414,111 +461,4 @@ class SupervisedRunner:
         # Failed trials from a previous run get a fresh chance.
         for k in indices:
             manifest.failed.pop(k, None)
-        if self._max_workers > 1:
-            return self._run_parallel(manifest, indices)
-        aborted = False
-        for trial in indices:
-            if aborted:
-                manifest.skipped.append(trial)
-                continue
-            attempts_used = 0
-            while True:
-                attempts_used += 1
-                try:
-                    result = self._attempt(trial, attempts_used - 1)
-                except self._retry_on as exc:
-                    if attempts_used <= self._max_retries:
-                        self._backoff(trial, attempts_used - 1)
-                        continue
-                    manifest.failed[trial] = (
-                        f"{type(exc).__name__}: {exc}"
-                    )
-                    manifest.attempts[trial] = attempts_used
-                    self._write_checkpoint(manifest)
-                    if self._fail_fast:
-                        aborted = True
-                    break
-                except Exception as exc:  # non-retryable: record, no retry
-                    manifest.failed[trial] = (
-                        f"{type(exc).__name__}: {exc}"
-                    )
-                    manifest.attempts[trial] = attempts_used
-                    self._write_checkpoint(manifest)
-                    if self._fail_fast:
-                        aborted = True
-                    break
-                else:
-                    manifest.completed[trial] = result
-                    manifest.attempts[trial] = attempts_used
-                    self._write_checkpoint(manifest)
-                    break
-        if aborted and self._fail_fast:
-            failed = sorted(manifest.failed)
-            raise SimulationFaultError(
-                f"fail-fast abort: trial {failed[-1]} exhausted its "
-                f"retries; manifest: {manifest.summary()}"
-            )
-        return manifest
-
-    def _run_parallel(
-        self, manifest: RunManifest, indices: list[int]
-    ) -> RunManifest:
-        """Process-pool variant of :meth:`run`.
-
-        Seeds are the same per-(trial, attempt) values the serial path
-        uses, so ``manifest.completed`` is identical to a serial run.
-        Retryable failures re-enter the submission queue immediately
-        (no backoff sleep — the pool's other workers keep the wall
-        clock busy); checkpoints are written as completions arrive.
-        """
-        aborted = False
-        attempts: dict[int, int] = {trial: 0 for trial in indices}
-        with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
-
-            def submit(trial: int):
-                attempt = attempts[trial]
-                attempts[trial] += 1
-                seed = trial_seed(self._base_seed, trial, attempt)
-                return pool.submit(self._trial_fn, trial, seed)
-
-            pending = {submit(trial): trial for trial in indices}
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    trial = pending.pop(future)
-                    if aborted:
-                        if trial not in manifest.failed:
-                            manifest.skipped.append(trial)
-                        continue
-                    error = future.exception()
-                    if error is None:
-                        manifest.completed[trial] = future.result()
-                        manifest.attempts[trial] = attempts[trial]
-                        self._write_checkpoint(manifest)
-                        continue
-                    retryable = isinstance(error, self._retry_on)
-                    if retryable and attempts[trial] <= self._max_retries:
-                        new_future = submit(trial)
-                        pending[new_future] = trial
-                        continue
-                    manifest.failed[trial] = (
-                        f"{type(error).__name__}: {error}"
-                    )
-                    manifest.attempts[trial] = attempts[trial]
-                    self._write_checkpoint(manifest)
-                    if self._fail_fast:
-                        aborted = True
-                        for other in pending.values():
-                            manifest.skipped.append(other)
-                        for other_future in pending:
-                            other_future.cancel()
-                        pending = {}
-                        break
-        manifest.skipped.sort()
-        if aborted and self._fail_fast:
-            failed = sorted(manifest.failed)
-            raise SimulationFaultError(
-                f"fail-fast abort: trial {failed[-1]} exhausted its "
-                f"retries; manifest: {manifest.summary()}"
-            )
-        return manifest
+        return self._dispatch.execute(self, manifest, indices)

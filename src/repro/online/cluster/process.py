@@ -56,6 +56,10 @@ class ShardProcess:
         Test hook forwarded to the worker (``--hang-after``).
     snapshot_every:
         Snapshot cadence forwarded to the worker.
+    fsync:
+        WAL fsync policy spec forwarded to the worker for fresh
+        directories (restarted workers recover under the recorded
+        policy regardless).
     """
 
     def __init__(
@@ -66,12 +70,14 @@ class ShardProcess:
         out_path: str | Path,
         hang_after: int | None = None,
         snapshot_every: int | None = None,
+        fsync: str | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.rate = float(rate)
         self.out_path = Path(out_path)
         self.hang_after = hang_after
         self.snapshot_every = snapshot_every
+        self.fsync = fsync
         self.proc: subprocess.Popen[str] | None = None
         self.sent = 0
         self.restarts = 0
@@ -98,6 +104,8 @@ class ShardProcess:
             cmd += ["--hang-after", str(self.hang_after)]
         if self.snapshot_every is not None:
             cmd += ["--snapshot-every", str(self.snapshot_every)]
+        if self.fsync is not None:
+            cmd += ["--fsync", str(self.fsync)]
         env = dict(os.environ)
         src = Path(__file__).resolve().parents[3]
         env["PYTHONPATH"] = os.pathsep.join(

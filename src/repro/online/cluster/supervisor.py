@@ -134,6 +134,16 @@ class ShardSupervisor:
         Raises :class:`ClusterError` when the shard's consecutive
         crash count exhausts the retry budget.
         """
+        # Capture the fsync watermark before the dead service is
+        # dropped: under the group/budget/async WAL policies it tells
+        # the failover record how much of the acknowledged window was
+        # already power-loss durable at the moment of the crash.
+        durable = None
+        if handle.service is not None:
+            try:
+                durable = int(handle.service.durable_seq)
+            except Exception:
+                durable = None
         handle.state = DOWN
         handle.service = None
         handle.crashes += 1
@@ -161,6 +171,7 @@ class ShardSupervisor:
                 "restart_due": handle.restart_due,
                 "reason": type(reason).__name__,
                 "detail": str(reason),
+                "durable_seq": durable,
             }
         )
 

@@ -61,6 +61,13 @@ def main(argv: list[str] | None = None) -> int:
         help="snapshot cadence override for fresh directories",
     )
     parser.add_argument(
+        "--fsync",
+        default=None,
+        help="WAL fsync policy override for fresh directories "
+        "(always/batch/never/group[:Nms]/budget[:Nms]/async); "
+        "recovery always follows the directory's recorded policy",
+    )
+    parser.add_argument(
         "--hang-after",
         type=int,
         default=None,
@@ -76,6 +83,8 @@ def main(argv: list[str] | None = None) -> int:
     overrides = {}
     if args.snapshot_every is not None:
         overrides["snapshot_every"] = args.snapshot_every
+    if args.fsync is not None:
+        overrides["fsync"] = args.fsync
     try:
         service, report = DurableOnlineService.open(
             Path(args.dir),

@@ -26,6 +26,16 @@ from repro.online.durability.wal import (
     WalEntry,
     WriteAheadLog,
 )
+from repro.online.durability.writers import (
+    FSYNC_POLICY_BASES,
+    AsyncWalWriter,
+    GroupCommitWalWriter,
+    LatencyBudgetWalWriter,
+    SyncWalWriter,
+    WalWriter,
+    make_wal_writer,
+    parse_fsync_policy,
+)
 
 __all__ = [
     "DurableOnlineService",
@@ -38,4 +48,12 @@ __all__ = [
     "WriteAheadLog",
     "WalEntry",
     "FSYNC_POLICIES",
+    "FSYNC_POLICY_BASES",
+    "WalWriter",
+    "SyncWalWriter",
+    "GroupCommitWalWriter",
+    "LatencyBudgetWalWriter",
+    "AsyncWalWriter",
+    "make_wal_writer",
+    "parse_fsync_policy",
 ]

@@ -43,6 +43,7 @@ from repro.errors import RecoveryError, ValidationError
 from repro.online.admission import AdmissionController
 from repro.online.durability.snapshot import SnapshotStore, _decode, _encode
 from repro.online.durability.wal import WalEntry, WriteAheadLog, _fsync_dir
+from repro.online.durability.writers import parse_fsync_policy
 from repro.online.engine import StreamingGPSServer
 from repro.online.factory import check_open_mode, check_recover_overrides
 from repro.online.records import RecordSink
@@ -204,6 +205,21 @@ class DurableOnlineService(OnlineService):
     def wal(self) -> WriteAheadLog:
         """The write-ahead log behind this service."""
         return self._wal
+
+    @property
+    def durable_seq(self) -> int:
+        """Highest ingest sequence number covered by a completed fsync.
+
+        Every applied line is OS-flushed (process-crash safe); this is
+        the stronger power-loss-safe watermark, relevant under the
+        ``group``/``budget``/``async`` fsync policies where the fsync
+        trails the append.
+        """
+        return self._wal.durable_seq
+
+    def wait_durable(self, seq: int, timeout: float | None = None) -> bool:
+        """Block until ingest sequence ``seq`` is fsync-covered."""
+        return self._wal.wait_durable(seq, timeout)
 
     # ------------------------------------------------------------------
     # the unified factory
@@ -461,6 +477,9 @@ def _create(
             "packet serving has no slot backlog to shed; packet=True "
             "cannot be combined with shed_backlog"
         )
+    # Validate the fsync spec before meta.json is written, so a typo'd
+    # policy cannot leave a half-initialized directory behind.
+    parse_fsync_policy(str(config["fsync"]))
     _write_meta(directory, config)
     wal = WriteAheadLog(
         directory,

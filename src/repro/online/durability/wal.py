@@ -23,7 +23,10 @@ never acknowledged.  The on-disk format is deliberately boring:
   :class:`repro.errors.RecoveryError` instead of being silently
   dropped.
 
-The fsync policy trades durability for throughput:
+The fsync policy trades durability for throughput.  *When* the flushed
+bytes are forced to stable storage is delegated to a pluggable
+:class:`~repro.online.durability.writers.WalWriter`; the accepted
+policy specs are:
 
 * ``"always"`` — fsync after every append: an acknowledged event
   survives power loss (classic WAL semantics);
@@ -31,17 +34,27 @@ The fsync policy trades durability for throughput:
   rotation/close: bounded ingest buffering, at most one batch of
   acknowledged events is exposed to power loss;
 * ``"never"`` — leave syncing to the OS: crash-of-the-*process* safe
-  (the bytes are in the page cache) but not power-loss safe.
+  (the bytes are in the page cache) but not power-loss safe;
+* ``"group"`` / ``"group:<window>ms"`` — group commit: appends within
+  a short window share one ``fdatasync``;
+* ``"budget"`` / ``"budget:<budget>ms"`` — latency budget: the oldest
+  unsynced append is never older than the budget;
+* ``"async"`` — a background thread fsyncs behind appends with a
+  bounded unsynced window; durability acks via :attr:`durable_seq` /
+  :meth:`WriteAheadLog.wait_durable`.
 
 All policies write and flush each frame to the operating system
 immediately, so an in-process crash (the :class:`SimulatedCrash` of
 the chaos harness, an OOM kill of the interpreter) never loses an
-appended frame regardless of policy.
+appended frame regardless of policy.  Recovery never consults the
+writer, so any directory recovers identically whatever policy wrote
+it.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
 import zlib
 from dataclasses import dataclass
@@ -49,6 +62,11 @@ from pathlib import Path
 from typing import IO, Iterator
 
 from repro.errors import RecoveryError, ValidationError
+from repro.online.durability.writers import (
+    WalWriter,
+    make_wal_writer,
+    parse_fsync_policy,
+)
 
 __all__ = [
     "WalEntry",
@@ -57,8 +75,17 @@ __all__ = [
     "SEGMENT_PREFIX",
 ]
 
-#: Accepted values of the ``fsync`` policy.
+#: The classic fsync policies (kept for compatibility); the full spec
+#: grammar — including ``group``/``budget``/``async`` — lives in
+#: :mod:`repro.online.durability.writers`.
 FSYNC_POLICIES: tuple[str, ...] = ("always", "batch", "never")
+
+_log = logging.getLogger("repro.online.durability")
+
+#: Directories whose fsync already failed once — warn per directory,
+#: not per call, so a read-only or network filesystem does not flood
+#: the log while staying observable.
+_FSYNC_DIR_WARNED: set[str] = set()
 
 SEGMENT_PREFIX = "wal-"
 _SEGMENT_SUFFIX = ".log"
@@ -128,17 +155,37 @@ def _parse_frame(raw: bytes) -> WalEntry | None:
 
 
 def _fsync_dir(directory: Path) -> None:
-    """Best-effort directory fsync (durability of renames/creates)."""
+    """Best-effort directory fsync (durability of renames/creates).
+
+    A failure degrades durability (a rename/create may not survive
+    power loss) without breaking correctness, so it is logged — once
+    per directory, naming the directory and the error — rather than
+    raised or silently swallowed.
+    """
     try:
         fd = os.open(directory, os.O_RDONLY)
-    except OSError:
+    except OSError as exc:
+        _warn_fsync_dir(directory, exc)
         return
     try:
         os.fsync(fd)
-    except OSError:
-        pass
+    except OSError as exc:
+        _warn_fsync_dir(directory, exc)
     finally:
         os.close(fd)
+
+
+def _warn_fsync_dir(directory: Path, exc: OSError) -> None:
+    key = str(directory)
+    if key in _FSYNC_DIR_WARNED:
+        return
+    _FSYNC_DIR_WARNED.add(key)
+    _log.warning(
+        "directory fsync failed for %s (%s): renames/creates in this "
+        "directory are not power-loss durable",
+        directory,
+        exc,
+    )
 
 
 class WriteAheadLog:
@@ -155,29 +202,29 @@ class WriteAheadLog:
         directory: str | Path,
         *,
         segment_events: int = 10_000,
-        fsync: str = "batch",
+        fsync: str | WalWriter = "batch",
         batch_events: int = 256,
     ) -> None:
         if segment_events < 1:
             raise ValidationError(
                 f"segment_events must be >= 1, got {segment_events}"
             )
-        if fsync not in FSYNC_POLICIES:
-            raise ValidationError(
-                f"fsync policy must be one of {FSYNC_POLICIES}, "
-                f"got {fsync!r}"
-            )
         if batch_events < 1:
             raise ValidationError(
                 f"batch_events must be >= 1, got {batch_events}"
             )
+        if isinstance(fsync, WalWriter):
+            self._writer: WalWriter = fsync
+            self._fsync = fsync.policy
+        else:
+            parse_fsync_policy(fsync)  # eager spec validation
+            self._writer = make_wal_writer(fsync, batch_events=batch_events)
+            self._fsync = str(fsync)
         self._dir = Path(directory)
         self._segment_events = int(segment_events)
-        self._fsync = fsync
         self._batch_events = int(batch_events)
         self._handle: IO[bytes] | None = None
         self._segment_count = 0  # appends in the open segment
-        self._unsynced = 0
         self._last_seq = 0
         self._recovered = False
         self._truncated_bytes = 0
@@ -200,8 +247,27 @@ class WriteAheadLog:
 
     @property
     def fsync_policy(self) -> str:
-        """The configured fsync policy."""
+        """The configured fsync policy spec (e.g. ``"budget:5ms"``)."""
         return self._fsync
+
+    @property
+    def writer(self) -> WalWriter:
+        """The :class:`WalWriter` scheduling this log's fsyncs."""
+        return self._writer
+
+    @property
+    def durable_seq(self) -> int:
+        """Highest sequence number covered by a completed fsync."""
+        return self._writer.durable_seq
+
+    def wait_durable(self, seq: int, timeout: float | None = None) -> bool:
+        """Block until ``seq`` is fsync-covered; return whether it is.
+
+        Synchronous policies force the covering sync inline; the
+        ``async`` policy waits on its background thread.  ``"never"``
+        returns ``False`` for any appended-but-unsynced sequence.
+        """
+        return self._writer.wait_durable(seq, timeout)
 
     def _segments(self) -> list[Path]:
         if not self._dir.is_dir():
@@ -315,26 +381,23 @@ class WriteAheadLog:
         handle.flush()
         self._last_seq = seq
         self._segment_count += 1
-        self._unsynced += 1
-        if self._fsync == "always" or (
-            self._fsync == "batch" and self._unsynced >= self._batch_events
-        ):
-            self.sync()
+        self._writer.on_append(seq)
 
     def _rotate_if_needed(self, seq: int) -> IO[bytes]:
         if (
             self._handle is not None
             and self._segment_count >= self._segment_events
         ):
-            self.sync()
+            self._writer.detach()
             self._handle.close()
             self._handle = None
         if self._handle is None:
             self._dir.mkdir(parents=True, exist_ok=True)
             path = self._dir / _segment_name(seq)
             self._handle = open(path, "ab")
+            self._writer.attach(self._handle)
             self._segment_count = 0
-            if self._fsync != "never":
+            if self._writer.policy != "never":
                 _fsync_dir(self._dir)
         return self._handle
 
@@ -355,21 +418,25 @@ class WriteAheadLog:
             self._last_seq = int(seq)
 
     def sync(self) -> None:
-        """Flush and (policy permitting) fsync the open segment."""
+        """Flush and (policy permitting) fsync the open segment.
+
+        A durability barrier for every policy except ``"never"``: on
+        return, all appended frames are fsync-covered (the ``async``
+        writer blocks here until its thread catches up).
+        """
         if self._handle is None:
             return
         self._handle.flush()
-        if self._fsync != "never":
-            os.fsync(self._handle.fileno())
-        self._unsynced = 0
+        self._writer.sync()
 
     def close(self) -> None:
-        """Sync and close the open segment."""
-        if self._handle is None:
-            return
-        self.sync()
-        self._handle.close()
-        self._handle = None
+        """Sync and close the open segment; tear down the writer."""
+        if self._handle is not None:
+            self._handle.flush()
+            self._writer.detach()
+            self._handle.close()
+            self._handle = None
+        self._writer.close()
 
     # ------------------------------------------------------------------
     # pruning
