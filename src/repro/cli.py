@@ -21,6 +21,13 @@ Commands
     Rebuild a sharded serving fleet (``serve --shards``) from its
     cluster root: every shard's WAL is recovered to bit-identical
     state, and ``--drain`` finishes the session.
+``scrub``
+    Verify (and by default repair) WAL segment CRC frames and
+    snapshot checksums in a durable directory — or, with
+    ``--cluster``, every shard directory under a cluster root.
+    Corrupt-but-snapshot-covered files are quarantined so recovery
+    succeeds; corruption past coverage reports the exact
+    unrecoverable sequence ranges and exits nonzero.
 """
 
 from __future__ import annotations
@@ -380,6 +387,39 @@ def build_parser() -> argparse.ArgumentParser:
             "cluster summary (finishes the session)"
         ),
     )
+    scrub = sub.add_parser(
+        "scrub",
+        help=(
+            "verify and repair WAL/snapshot integrity in a durable "
+            "directory (quarantines corrupt-but-covered files; "
+            "reports exact unrecoverable sequence ranges)"
+        ),
+    )
+    scrub.add_argument(
+        "directory",
+        help=(
+            "a --wal directory (or, with --cluster, a cluster root "
+            "whose shard-NNN subdirectories are each scrubbed)"
+        ),
+    )
+    scrub.add_argument(
+        "--cluster",
+        action="store_true",
+        help="scrub every shard-NNN directory under a cluster root",
+    )
+    scrub.add_argument(
+        "--no-repair",
+        action="store_true",
+        help=(
+            "report only: never move corrupt files to quarantine/ "
+            "(the default repairs when snapshot coverage allows)"
+        ),
+    )
+    scrub.add_argument(
+        "--out",
+        default="-",
+        help="where scrub report records go (default: stdout)",
+    )
     return parser
 
 
@@ -478,6 +518,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_recover(args)
     elif args.command == "cluster-recover":
         return _run_cluster_recover(args)
+    elif args.command == "scrub":
+        return _run_scrub(args)
     return 0
 
 
@@ -725,6 +767,57 @@ def _run_cluster_recover(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     return 0
+
+
+def _run_scrub(args) -> int:
+    """Verify/repair durable directories (see ``repro scrub``)."""
+    import contextlib
+    from pathlib import Path
+
+    from repro.online.cluster.shard import SHARD_DIR_PREFIX
+    from repro.online.durability import scrub_directory
+
+    root = Path(args.directory)
+    if args.cluster:
+        directories = sorted(
+            path
+            for path in root.glob(f"{SHARD_DIR_PREFIX}*")
+            if path.is_dir()
+        )
+        if not directories:
+            print(
+                f"error: {root} holds no {SHARD_DIR_PREFIX}NNN shard "
+                "directories",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        directories = [root]
+        if not root.is_dir():
+            print(f"error: {root} is not a directory", file=sys.stderr)
+            return 1
+    exit_code = 0
+    try:
+        with contextlib.ExitStack() as stack:
+            if args.out == "-":
+                sink = sys.stdout
+            else:
+                sink = stack.enter_context(
+                    open(args.out, "w", encoding="utf-8")
+                )
+            for directory in directories:
+                report = scrub_directory(
+                    directory, repair=not args.no_repair
+                )
+                sink.write(json.dumps(report.to_record()))
+                sink.write("\n")
+                if not report.ok:
+                    exit_code = 1
+            sink.flush()
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return exit_code
 
 
 def _run_simulate(args) -> int:

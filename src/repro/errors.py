@@ -34,6 +34,17 @@ actually treat differently:
 * :class:`RecoveryError` — durable-serving state on disk (write-ahead
   log, snapshot, WAL metadata) is corrupt, inconsistent, or cannot be
   reconciled with the requested restart.
+* :class:`WalSyncError` — an fsync on the write-ahead log failed and
+  the seal/repair cycle could not make the covering window durable;
+  carries the poisoned sequence window.
+* :class:`UnrecoverableRangeError` — recovery or scrubbing determined
+  that a specific range of acknowledged sequence numbers cannot be
+  rebuilt from any snapshot or surviving WAL segment; carries the
+  exact ranges so a supervisor can refuse readmission precisely.
+* :class:`DiskPressureError` — the disk under a WAL directory is full
+  (``ENOSPC``) and pruning snapshot-covered segments did not free
+  enough space; the durable service converts this into degraded-mode
+  ``disk-pressure`` records instead of crashing.
 * :class:`OverloadError` — an ingest-protection limit was exhausted
   (the ``max_errors`` budget of a garbage-emitting stream); carries the
   offending count so supervisors can report it.
@@ -55,6 +66,9 @@ __all__ = [
     "CheckpointError",
     "AdmissionError",
     "RecoveryError",
+    "WalSyncError",
+    "UnrecoverableRangeError",
+    "DiskPressureError",
     "OverloadError",
     "ClusterError",
 ]
@@ -118,6 +132,68 @@ class RecoveryError(ReproError, RuntimeError):
     snapshot and the log, checksum mismatch in WAL metadata) or when a
     restart's configuration contradicts the on-disk metadata.
     """
+
+
+class WalSyncError(RecoveryError):
+    """A WAL fsync failed and in-place repair could not restore durability.
+
+    After a failed fsync the covering window of appended-but-unsynced
+    frames is *poisoned*: retrying the sync on the same file descriptor
+    can falsely succeed (the kernel may have dropped the dirty pages),
+    so the log seals the descriptor, truncates the segment back to the
+    durable boundary, rewrites the in-doubt frames through a fresh
+    descriptor and syncs again.  This error is raised only when that
+    repair cycle *also* fails; the poisoned window is attached as
+    ``[first_seq, last_seq]`` (inclusive) so callers know exactly which
+    acknowledged sequence numbers are not power-loss durable.
+    """
+
+    def __init__(
+        self, message: str, *, first_seq: int = 0, last_seq: int = 0
+    ) -> None:
+        super().__init__(message)
+        self.first_seq = int(first_seq)
+        self.last_seq = int(last_seq)
+
+
+class UnrecoverableRangeError(RecoveryError):
+    """Specific acknowledged sequence ranges cannot be rebuilt.
+
+    Raised by WAL recovery and by the scrubber when a corrupt or
+    missing segment holds entries *not* covered by any valid snapshot:
+    the data behind those sequence numbers is gone, and replaying past
+    the gap would silently desynchronize the engine.  ``ranges`` is a
+    tuple of inclusive ``(first, last)`` sequence pairs — the cluster
+    supervisor surfaces them verbatim when refusing to readmit a
+    shard.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        ranges: tuple[tuple[int, int], ...] = (),
+    ) -> None:
+        super().__init__(message)
+        self.ranges = tuple((int(a), int(b)) for a, b in ranges)
+
+
+class DiskPressureError(ReproError, RuntimeError):
+    """The disk under a WAL directory is full and pruning did not help.
+
+    Raised by :meth:`repro.online.durability.wal.WriteAheadLog.append`
+    when a frame write hits ``ENOSPC`` (the partial frame is rolled
+    back first, so the log stays parseable).  The durable service
+    catches it, force-prunes snapshot-covered segments, retries once,
+    and on persistent pressure flips into degraded mode — emitting
+    typed ``disk-pressure`` records and dropping (never acknowledging)
+    lines until writes succeed again.  The failing path, when known,
+    is attached as :attr:`path`.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None) -> None:
+        super().__init__(message)
+        self.path = path
 
 
 class OverloadError(ReproError, RuntimeError):

@@ -8,7 +8,10 @@ numerical corruption and scheduled process kills — and
 :func:`network_violation_report` measures how the nominal paper bounds
 hold up inside the fault windows, while the chaos recovery harness
 (:class:`CrashInjector` + :mod:`repro.online.durability`) proves the
-durable online service reconstructs killed runs exactly.
+durable online service reconstructs killed runs exactly.  The disk is
+part of the fault surface too: :class:`DiskFault` events drive a
+:class:`FaultyFS` that injects ``EIO``, ``ENOSPC``, short writes,
+lying fsyncs and bit flips into the WAL/snapshot file operations.
 """
 
 from repro.faults.injection import (
@@ -24,10 +27,14 @@ from repro.faults.report import (
     network_violation_report,
     violation_counts,
 )
+from repro.faults.io import FaultyFile, FaultyFS
 from repro.faults.schedule import (
     CRASH_POINTS,
+    DISK_FAULT_KINDS,
+    DISK_FAULT_OPS,
     BurstFault,
     CrashFault,
+    DiskFault,
     Fault,
     FaultSchedule,
     LinkFault,
@@ -41,6 +48,11 @@ __all__ = [
     "CRASH_POINTS",
     "CrashInjector",
     "SimulatedCrash",
+    "DiskFault",
+    "DISK_FAULT_KINDS",
+    "DISK_FAULT_OPS",
+    "FaultyFS",
+    "FaultyFile",
     "Fault",
     "FaultSchedule",
     "LinkFault",

@@ -1,0 +1,425 @@
+"""Deterministic disk-fault injection for the durability layer.
+
+:class:`FaultyFS` is a schedule-driven stand-in for the real
+filesystem: the write-ahead log and the snapshot store accept it as
+their ``io`` object and route every file ``open``/``unlink``/
+``replace`` through it, and the handles it returns
+(:class:`FaultyFile`) intercept ``write``/``fsync``/``close``.  All
+bytes still land in real files on the real filesystem — recovery,
+scrubbing and bit-identity checks run against genuine on-disk state —
+but the operations misbehave exactly as a
+:class:`repro.faults.schedule.DiskFault` schedule dictates:
+
+* ``eio`` — the matching write or fsync raises ``OSError(EIO)``.
+  After a failed fsync the handle is *poisoned*: a retried fsync on
+  the same handle falsely succeeds without making bytes durable (the
+  fsyncgate semantics the repair path must not fall for).
+* ``enospc`` — the matching write raises ``OSError(ENOSPC)``.
+* ``short-write`` — the matching write persists only a prefix of the
+  buffer, then raises ``OSError(EIO)``: a torn frame.
+* ``lying-fsync`` — fsync reports success but the durability
+  watermark does not advance; the bytes vanish at :meth:`lose_power`.
+* ``bit-flip`` — when the matching file is closed, one bit at a
+  seeded offset is flipped in place: cold-segment corruption for the
+  scrubber to find.
+
+Beyond the schedule, :class:`FaultyFS` models *disk pressure* with an
+optional byte budget: writes debit it, raising ``ENOSPC`` when it runs
+dry, and ``unlink``/``truncate`` credit bytes back — so pruning
+snapshot-covered WAL segments genuinely relieves the pressure, exactly
+like on a full disk.
+
+Durability is tracked per file: only an honest fsync advances a file's
+``durable_len``, and :meth:`lose_power` truncates every tracked file
+back to its durable prefix — simulating a power cut so the recovery
+path can be asserted against what *actually* survived.
+
+Every injected fault is appended to :attr:`FaultyFS.events` so tests
+and smoke runs can assert the schedule fired as planned.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import threading
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import IO, Any, Iterable
+
+from repro.errors import ValidationError
+from repro.faults.schedule import DiskFault, FaultSchedule
+
+__all__ = ["FaultyFS", "FaultyFile"]
+
+
+class FaultyFile:
+    """A real file handle whose write/fsync/close pass through a FaultyFS.
+
+    Supports the operations the durability layer uses (``write``,
+    ``flush``, ``fileno``, ``tell``, ``truncate``, ``close``, context
+    manager) plus an explicit :meth:`fsync` that the WAL writers call
+    in place of ``os.fsync(fileno())`` when present — that is the hook
+    through which fsync faults and durability tracking are injected.
+    """
+
+    def __init__(self, fs: "FaultyFS", path: Path, handle: IO[bytes]) -> None:
+        self._fs = fs
+        self._path = Path(path)
+        self._file = handle
+        #: A failed fsync poisons the handle: later fsyncs on it lie.
+        self._poisoned = False
+
+    @property
+    def path(self) -> Path:
+        """The real on-disk path behind this handle."""
+        return self._path
+
+    @property
+    def name(self) -> str:
+        return str(self._path)
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+    # ------------------------------------------------------------------
+    def write(self, data: bytes) -> int:
+        return self._fs._on_write(self, self._file, data)
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def fileno(self) -> int:
+        return self._file.fileno()
+
+    def tell(self) -> int:
+        return self._file.tell()
+
+    def seek(self, offset: int, whence: int = 0) -> int:
+        return self._file.seek(offset, whence)
+
+    def read(self, size: int = -1) -> bytes:
+        return self._file.read(size)
+
+    def truncate(self, size: int | None = None) -> int:
+        if size is None:
+            size = self._file.tell()
+        self._file.flush()
+        old_size = os.fstat(self._file.fileno()).st_size
+        result = self._file.truncate(size)
+        self._fs._on_truncate(self._path, int(size), old_size=old_size)
+        return result
+
+    def fsync(self) -> None:
+        """Policy-visible fsync: faults and durability tracking apply."""
+        self._file.flush()
+        self._fs._on_fsync(self)
+
+    def close(self) -> None:
+        if self._file.closed:
+            return
+        self._file.close()
+        self._fs._on_close(self)
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class FaultyFS:
+    """Schedule-driven faulty filesystem for WAL/snapshot file operations.
+
+    Parameters
+    ----------
+    faults:
+        The :class:`~repro.faults.schedule.DiskFault` events to
+        inject — a :class:`~repro.faults.schedule.FaultSchedule` (its
+        non-disk faults are ignored) or a bare iterable of disk
+        faults.  Each fault counts its own matching operations, so
+        schedules are deterministic regardless of interleaving.
+    seed:
+        Seeds the bit-flip offset choice (and nothing else); the same
+        schedule and seed always corrupt the same byte.
+    byte_budget:
+        Optional disk-capacity model: total bytes writable through
+        this filesystem.  Writes debit it (``ENOSPC`` once dry,
+        after persisting whatever still fits — like a real full
+        disk); ``unlink`` and ``truncate`` credit bytes back.
+    """
+
+    def __init__(
+        self,
+        faults: FaultSchedule | Iterable[DiskFault] = (),
+        *,
+        seed: int = 0,
+        byte_budget: int | None = None,
+    ) -> None:
+        if isinstance(faults, FaultSchedule):
+            fault_list = faults.disk_faults
+        else:
+            fault_list = tuple(faults)
+        for fault in fault_list:
+            if not isinstance(fault, DiskFault):
+                raise ValidationError(
+                    f"FaultyFS takes DiskFault events, got "
+                    f"{type(fault).__name__}"
+                )
+        if byte_budget is not None and byte_budget < 0:
+            raise ValidationError(
+                f"byte_budget must be >= 0, got {byte_budget}"
+            )
+        self._faults = fault_list
+        self._op_counts = [0] * len(fault_list)
+        self._rng = random.Random(seed)
+        self._budget = None if byte_budget is None else int(byte_budget)
+        self._lock = threading.Lock()
+        #: Per-path durable byte length (advanced only by honest fsyncs).
+        self._durable: dict[str, int] = {}
+        #: Log of injected faults: ``{"kind", "op", "path", ...}`` dicts.
+        self.events: list[dict[str, Any]] = []
+
+    @property
+    def byte_budget(self) -> int | None:
+        """Bytes still writable (``None`` = unlimited)."""
+        with self._lock:
+            return self._budget
+
+    def durable_len(self, path: str | Path) -> int:
+        """Bytes of ``path`` that would survive a power cut."""
+        with self._lock:
+            return self._durable.get(str(Path(path)), 0)
+
+    # ------------------------------------------------------------------
+    # the io-object protocol consumed by WriteAheadLog / SnapshotStore
+    # ------------------------------------------------------------------
+    def open(self, path: str | Path, mode: str = "ab") -> FaultyFile:
+        """Open a real file, wrapped for fault interception."""
+        path = Path(path)
+        handle = open(path, mode)
+        with self._lock:
+            key = str(path)
+            if "w" in mode:
+                self._durable[key] = 0
+            else:
+                # Appending/updating an existing file: bytes already on
+                # disk are treated as durable (they predate this FS).
+                self._durable.setdefault(
+                    key, path.stat().st_size if path.exists() else 0
+                )
+        return FaultyFile(self, path, handle)
+
+    def unlink(self, path: str | Path) -> None:
+        """Delete a file, crediting its bytes back to the budget."""
+        path = Path(path)
+        size = path.stat().st_size
+        os.unlink(path)
+        with self._lock:
+            self._durable.pop(str(path), None)
+            if self._budget is not None:
+                self._budget += size
+
+    def replace(self, src: str | Path, dst: str | Path) -> None:
+        """Atomic rename; durable tracking follows the file."""
+        src, dst = Path(src), Path(dst)
+        overwritten = dst.stat().st_size if dst.exists() else 0
+        os.replace(src, dst)
+        with self._lock:
+            self._durable[str(dst)] = self._durable.pop(str(src), 0)
+            if self._budget is not None:
+                self._budget += overwritten
+
+    # ------------------------------------------------------------------
+    # chaos controls
+    # ------------------------------------------------------------------
+    def lose_power(self) -> dict[str, int]:
+        """Truncate every tracked file to its durable prefix.
+
+        Simulates a power cut: bytes that were written and even
+        OS-flushed but never covered by an honest fsync vanish.
+        Returns ``{path: durable_len}`` for every file that lost
+        bytes.  Call only after the writing service is torn down.
+        """
+        lost: dict[str, int] = {}
+        with self._lock:
+            durable = dict(self._durable)
+        for key, durable_len in durable.items():
+            path = Path(key)
+            if not path.exists():
+                continue
+            size = path.stat().st_size
+            if size <= durable_len:
+                continue
+            with open(path, "r+b") as handle:
+                handle.truncate(durable_len)
+            lost[key] = durable_len
+        return lost
+
+    def flip_bit(
+        self, path: str | Path, *, offset: int | None = None
+    ) -> int:
+        """Flip one bit of ``path`` in place; returns the byte offset.
+
+        With ``offset=None`` the offset is drawn from the seeded RNG —
+        deterministic per (schedule, seed, call order).
+        """
+        path = Path(path)
+        size = path.stat().st_size
+        if size == 0:
+            raise ValidationError(
+                f"cannot flip a bit in empty file {path}"
+            )
+        if offset is None:
+            offset = self._rng.randrange(size)
+        if not 0 <= offset < size:
+            raise ValidationError(
+                f"bit-flip offset {offset} outside file of {size} bytes"
+            )
+        bit = self._rng.randrange(8)
+        with open(path, "r+b") as handle:
+            handle.seek(offset)
+            byte = handle.read(1)[0]
+            handle.seek(offset)
+            handle.write(bytes([byte ^ (1 << bit)]))
+        self.events.append(
+            {
+                "kind": "bit-flip",
+                "op": "flip",
+                "path": path.name,
+                "offset": int(offset),
+                "bit": int(bit),
+            }
+        )
+        return int(offset)
+
+    # ------------------------------------------------------------------
+    # interception internals
+    # ------------------------------------------------------------------
+    def _fire(self, op: str, name: str) -> DiskFault | None:
+        """Advance every matching fault's counter; return the first firing."""
+        fired: DiskFault | None = None
+        with self._lock:
+            for index, fault in enumerate(self._faults):
+                if fault.op != op or not fnmatch(name, fault.path):
+                    continue
+                op_index = self._op_counts[index]
+                self._op_counts[index] += 1
+                if fired is None and fault.fires_at(op_index):
+                    fired = fault
+        return fired
+
+    def _record(self, fault: DiskFault, path: Path, **extra: Any) -> None:
+        event = {"kind": fault.kind, "op": fault.op, "path": path.name}
+        event.update(extra)
+        self.events.append(event)
+
+    def _on_write(
+        self, ffile: FaultyFile, handle: IO[bytes], data: bytes
+    ) -> int:
+        fault = self._fire("write", ffile.path.name)
+        if fault is not None and fault.kind == "eio":
+            self._record(fault, ffile.path)
+            raise OSError(errno.EIO, f"injected EIO writing {ffile.path}")
+        if fault is not None and fault.kind == "enospc":
+            self._record(fault, ffile.path)
+            raise OSError(
+                errno.ENOSPC, f"injected ENOSPC writing {ffile.path}"
+            )
+        if fault is not None and fault.kind == "short-write":
+            kept = max(1, len(data) // 2) if data else 0
+            handle.write(data[:kept])
+            handle.flush()
+            self._debit(kept)
+            self._record(
+                fault, ffile.path, written=kept, dropped=len(data) - kept
+            )
+            raise OSError(
+                errno.EIO,
+                f"injected short write on {ffile.path}: {kept} of "
+                f"{len(data)} bytes persisted",
+            )
+        with self._lock:
+            budget = self._budget
+        if budget is not None and len(data) > budget:
+            # A real full disk persists what fits, then errors.
+            handle.write(data[:budget])
+            handle.flush()
+            self._debit(budget)
+            self.events.append(
+                {
+                    "kind": "enospc",
+                    "op": "write",
+                    "path": ffile.path.name,
+                    "budget_exhausted": True,
+                    "written": budget,
+                    "dropped": len(data) - budget,
+                }
+            )
+            raise OSError(
+                errno.ENOSPC,
+                f"injected ENOSPC writing {ffile.path}: byte budget "
+                "exhausted",
+            )
+        written = handle.write(data)
+        self._debit(written)
+        return written
+
+    def _debit(self, nbytes: int) -> None:
+        with self._lock:
+            if self._budget is not None:
+                self._budget = max(0, self._budget - nbytes)
+
+    def _on_fsync(self, ffile: FaultyFile) -> None:
+        fault = self._fire("fsync", ffile.path.name)
+        if fault is not None and fault.kind == "eio":
+            # fsyncgate: the dirty pages are dropped; a retry on the
+            # same handle will falsely succeed.
+            ffile._poisoned = True
+            self._record(fault, ffile.path)
+            raise OSError(
+                errno.EIO, f"injected EIO syncing {ffile.path}"
+            )
+        if fault is not None and fault.kind == "lying-fsync":
+            self._record(fault, ffile.path)
+            return  # success reported, durability NOT advanced
+        if ffile._poisoned:
+            # Post-failure fsync on the same descriptor: the kernel
+            # already dropped the dirty pages, so "success" is a lie.
+            self.events.append(
+                {
+                    "kind": "poisoned-fsync",
+                    "op": "fsync",
+                    "path": ffile.path.name,
+                }
+            )
+            return
+        os.fsync(ffile.fileno())
+        with self._lock:
+            self._durable[str(ffile.path)] = os.fstat(
+                ffile.fileno()
+            ).st_size
+
+    def _on_truncate(
+        self, path: Path, size: int, *, old_size: int | None = None
+    ) -> None:
+        with self._lock:
+            key = str(path)
+            previous = self._durable.get(key)
+            if previous is not None and previous > size:
+                self._durable[key] = size
+            if (
+                self._budget is not None
+                and old_size is not None
+                and old_size > size
+            ):
+                # Freed bytes go back to the pool.
+                self._budget += old_size - size
+
+    def _on_close(self, ffile: FaultyFile) -> None:
+        fault = self._fire("close", ffile.path.name)
+        if fault is not None and fault.kind == "bit-flip":
+            if ffile.path.exists() and ffile.path.stat().st_size > 0:
+                self.flip_bit(ffile.path)

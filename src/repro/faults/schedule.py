@@ -30,10 +30,18 @@ Four fault models compose freely inside one schedule:
   apply, or mid-snapshot.  The chaos recovery harness schedules these
   and asserts the restarted service reconstructs the uninterrupted
   run exactly.
+* :class:`DiskFault` — a file operation under the durable service
+  misbehaves: ``EIO``/``ENOSPC`` errors, short writes, a lying fsync
+  (success reported, bytes not durable), or a bit flip when a cold
+  segment is closed.  Interpreted by
+  :class:`repro.faults.io.FaultyFS`, which wraps the WAL/snapshot
+  file operations and fires each fault deterministically on the
+  ``start``-th matching operation.
 
 Windows are half-open ``[start, end)`` in slot units (floats are fine
 for the continuous-time packet simulator); crash faults live on the
-ingest-sequence axis instead.
+ingest-sequence axis, and disk faults on per-fault operation-count
+axes, instead.
 """
 
 from __future__ import annotations
@@ -51,7 +59,10 @@ __all__ = [
     "BurstFault",
     "NumericFault",
     "CrashFault",
+    "DiskFault",
     "CRASH_POINTS",
+    "DISK_FAULT_KINDS",
+    "DISK_FAULT_OPS",
     "Fault",
     "FaultSchedule",
 ]
@@ -228,7 +239,97 @@ class CrashFault:
             )
 
 
-Fault = Union[RateFault, LinkFault, BurstFault, NumericFault, CrashFault]
+#: The file-operation misbehaviors :class:`repro.faults.io.FaultyFS`
+#: can inject.  ``eio`` and ``enospc`` raise the matching ``OSError``;
+#: ``short-write`` persists only a prefix of the buffer before raising
+#: ``EIO`` (a torn frame); ``lying-fsync`` reports success without
+#: making the bytes power-loss durable (fsyncgate semantics);
+#: ``bit-flip`` flips one seeded bit of the file when it is closed
+#: (cold-segment corruption discovered later by scrub/recovery).
+DISK_FAULT_KINDS: tuple[str, ...] = (
+    "eio",
+    "enospc",
+    "short-write",
+    "lying-fsync",
+    "bit-flip",
+)
+
+#: The interception points a :class:`DiskFault` can target.
+DISK_FAULT_OPS: tuple[str, ...] = ("write", "fsync", "close")
+
+#: Default interception point per fault kind.
+_DISK_DEFAULT_OPS: dict[str, str] = {
+    "eio": "fsync",
+    "enospc": "write",
+    "short-write": "write",
+    "lying-fsync": "fsync",
+    "bit-flip": "close",
+}
+
+#: Which interception points each fault kind is allowed to target.
+_DISK_ALLOWED_OPS: dict[str, tuple[str, ...]] = {
+    "eio": ("write", "fsync"),
+    "enospc": ("write",),
+    "short-write": ("write",),
+    "lying-fsync": ("fsync",),
+    "bit-flip": ("close",),
+}
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """File operation ``op`` on files matching ``path`` misbehaves.
+
+    The fault fires on ``count`` consecutive matching operations
+    starting at the ``start``-th (0-based, counted per fault over the
+    lifetime of one :class:`repro.faults.io.FaultyFS`).  ``path`` is a
+    glob matched against the file *name* (``"wal-*"`` targets WAL
+    segments, ``"snap-*"`` snapshots, ``"*"`` everything).  ``op``
+    defaults to the natural interception point of ``kind``
+    (:data:`DISK_FAULT_KINDS`): errors and short writes on ``write``,
+    ``eio``/``lying-fsync`` on ``fsync``, ``bit-flip`` on ``close``.
+    """
+
+    kind: str
+    op: str = ""
+    path: str = "wal-*"
+    start: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in DISK_FAULT_KINDS:
+            raise ValidationError(
+                f"disk fault kind must be one of {DISK_FAULT_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if not self.op:
+            object.__setattr__(
+                self, "op", _DISK_DEFAULT_OPS[self.kind]
+            )
+        if self.op not in _DISK_ALLOWED_OPS[self.kind]:
+            raise ValidationError(
+                f"disk fault kind {self.kind!r} fires on "
+                f"{_DISK_ALLOWED_OPS[self.kind]}, not op={self.op!r}"
+            )
+        if not isinstance(self.start, int) or self.start < 0:
+            raise ValidationError(
+                f"disk fault start must be an integer >= 0, "
+                f"got {self.start!r}"
+            )
+        if not isinstance(self.count, int) or self.count < 1:
+            raise ValidationError(
+                f"disk fault count must be an integer >= 1, "
+                f"got {self.count!r}"
+            )
+
+    def fires_at(self, op_index: int) -> bool:
+        """True when the ``op_index``-th matching operation is faulted."""
+        return self.start <= op_index < self.start + self.count
+
+
+Fault = Union[
+    RateFault, LinkFault, BurstFault, NumericFault, CrashFault, DiskFault
+]
 
 
 class FaultSchedule:
@@ -246,7 +347,14 @@ class FaultSchedule:
         for fault in fault_list:
             if not isinstance(
                 fault,
-                (RateFault, LinkFault, BurstFault, NumericFault, CrashFault),
+                (
+                    RateFault,
+                    LinkFault,
+                    BurstFault,
+                    NumericFault,
+                    CrashFault,
+                    DiskFault,
+                ),
             ):
                 raise ValidationError(
                     f"unsupported fault model: {type(fault).__name__}"
@@ -361,19 +469,25 @@ class FaultSchedule:
             for fault in self._of_type(CrashFault)
         )
 
+    @property
+    def disk_faults(self) -> tuple[DiskFault, ...]:
+        """All scheduled file-operation faults, in insertion order."""
+        return tuple(self._of_type(DiskFault))
+
     # ------------------------------------------------------------------
     # reporting support
     # ------------------------------------------------------------------
     def fault_mask(self, num_slots: int) -> np.ndarray:
         """Boolean per-slot mask: True where *any* scheduled fault is active.
 
-        Numeric and crash faults live on call-index / ingest-sequence
-        axes, not the time axis, and are excluded.  This is the window
-        split used by the degraded-mode violation reports.
+        Numeric, crash and disk faults live on call-index /
+        ingest-sequence / operation-count axes, not the time axis, and
+        are excluded.  This is the window split used by the
+        degraded-mode violation reports.
         """
         mask = np.zeros(num_slots, dtype=bool)
         for fault in self._faults:
-            if isinstance(fault, (NumericFault, CrashFault)):
+            if isinstance(fault, (NumericFault, CrashFault, DiskFault)):
                 continue
             lo = max(0, int(np.floor(fault.start)))
             hi = min(num_slots, int(np.ceil(fault.end)))

@@ -174,6 +174,7 @@ class ShardedOnlineCluster:
         rate: float | None = None,
         sink: "RecordSink | IO[str] | None" = None,
         crash_factory: Any = None,
+        io_factory: Any = None,
         **config_overrides: Any,
     ) -> tuple["ShardedOnlineCluster", tuple[RecoveryReport, ...]]:
         """Open a cluster root as a running fleet.
@@ -193,7 +194,11 @@ class ShardedOnlineCluster:
             shard index to a
             :class:`repro.faults.injection.CrashInjector` (or
             ``None``) — the chaos harness's hook, carried across that
-            shard's restarts.  An already-initialized root raises
+            shard's restarts.  ``io_factory`` is the disk-fault
+            analogue: it maps a shard index to a
+            :class:`repro.faults.io.FaultyFS` (or ``None``) wrapping
+            that shard's WAL/snapshot file operations.  An
+            already-initialized root raises
             :class:`repro.errors.RecoveryError`.
         ``mode="recover"``
             Rebuild the fleet from the root alone: every shard's WAL
@@ -216,6 +221,7 @@ class ShardedOnlineCluster:
                 rate=rate,
                 sink=as_record_sink(sink),
                 crash_factory=crash_factory,
+                io_factory=io_factory,
                 **config_overrides,
             )
             return cluster, _fresh_reports(cluster.num_shards)
@@ -226,6 +232,7 @@ class ShardedOnlineCluster:
             rate=rate,
             sink=sink,
             crash_factory=crash_factory,
+            io_factory=io_factory,
             **config_overrides,
         )
 
@@ -410,6 +417,7 @@ def _build_handles(
     *,
     sink: RecordSink,
     crash_factory: Any,
+    io_factory: Any = None,
 ) -> list[ShardHandle]:
     handles = []
     for index in range(int(config["num_shards"])):
@@ -425,6 +433,11 @@ def _build_handles(
                     else None
                 ),
                 sink=TaggedSink(sink, shard=index),
+                io=(
+                    io_factory(index)
+                    if io_factory is not None
+                    else None
+                ),
             )
         )
     return handles
@@ -471,6 +484,7 @@ def _create_cluster(
     rate: float,
     sink: RecordSink,
     crash_factory: Any,
+    io_factory: Any = None,
     **config_overrides: Any,
 ) -> ShardedOnlineCluster:
     if num_shards < 1:
@@ -493,7 +507,11 @@ def _create_cluster(
     config["shard_config"] = dict(shard_overrides)
     _write_cluster_meta(root, config)
     handles = _build_handles(
-        root, config, sink=sink, crash_factory=crash_factory
+        root,
+        config,
+        sink=sink,
+        crash_factory=crash_factory,
+        io_factory=io_factory,
     )
     for handle in handles:
         service, _ = DurableOnlineService.open(
@@ -502,6 +520,7 @@ def _create_cluster(
             rate=float(config["rate"]),
             sink=handle.sink,
             crash=handle.crash,
+            io=handle.io,
             **shard_overrides,
         )
         handle.attach(service)
@@ -513,10 +532,15 @@ def _recover_cluster(
     *,
     sink: RecordSink,
     crash_factory: Any,
+    io_factory: Any = None,
 ) -> tuple[ShardedOnlineCluster, tuple[RecoveryReport, ...]]:
     config = _read_cluster_meta(root)
     handles = _build_handles(
-        root, config, sink=sink, crash_factory=crash_factory
+        root,
+        config,
+        sink=sink,
+        crash_factory=crash_factory,
+        io_factory=io_factory,
     )
     reports = []
     for handle in handles:
@@ -525,6 +549,7 @@ def _recover_cluster(
             mode="recover",
             sink=handle.sink,
             crash=handle.crash,
+            io=handle.io,
         )
         handle.acked = service.applied_seq
         handle.attach(service)
@@ -560,6 +585,7 @@ def _open_cluster(
     rate: float | None = None,
     sink: RecordSink | IO[str] | None = None,
     crash_factory: Any = None,
+    io_factory: Any = None,
     **config_overrides: Any,
 ) -> tuple[ShardedOnlineCluster, tuple[RecoveryReport, ...]]:
     check_open_mode(mode)
@@ -575,7 +601,10 @@ def _open_cluster(
         # shape against the recorded configuration.
         _check_recorded_fleet(root, num_shards, rate)
         return _recover_cluster(
-            root, sink=base, crash_factory=crash_factory
+            root,
+            sink=base,
+            crash_factory=crash_factory,
+            io_factory=io_factory,
         )
     if num_shards is None or rate is None:
         raise RecoveryError(
@@ -588,6 +617,7 @@ def _open_cluster(
         rate=rate,
         sink=base,
         crash_factory=crash_factory,
+        io_factory=io_factory,
         **config_overrides,
     )
     return cluster, _fresh_reports(cluster.num_shards)

@@ -123,6 +123,10 @@ class ShardHandle:
         across restarts by the chaos harness.
     sink:
         The (already shard-tagged) sink handed to the durable service.
+    io:
+        Optional fault-injection filesystem
+        (:class:`repro.faults.io.FaultyFS`) carried across restarts so
+        disk-fault schedules span the shard's whole lifetime.
     """
 
     def __init__(
@@ -134,6 +138,7 @@ class ShardHandle:
         buffer_resume: int | None = None,
         crash: Any = None,
         sink: Any = None,
+        io: Any = None,
     ) -> None:
         if buffer_limit < 1:
             raise ValidationError(
@@ -150,6 +155,7 @@ class ShardHandle:
         self.directory = Path(directory)
         self.crash = crash
         self.sink = sink
+        self.io = io
         self.service: Any = None
         self.state = DOWN
         #: Lines acknowledged (== the service's applied_seq while up).

@@ -50,13 +50,14 @@ import math
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.errors import ClusterError, ReproError
+from repro.errors import ClusterError, ReproError, UnrecoverableRangeError
 from repro.faults import SimulatedCrash
 from repro.online.cluster.shard import (
     DOWN,
     RUNNING,
     ShardHandle,
 )
+from repro.online.durability.scrub import scrub_directory
 from repro.online.durability.service import DurableOnlineService
 from repro.utils.retry import RetryPolicy
 
@@ -211,11 +212,37 @@ class ShardSupervisor:
             and tick < handle.restart_due
         ):
             return False
+        # Disk-integrity gate: scrub the shard's directory before
+        # readmission.  Corrupt-but-snapshot-covered segments are
+        # quarantined and repaired in place; corruption past coverage
+        # means acknowledged events are gone — the shard is failed with
+        # the exact unrecoverable ranges, never readmitted on bad data.
+        try:
+            scrubbed = scrub_directory(
+                Path(handle.directory), repair=True, io=handle.io
+            )
+            scrubbed.raise_if_unrecoverable()
+        except UnrecoverableRangeError as exc:
+            handle.state = FAILED
+            described = ", ".join(
+                f"{first}..{last}" for first, last in exc.ranges
+            )
+            raise ClusterError(
+                f"refusing to readmit shard {handle.index}: scrub found "
+                f"unrecoverable entries (seqs {described}) that no valid "
+                "snapshot covers; acknowledged events would be lost",
+                shard=handle.index,
+            ) from exc
+        if not scrubbed.clean:
+            record = scrubbed.to_record()
+            record["shard"] = handle.index
+            self._emit(record)
         service, report = DurableOnlineService.open(
             Path(handle.directory),
             mode="recover",
             sink=handle.sink,
             crash=handle.crash,
+            io=handle.io,
         )
         self._reconcile(handle, service.applied_seq)
         handle.attach(service)

@@ -28,6 +28,7 @@ import time
 from pathlib import Path
 
 from repro.errors import ReproError
+from repro.online.durability.scrub import scrub_directory
 from repro.online.durability.service import DurableOnlineService
 
 __all__ = ["main"]
@@ -73,12 +74,32 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="test hook: stop reading and sleep forever after N lines",
     )
+    parser.add_argument(
+        "--scrub",
+        action="store_true",
+        help="verify and repair WAL/snapshot integrity before "
+        "attaching; unrecoverable corruption refuses to start",
+    )
     args = parser.parse_args(argv)
 
     if args.out is not None:
         sink = open(args.out, "a", encoding="utf-8")
     else:
         sink = sys.stdout
+
+    if args.scrub:
+        try:
+            scrubbed = scrub_directory(Path(args.dir), repair=True)
+            scrubbed.raise_if_unrecoverable()
+        except ReproError as exc:
+            print(f"shard worker: {exc}", file=sys.stderr)
+            return 3
+        except OSError as exc:
+            print(f"shard worker: scrub failed: {exc}", file=sys.stderr)
+            return 3
+        if not scrubbed.clean:
+            sink.write(json.dumps(scrubbed.to_record()) + "\n")
+            sink.flush()
 
     overrides = {}
     if args.snapshot_every is not None:

@@ -11,8 +11,21 @@ uninterrupted run.  The chaos harness in
 ``tests/online/test_recovery_chaos.py`` kills and restarts the service
 at every crash-point class and asserts that equivalence with
 ``np.array_equal``.
+
+The disk itself is allowed to misbehave: fsync failures run a
+seal/truncate/rewrite repair cycle instead of trusting a retried
+fsync, ``ENOSPC`` degrades serving into typed ``disk-pressure``
+records instead of crashing, and :func:`scrub_directory` (the
+``repro scrub`` CLI) verifies every CRC frame and snapshot checksum,
+quarantining and repairing corrupt-but-covered segments — or naming
+the exact unrecoverable sequence ranges.
 """
 
+from repro.online.durability.scrub import (
+    QUARANTINE_DIR,
+    ScrubReport,
+    scrub_directory,
+)
 from repro.online.durability.service import (
     DurableOnlineService,
     RecoveryReport,
@@ -56,4 +69,7 @@ __all__ = [
     "AsyncWalWriter",
     "make_wal_writer",
     "parse_fsync_policy",
+    "ScrubReport",
+    "scrub_directory",
+    "QUARANTINE_DIR",
 ]

@@ -1,0 +1,310 @@
+"""Offline verification and repair of WAL segments and snapshots.
+
+Recovery (:meth:`WriteAheadLog.recover`) is deliberately strict: it
+refuses to replay past mid-log corruption.  That is correct — silently
+skipping frames would desynchronize the engine from its acknowledged
+history — but it turns a single flipped bit in a *cold* segment into a
+service that cannot restart, even when every entry in that segment is
+also covered by a retained snapshot.  The scrubber closes that gap:
+
+* every segment's CRC frames and every snapshot's checksum are
+  verified (the *active* segment, when one is supplied, is skipped —
+  its tail is legitimately mid-write);
+* corrupt files are moved to a ``quarantine/`` subdirectory with a
+  ``MANIFEST.json`` recording what was moved and why — evidence is
+  preserved, never deleted;
+* when the newest valid snapshot covers everything a corrupt segment
+  held, the log is *repaired*: the corrupt segment and every segment
+  before it are quarantined together.  Segment tails are monotone, so
+  quarantining the whole prefix up to the newest corrupt segment
+  leaves a contiguous retained suffix whose first entry is at most
+  ``covered_seq + 1`` — recovery from the snapshot plus the retained
+  suffix is then gap-free (replay skips already-applied entries);
+* when coverage does *not* reach — a corrupt segment holds entries
+  past the newest valid snapshot, or no valid snapshot exists — the
+  scrub reports the **exact** unrecoverable sequence ranges and
+  touches nothing: :meth:`ScrubReport.raise_if_unrecoverable` turns
+  that into a typed :class:`~repro.errors.UnrecoverableRangeError`
+  the cluster supervisor surfaces when refusing to readmit a shard.
+
+The entry points are :func:`scrub_directory` (pure function over one
+durable directory; the ``repro scrub`` CLI wraps it) and
+:meth:`repro.online.durability.service.DurableOnlineService.scrub`
+(same check between ingest batches, skipping the live segment).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import UnrecoverableRangeError
+from repro.online.durability.snapshot import (
+    SNAPSHOT_FORMAT,
+    _decode,
+    _snapshot_seq,
+)
+from repro.online.durability.wal import (
+    _parse_frame,
+    _segment_first_seq,
+)
+
+__all__ = ["ScrubReport", "scrub_directory", "QUARANTINE_DIR"]
+
+#: Subdirectory (of the durable directory) corrupt files are moved to.
+QUARANTINE_DIR = "quarantine"
+_MANIFEST_NAME = "MANIFEST.json"
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Outcome of one scrub pass over a durable directory."""
+
+    directory: str
+    segments_checked: int
+    snapshots_checked: int
+    corrupt_segments: tuple[str, ...] = ()
+    corrupt_snapshots: tuple[str, ...] = ()
+    quarantined: tuple[str, ...] = ()
+    repaired: bool = False
+    covered_seq: int | None = None
+    unrecoverable: tuple[tuple[int, int], ...] = field(default=())
+
+    @property
+    def clean(self) -> bool:
+        """No corruption was found at all."""
+        return not self.corrupt_segments and not self.corrupt_snapshots
+
+    @property
+    def ok(self) -> bool:
+        """The directory is (now) recoverable: clean or fully repaired."""
+        if self.unrecoverable:
+            return False
+        return self.clean or self.repaired
+
+    def to_record(self) -> dict[str, Any]:
+        """The scrub outcome as one JSON-serializable record."""
+        return {
+            "kind": "scrub",
+            "directory": self.directory,
+            "segments_checked": self.segments_checked,
+            "snapshots_checked": self.snapshots_checked,
+            "corrupt_segments": list(self.corrupt_segments),
+            "corrupt_snapshots": list(self.corrupt_snapshots),
+            "quarantined": list(self.quarantined),
+            "repaired": self.repaired,
+            "covered_seq": self.covered_seq,
+            "unrecoverable": [list(pair) for pair in self.unrecoverable],
+            "ok": self.ok,
+        }
+
+    def raise_if_unrecoverable(self) -> "ScrubReport":
+        """Raise a typed error naming the exact lost ranges, else self."""
+        if self.unrecoverable:
+            described = ", ".join(
+                f"{first}..{last}" for first, last in self.unrecoverable
+            )
+            raise UnrecoverableRangeError(
+                f"scrub of {self.directory} found unrecoverable entries: "
+                f"seqs {described} are in corrupt segments not covered "
+                "by any valid snapshot",
+                ranges=self.unrecoverable,
+            )
+        return self
+
+
+@dataclass
+class _SegmentInfo:
+    path: Path
+    first: int
+    corrupt: bool
+    reason: str
+    tail: int
+
+
+def _check_segment(path: Path, *, final: bool) -> tuple[bool, str, int]:
+    """Verify one segment's frames.
+
+    Returns ``(corrupt, reason, last_valid_seq)`` where
+    ``last_valid_seq`` is the highest sequence number that parses
+    anywhere in the file (0 when nothing does).  A trailing bad frame
+    in the *final* segment is a torn tail, not corruption — recovery
+    truncates it; anywhere else a bad frame (or an empty non-final
+    segment) is corruption.
+    """
+    raw = path.read_bytes()
+    if not raw:
+        return (not final), "empty", 0
+    last_valid = 0
+    offset = 0
+    while offset < len(raw):
+        newline = raw.find(b"\n", offset)
+        if newline < 0:
+            # Unterminated tail bytes: torn tail if final.
+            return (not final), "torn", last_valid
+        entry = _parse_frame(raw[offset:newline])
+        if entry is None:
+            rest = raw[newline + 1 :].split(b"\n")
+            trailing = [_parse_frame(chunk) for chunk in rest]
+            for parsed in trailing:
+                if parsed is not None:
+                    last_valid = max(last_valid, parsed.seq)
+            mid_log = any(parsed is not None for parsed in trailing)
+            corrupt = mid_log or not final
+            return corrupt, ("crc" if corrupt else "torn"), last_valid
+        last_valid = max(last_valid, entry.seq)
+        offset = newline + 1
+    return False, "", last_valid
+
+
+def _check_snapshot(path: Path) -> bool:
+    """Whether a snapshot file decodes with a valid checksum and format."""
+    document = _decode(path.read_bytes())
+    return (
+        document is not None
+        and document.get("format") == SNAPSHOT_FORMAT
+        and isinstance(document.get("applied_seq"), int)
+    )
+
+
+def _move(src: Path, dst: Path, io: Any | None) -> None:
+    if io is None:
+        src.replace(dst)
+    else:
+        io.replace(src, dst)
+
+
+def scrub_directory(
+    directory: str | Path,
+    *,
+    repair: bool = True,
+    io: Any | None = None,
+    active_segment: str | Path | None = None,
+) -> ScrubReport:
+    """Verify (and optionally repair) one durable directory.
+
+    Parameters
+    ----------
+    directory:
+        The WAL/snapshot directory of one durable service (or one
+        cluster shard).
+    repair:
+        When true (the default), corrupt-but-covered segments and
+        corrupt snapshots are quarantined so a subsequent recovery
+        succeeds; when false the scrub only reports.
+    io:
+        Optional fault-injection filesystem — file moves route through
+        it so chaos tests observe (and can fail) the repair itself.
+    active_segment:
+        The segment currently accepting appends, skipped entirely;
+        pass it when scrubbing under a live service.
+    """
+    directory = Path(directory)
+    active = None if active_segment is None else Path(active_segment)
+    segments = sorted(
+        (
+            path
+            for path in directory.iterdir()
+            if _segment_first_seq(path) is not None and path != active
+        ),
+        key=lambda p: _segment_first_seq(p) or 0,
+    ) if directory.is_dir() else []
+    snapshots = sorted(
+        (
+            path
+            for path in directory.iterdir()
+            if _snapshot_seq(path) is not None
+        ),
+        key=lambda p: _snapshot_seq(p) or 0,
+    ) if directory.is_dir() else []
+
+    corrupt_snaps = [p for p in snapshots if not _check_snapshot(p)]
+    valid_snaps = [p for p in snapshots if p not in corrupt_snaps]
+    covered: int | None = None
+    if valid_snaps:
+        document = _decode(valid_snaps[-1].read_bytes())
+        assert document is not None  # _check_snapshot vetted it
+        covered = int(document["applied_seq"])
+
+    # The active segment (when given) sits after every checked one, so
+    # no checked segment is final; otherwise only the last is.
+    infos: list[_SegmentInfo] = []
+    for index, segment in enumerate(segments):
+        final = active is None and index == len(segments) - 1
+        corrupt, reason, last_valid = _check_segment(segment, final=final)
+        first = _segment_first_seq(segment) or 0
+        if index + 1 < len(segments):
+            tail = (_segment_first_seq(segments[index + 1]) or 1) - 1
+        else:
+            tail = max(last_valid, first)
+        infos.append(_SegmentInfo(segment, first, corrupt, reason, tail))
+
+    corrupt_infos = [info for info in infos if info.corrupt]
+    report_base = dict(
+        directory=str(directory),
+        segments_checked=len(segments),
+        snapshots_checked=len(snapshots),
+        corrupt_segments=tuple(i.path.name for i in corrupt_infos),
+        corrupt_snapshots=tuple(p.name for p in corrupt_snaps),
+        covered_seq=covered,
+    )
+    if not corrupt_infos and not corrupt_snaps:
+        return ScrubReport(**report_base)
+
+    unrecoverable: list[tuple[int, int]] = []
+    for info in corrupt_infos:
+        if covered is None:
+            unrecoverable.append((info.first, info.tail))
+        elif info.tail > covered:
+            unrecoverable.append((max(info.first, covered + 1), info.tail))
+    if unrecoverable or not repair:
+        # Touch nothing: either the data is gone (preserve the
+        # evidence) or the caller asked for report-only.
+        return ScrubReport(
+            **report_base, unrecoverable=tuple(unrecoverable)
+        )
+
+    # Every corrupt segment is snapshot-covered: quarantine the prefix
+    # up to the newest corrupt segment (tails are monotone, so the
+    # retained suffix stays contiguous and overlaps covered_seq + 1)
+    # plus every corrupt snapshot.
+    to_move: list[tuple[Path, str, int, int]] = []
+    if corrupt_infos:
+        newest_corrupt = max(
+            index for index, info in enumerate(infos) if info.corrupt
+        )
+        for info in infos[: newest_corrupt + 1]:
+            reason = info.reason if info.corrupt else "covered-prefix"
+            to_move.append((info.path, reason, info.first, info.tail))
+    for path in corrupt_snaps:
+        seq = _snapshot_seq(path) or 0
+        to_move.append((path, "crc", seq, seq))
+
+    quarantine = directory / QUARANTINE_DIR
+    quarantine.mkdir(parents=True, exist_ok=True)
+    manifest_path = quarantine / _MANIFEST_NAME
+    if manifest_path.exists():
+        manifest = json.loads(manifest_path.read_text())
+    else:
+        manifest = {"covered_seq": None, "quarantined": []}
+    moved: list[str] = []
+    for path, reason, first, tail in to_move:
+        _move(path, quarantine / path.name, io)
+        moved.append(path.name)
+        manifest["quarantined"].append(
+            {
+                "name": path.name,
+                "reason": reason,
+                "first_seq": first,
+                "tail_seq": tail,
+            }
+        )
+    manifest["covered_seq"] = covered
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    )
+    return ScrubReport(
+        **report_base, quarantined=tuple(moved), repaired=True
+    )

@@ -39,8 +39,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, Any, Iterable
 
-from repro.errors import RecoveryError, ValidationError
+from repro.errors import DiskPressureError, RecoveryError, ValidationError
 from repro.online.admission import AdmissionController
+from repro.online.durability.scrub import ScrubReport, scrub_directory
 from repro.online.durability.snapshot import SnapshotStore, _decode, _encode
 from repro.online.durability.wal import WalEntry, WriteAheadLog, _fsync_dir
 from repro.online.durability.writers import parse_fsync_policy
@@ -178,6 +179,7 @@ class DurableOnlineService(OnlineService):
         snapshot_every: int | None = 1_000,
         crash: Any = None,
         applied_seq: int = 0,
+        io: Any = None,
         **kwargs: Any,
     ) -> None:
         super().__init__(engine, **kwargs)
@@ -191,9 +193,12 @@ class DurableOnlineService(OnlineService):
             None if not snapshot_every else int(snapshot_every)
         )
         self._crash = crash
+        self._io = io
         self._applied_seq = int(applied_seq)
         self._lineno = int(applied_seq)
         self._replaying = False
+        self._disk_pressure = False
+        self._disk_dropped = 0
 
     # ------------------------------------------------------------------
     @property
@@ -221,6 +226,33 @@ class DurableOnlineService(OnlineService):
         """Block until ingest sequence ``seq`` is fsync-covered."""
         return self._wal.wait_durable(seq, timeout)
 
+    @property
+    def disk_pressure(self) -> bool:
+        """Whether the service is currently shedding to disk pressure."""
+        return self._disk_pressure
+
+    @property
+    def disk_dropped(self) -> int:
+        """Lines dropped (never acknowledged) under disk pressure."""
+        return self._disk_dropped
+
+    def scrub(self, *, repair: bool = True) -> ScrubReport:
+        """Verify CRC frames and snapshot checksums; quarantine/repair.
+
+        Runs the offline scrubber (see
+        :mod:`repro.online.durability.scrub`) against this service's
+        directory between ingest batches, skipping the segment
+        currently accepting appends.  The WAL is synced first so the
+        scan sees a consistent tail.
+        """
+        self._wal.sync()
+        return scrub_directory(
+            self._wal.directory,
+            repair=repair,
+            io=self._io,
+            active_segment=self._wal.active_segment,
+        )
+
     # ------------------------------------------------------------------
     # the unified factory
     # ------------------------------------------------------------------
@@ -233,6 +265,7 @@ class DurableOnlineService(OnlineService):
         rate: float | None = None,
         sink: RecordSink | IO[str] | None = None,
         crash: Any = None,
+        io: Any = None,
         **config_overrides: Any,
     ) -> tuple["DurableOnlineService", RecoveryReport]:
         """Open a WAL directory as a durable service.
@@ -271,6 +304,7 @@ class DurableOnlineService(OnlineService):
                 rate=rate,
                 sink=sink,
                 crash=crash,
+                io=io,
                 **config_overrides,
             )
             return service, _fresh_report()
@@ -280,6 +314,7 @@ class DurableOnlineService(OnlineService):
             rate=rate,
             sink=sink,
             crash=crash,
+            io=io,
             **config_overrides,
         )
 
@@ -294,6 +329,7 @@ class DurableOnlineService(OnlineService):
             "shedding": self._shedding,
             "lineno": self._lineno,
             "drain_truncated": self._drain_truncated,
+            "disk_dropped": self._disk_dropped,
         }
 
     def _restore_service_state(self, state: dict[str, Any]) -> None:
@@ -303,6 +339,9 @@ class DurableOnlineService(OnlineService):
         self._shedding = bool(state["shedding"])
         self._lineno = int(state["lineno"])
         self._drain_truncated = bool(state["drain_truncated"])
+        # Introduced after the first snapshot format shipped: default,
+        # don't index, so old snapshots keep restoring.
+        self._disk_dropped = int(state.get("disk_dropped", 0))
 
     # ------------------------------------------------------------------
     # the durable ingest cycle
@@ -310,7 +349,43 @@ class DurableOnlineService(OnlineService):
     def _handle_line(self, lineno: int, line: str) -> None:
         if self._crash is not None:
             self._crash.fire("pre-append", lineno)
-        self._wal.append(lineno, line)
+        try:
+            self._wal.append(lineno, line)
+        except DiskPressureError as exc:
+            # The partial frame was rolled back; prune everything the
+            # retained snapshots cover and retry once before degrading.
+            oldest = self._snapshots.oldest_seq()
+            pruned = self._wal.prune(oldest) if oldest is not None else 0
+            try:
+                self._wal.append(lineno, line)
+            except DiskPressureError as still:
+                self._disk_pressure = True
+                self._disk_dropped += 1
+                # The line was never logged or acknowledged; hand its
+                # sequence number to the next line so the WAL stays
+                # contiguous.
+                self._lineno = lineno - 1
+                self._emit(
+                    {
+                        "kind": "disk-pressure",
+                        "line": lineno,
+                        "resumed": False,
+                        "dropped": self._disk_dropped,
+                        "pruned_segments": pruned,
+                        "path": still.path,
+                    }
+                )
+                return
+        if self._disk_pressure:
+            self._disk_pressure = False
+            self._emit(
+                {
+                    "kind": "disk-pressure",
+                    "line": lineno,
+                    "resumed": True,
+                    "dropped": self._disk_dropped,
+                }
+            )
         if self._crash is not None:
             self._crash.fire("post-append", lineno)
         super()._handle_line(lineno, line)
@@ -319,7 +394,20 @@ class DurableOnlineService(OnlineService):
             self._snapshot_every is not None
             and lineno % self._snapshot_every == 0
         ):
-            self.snapshot()
+            try:
+                self.snapshot()
+            except OSError as exc:
+                # A failed automatic snapshot must not kill serving:
+                # the WAL already holds every acknowledged line, so
+                # recovery just replays more of it.  Explicit
+                # snapshot() calls still raise.
+                self._emit(
+                    {
+                        "kind": "snapshot-failed",
+                        "line": lineno,
+                        "error": str(exc),
+                    }
+                )
 
     def snapshot(self) -> Path:
         """Commit a snapshot of the current state; prune covered WAL.
@@ -372,6 +460,13 @@ class DurableOnlineService(OnlineService):
             self._replaying = False
         return replayed
 
+    def _extra_summary(self) -> dict[str, Any]:
+        # Only a degraded run adds the counter: a clean durable run's
+        # output stays byte-identical to the plain service's.
+        if not self._disk_dropped:
+            return {}
+        return {"disk_dropped": self._disk_dropped}
+
     def shutdown(self) -> Any:
         """Drain, emit the summary, and sync/close the WAL."""
         try:
@@ -412,6 +507,7 @@ def _build_service(
     sink: IO[str] | None,
     crash: Any,
     applied_seq: int,
+    io: Any = None,
 ) -> DurableOnlineService:
     cls: type[DurableOnlineService] = DurableOnlineService
     if config.get("packet"):
@@ -424,6 +520,7 @@ def _build_service(
         snapshots=snapshots,
         snapshot_every=config["snapshot_every"],
         crash=crash,
+        io=io,
         applied_seq=applied_seq,
         sink=sink,
         strict=bool(config["strict"]),
@@ -451,6 +548,7 @@ def _create(
     rate: float,
     sink: RecordSink | IO[str] | None,
     crash: Any,
+    io: Any = None,
     **config_overrides: Any,
 ) -> DurableOnlineService:
     if (directory / _META_NAME).exists():
@@ -486,6 +584,7 @@ def _create(
         segment_events=int(config["segment_events"]),
         fsync=str(config["fsync"]),
         batch_events=int(config["batch_events"]),
+        io=io,
     )
     entries = wal.recover()
     if entries:
@@ -493,11 +592,11 @@ def _create(
             f"{directory} holds {len(entries)} WAL entries but no "
             "metadata; refusing to adopt an unlabelled log"
         )
-    snapshots = SnapshotStore(directory)
+    snapshots = SnapshotStore(directory, io=io)
     engine = _build_engine(config)
     return _build_service(
         config, engine, wal, snapshots,
-        sink=sink, crash=crash, applied_seq=0,
+        sink=sink, crash=crash, applied_seq=0, io=io,
     )
 
 
@@ -507,6 +606,7 @@ def _recover(
     sink: RecordSink | IO[str] | None,
     crash: Any,
     expected_rate: float | None,
+    io: Any = None,
 ) -> tuple[DurableOnlineService, RecoveryReport]:
     config = _read_meta(directory)
     if expected_rate is not None and float(expected_rate) != float(
@@ -522,9 +622,10 @@ def _recover(
         segment_events=int(config["segment_events"]),
         fsync=str(config["fsync"]),
         batch_events=int(config["batch_events"]),
+        io=io,
     )
     entries = wal.recover()
-    snapshots = SnapshotStore(directory)
+    snapshots = SnapshotStore(directory, io=io)
     document = snapshots.load_newest()
     if document is not None:
         if config.get("packet"):
@@ -543,7 +644,7 @@ def _recover(
         snapshot_seq = None
     service = _build_service(
         config, engine, wal, snapshots,
-        sink=sink, crash=crash, applied_seq=applied_seq,
+        sink=sink, crash=crash, applied_seq=applied_seq, io=io,
     )
     if document is not None:
         service._restore_service_state(document["service"])
@@ -568,6 +669,7 @@ def _open_durable(
     rate: float | None = None,
     sink: RecordSink | IO[str] | None = None,
     crash: Any = None,
+    io: Any = None,
     **config_overrides: Any,
 ) -> tuple[DurableOnlineService, RecoveryReport]:
     check_open_mode(mode)
@@ -575,14 +677,14 @@ def _open_durable(
     if mode == "recover":
         check_recover_overrides(config_overrides)
         return _recover(
-            directory, sink=sink, crash=crash, expected_rate=rate
+            directory, sink=sink, crash=crash, expected_rate=rate, io=io
         )
     if mode == "attach" and (directory / _META_NAME).exists():
         # Attach tolerates creation-time overrides: they apply only on
         # the creation branch (restart loops pass the same command
         # line whether the directory is fresh or not).
         return _recover(
-            directory, sink=sink, crash=crash, expected_rate=rate
+            directory, sink=sink, crash=crash, expected_rate=rate, io=io
         )
     if rate is None:
         raise RecoveryError(
@@ -590,7 +692,8 @@ def _open_durable(
             "given to create one"
         )
     service = _create(
-        directory, rate=rate, sink=sink, crash=crash, **config_overrides
+        directory, rate=rate, sink=sink, crash=crash, io=io,
+        **config_overrides,
     )
     return service, _fresh_report()
 

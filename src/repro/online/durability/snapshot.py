@@ -122,12 +122,31 @@ class SnapshotStore:
         *,
         keep: int = 2,
         verify_roundtrip: bool = True,
+        io: Any | None = None,
     ) -> None:
         if keep < 1:
             raise ValidationError(f"keep must be >= 1, got {keep}")
         self._dir = Path(directory)
         self._keep = int(keep)
         self._verify = bool(verify_roundtrip)
+        self._io = io  # fault-injection filesystem (FaultyFS) or None
+
+    def _open(self, path: Path, mode: str) -> Any:
+        if self._io is None:
+            return open(path, mode)
+        return self._io.open(path, mode)
+
+    def _unlink(self, path: Path) -> None:
+        if self._io is None:
+            os.unlink(path)
+        else:
+            self._io.unlink(path)
+
+    def _replace(self, src: Path, dst: Path) -> None:
+        if self._io is None:
+            os.replace(src, dst)
+        else:
+            self._io.replace(src, dst)
 
     @property
     def directory(self) -> Path:
@@ -173,13 +192,27 @@ class SnapshotStore:
         self._dir.mkdir(parents=True, exist_ok=True)
         path = self._dir / _snapshot_name(applied_seq)
         tmp = path.with_suffix(path.suffix + ".tmp")
-        with open(tmp, "wb") as handle:
-            handle.write(encoded)
-            handle.flush()
-            if crash_hook is not None:
-                crash_hook.fire("mid-snapshot", int(applied_seq))
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        try:
+            with self._open(tmp, "wb") as handle:
+                handle.write(encoded)
+                handle.flush()
+                if crash_hook is not None:
+                    crash_hook.fire("mid-snapshot", int(applied_seq))
+                sync = getattr(handle, "fsync", None)
+                if sync is not None:
+                    sync()
+                else:
+                    os.fsync(handle.fileno())
+        except OSError:
+            # A failed write must not leave a half-written temp file
+            # for the next write (or a budget model) to stumble over.
+            if tmp.exists():
+                try:
+                    self._unlink(tmp)
+                except OSError:
+                    pass
+            raise
+        self._replace(tmp, path)
         _fsync_dir(self._dir)
         self._prune()
         return path
@@ -225,14 +258,14 @@ class SnapshotStore:
     def _prune(self) -> None:
         candidates = self._candidates()
         for path in candidates[: -self._keep]:
-            path.unlink()
+            self._unlink(path)
         # Crash leftovers from interrupted writes are dead weight.
         if self._dir.is_dir():
             for path in self._dir.iterdir():
                 if path.name.endswith(".tmp") and path.name.startswith(
                     SNAPSHOT_PREFIX
                 ):
-                    path.unlink()
+                    self._unlink(path)
 
     def oldest_seq(self) -> int | None:
         """Sequence number of the oldest retained *valid* snapshot.

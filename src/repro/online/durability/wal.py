@@ -49,19 +49,44 @@ the chaos harness, an OOM kill of the interpreter) never loses an
 appended frame regardless of policy.  Recovery never consults the
 writer, so any directory recovers identically whatever policy wrote
 it.
+
+The disk itself is part of the fault model.  Frames appended but not
+yet fsync-covered are retained in memory (``_pending``); when a
+policy-triggered fsync fails, retrying it on the same descriptor
+cannot be trusted (the kernel may already have dropped the dirty
+pages — the fsyncgate semantics), so the log *seals* the descriptor,
+truncates the segment back to the durable boundary, rewrites the
+in-doubt frames through a fresh descriptor and syncs again; only if
+that repair also fails does a typed
+:class:`~repro.errors.WalSyncError` escape, naming the poisoned
+sequence window.  ``ENOSPC`` during an append rolls the partial frame
+back (the segment stays parseable) and raises
+:class:`~repro.errors.DiskPressureError` so the service can prune and
+degrade instead of crashing.  All file operations route through an
+optional ``io`` object (the fault harness's
+:class:`~repro.faults.io.FaultyFS`) so these paths are testable
+deterministically.
 """
 
 from __future__ import annotations
 
+import errno
 import json
 import logging
 import os
 import zlib
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Iterator
+from typing import IO, Any, Iterator
 
-from repro.errors import RecoveryError, ValidationError
+from repro.errors import (
+    DiskPressureError,
+    RecoveryError,
+    UnrecoverableRangeError,
+    ValidationError,
+    WalSyncError,
+)
 from repro.online.durability.writers import (
     WalWriter,
     make_wal_writer,
@@ -204,6 +229,7 @@ class WriteAheadLog:
         segment_events: int = 10_000,
         fsync: str | WalWriter = "batch",
         batch_events: int = 256,
+        io: Any | None = None,
     ) -> None:
         if segment_events < 1:
             raise ValidationError(
@@ -223,11 +249,32 @@ class WriteAheadLog:
         self._dir = Path(directory)
         self._segment_events = int(segment_events)
         self._batch_events = int(batch_events)
+        self._io = io  # fault-injection filesystem (FaultyFS) or None
         self._handle: IO[bytes] | None = None
+        self._segment_path: Path | None = None
         self._segment_count = 0  # appends in the open segment
+        self._segment_size = 0  # successfully appended bytes in it
         self._last_seq = 0
         self._recovered = False
         self._truncated_bytes = 0
+        #: Frames appended but not yet known fsync-covered, retained so
+        #: the seal/rewrite repair path can replay them after a failed
+        #: fsync without losing process-acked lines.
+        self._pending: deque[tuple[int, bytes]] = deque()
+
+    # ------------------------------------------------------------------
+    # file operations (routable through a fault-injecting filesystem)
+    # ------------------------------------------------------------------
+    def _open(self, path: Path, mode: str = "ab") -> IO[bytes]:
+        if self._io is None:
+            return open(path, mode)
+        return self._io.open(path, mode)
+
+    def _unlink(self, path: Path) -> None:
+        if self._io is None:
+            os.unlink(path)
+        else:
+            self._io.unlink(path)
 
     # ------------------------------------------------------------------
     @property
@@ -260,6 +307,21 @@ class WriteAheadLog:
         """Highest sequence number covered by a completed fsync."""
         return self._writer.durable_seq
 
+    @property
+    def active_segment(self) -> Path | None:
+        """Path of the segment currently accepting appends, if any.
+
+        The scrubber skips this segment: its tail is allowed to be
+        mid-write, and quarantining it out from under the writer would
+        corrupt the log rather than repair it.
+        """
+        return self._segment_path
+
+    @property
+    def pending_frames(self) -> int:
+        """Appended frames not yet known fsync-covered (repair buffer)."""
+        return len(self._pending)
+
     def wait_durable(self, seq: int, timeout: float | None = None) -> bool:
         """Block until ``seq`` is fsync-covered; return whether it is.
 
@@ -285,15 +347,50 @@ class WriteAheadLog:
     def recover(self) -> list[WalEntry]:
         """Scan the segments; truncate a torn tail; return all entries.
 
-        Returns every valid entry in sequence order.  Raises
+        Returns every valid entry in sequence order.  Housekeeping on
+        the way in: orphaned ``*.tmp`` files (a crash between mkstemp
+        and rename) are swept, and zero-length *trailing* segments (a
+        crash between segment creation and the first append) are
+        removed as clean torn tails.  Raises
         :class:`repro.errors.RecoveryError` on mid-log corruption (a
         bad frame that is *not* the tail of the final segment) or on a
-        sequence discontinuity between frames.
+        sequence discontinuity between frames, and
+        :class:`repro.errors.UnrecoverableRangeError` — naming the
+        exact missing sequence ranges — when a zero-length segment
+        sits *between* populated ones.
         """
         self._dir.mkdir(parents=True, exist_ok=True)
         entries: list[WalEntry] = []
         self._truncated_bytes = 0
+        swept = False
+        for orphan in sorted(self._dir.glob("*.tmp")):
+            self._unlink(orphan)
+            swept = True
         segments = self._segments()
+        # A zero-length trailing segment is a clean torn tail: the
+        # process died after creating the file, before the first frame.
+        while segments and segments[-1].stat().st_size == 0:
+            self._unlink(segments.pop())
+            swept = True
+        if swept:
+            _fsync_dir(self._dir)
+        # A zero-length segment with populated successors is not a torn
+        # tail: the entries it was named for are simply gone.  Name the
+        # exact missing ranges instead of replaying past the gap.
+        missing: list[tuple[int, int]] = []
+        for segment, successor in zip(segments, segments[1:]):
+            if segment.stat().st_size:
+                continue
+            first = _segment_first_seq(segment) or 0
+            next_first = _segment_first_seq(successor) or 0
+            missing.append((first, next_first - 1))
+        if missing:
+            described = ", ".join(f"{a}..{b}" for a, b in missing)
+            raise UnrecoverableRangeError(
+                f"WAL in {self._dir} has zero-length non-final "
+                f"segments: entries {described} are unrecoverable",
+                ranges=tuple(missing),
+            )
         for index, segment in enumerate(segments):
             final = index == len(segments) - 1
             entries.extend(self._scan_segment(segment, final=final))
@@ -306,6 +403,9 @@ class WriteAheadLog:
                 )
         self._last_seq = entries[-1].seq if entries else 0
         self._recovered = True
+        self._segment_path = None
+        self._segment_size = 0
+        self._pending.clear()
         return entries
 
     def _scan_segment(self, segment: Path, *, final: bool) -> list[WalEntry]:
@@ -350,10 +450,17 @@ class WriteAheadLog:
                 "but is not the final segment; a torn tail can only "
                 "exist at the end of the log"
             )
-        with open(segment, "r+b") as handle:
+        handle = self._open(segment, "r+b")
+        try:
             handle.truncate(offset)
-            handle.flush()
-            os.fsync(handle.fileno())
+            sync = getattr(handle, "fsync", None)
+            if sync is not None:
+                sync()
+            else:
+                handle.flush()
+                os.fsync(handle.fileno())
+        finally:
+            handle.close()
         self._truncated_bytes = dropped
 
     # ------------------------------------------------------------------
@@ -365,6 +472,14 @@ class WriteAheadLog:
         The frame is written and flushed to the OS before returning;
         fsync follows the configured policy.  ``seq`` must be exactly
         ``last_seq + 1``.
+
+        Disk faults surface typed: a write failure rolls the partial
+        frame back (the segment stays parseable, ``last_seq`` does not
+        advance) and raises :class:`~repro.errors.DiskPressureError`
+        for ``ENOSPC`` or :class:`~repro.errors.WalSyncError`
+        otherwise; a policy-triggered fsync failure runs the
+        seal/truncate/rewrite repair cycle and raises
+        :class:`~repro.errors.WalSyncError` only if that also fails.
         """
         if not self._recovered:
             raise ValidationError(
@@ -377,29 +492,167 @@ class WriteAheadLog:
                 f"{self._last_seq + 1}, got {seq}"
             )
         handle = self._rotate_if_needed(seq)
-        handle.write(_frame(seq, line))
-        handle.flush()
+        frame = _frame(seq, line)
+        try:
+            handle.write(frame)
+            handle.flush()
+        except OSError as exc:
+            self._rollback_partial(exc, seq)  # always raises
         self._last_seq = seq
         self._segment_count += 1
-        self._writer.on_append(seq)
+        self._segment_size += len(frame)
+        self._pending.append((seq, frame))
+        try:
+            self._writer.on_append(seq)
+        except (WalSyncError, OSError) as exc:
+            self._repair_sync_failure(exc)
+        self._drop_durable_pending()
 
     def _rotate_if_needed(self, seq: int) -> IO[bytes]:
         if (
             self._handle is not None
             and self._segment_count >= self._segment_events
         ):
-            self._writer.detach()
-            self._handle.close()
-            self._handle = None
+            try:
+                self._writer.detach()
+            except (WalSyncError, OSError) as exc:
+                self._repair_sync_failure(exc)
+                self._writer.abandon()
+            self._drop_durable_pending()
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            self._segment_path = None
         if self._handle is None:
             self._dir.mkdir(parents=True, exist_ok=True)
-            path = self._dir / _segment_name(seq)
-            self._handle = open(path, "ab")
+            if self._segment_path is None:
+                self._segment_path = self._dir / _segment_name(seq)
+                self._segment_count = 0
+            self._segment_size = (
+                self._segment_path.stat().st_size
+                if self._segment_path.exists()
+                else 0
+            )
+            self._handle = self._open(self._segment_path, "ab")
             self._writer.attach(self._handle)
-            self._segment_count = 0
             if self._writer.policy != "never":
                 _fsync_dir(self._dir)
         return self._handle
+
+    def _drop_durable_pending(self) -> None:
+        """Release retained frames the writer now covers with an fsync."""
+        if self._writer.policy == "never":
+            # Nothing will ever cover these; retaining them would only
+            # grow memory without enabling any repair.
+            self._pending.clear()
+            return
+        durable = self._writer.durable_seq
+        while self._pending and self._pending[0][0] <= durable:
+            self._pending.popleft()
+
+    def _rollback_partial(self, exc: OSError, seq: int) -> None:
+        """Roll a failed frame write back so the segment stays parseable.
+
+        The frame for ``seq`` may be partially on disk (a short write,
+        or ``ENOSPC`` after some bytes landed); truncating back to the
+        last successfully appended byte keeps every prior frame intact
+        and leaves the log positioned to retry the same ``seq``.
+        Always raises: :class:`~repro.errors.DiskPressureError` for
+        ``ENOSPC`` (the caller may prune and retry) or
+        :class:`~repro.errors.WalSyncError` for anything else.
+        """
+        path = self._segment_path
+        self._writer.abandon()
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+        try:
+            if path is not None and path.exists():
+                handle = self._open(path, "r+b")
+                try:
+                    handle.truncate(self._segment_size)
+                finally:
+                    handle.close()
+                self._handle = self._open(path, "ab")
+                self._writer.attach(self._handle)
+        except OSError as repair_exc:
+            self._handle = None
+            raise WalSyncError(
+                f"WAL append for seq {seq} failed ({exc}) and rollback "
+                f"also failed: {repair_exc}",
+                first_seq=seq,
+                last_seq=seq,
+            ) from exc
+        if getattr(exc, "errno", None) == errno.ENOSPC:
+            raise DiskPressureError(
+                f"WAL append for seq {seq} hit ENOSPC in {self._dir}; "
+                "the partial frame was rolled back",
+                path=str(path) if path is not None else None,
+            ) from exc
+        raise WalSyncError(
+            f"WAL append write failed for seq {seq}: {exc}",
+            first_seq=seq,
+            last_seq=seq,
+        ) from exc
+
+    def _repair_sync_failure(self, exc: BaseException) -> None:
+        """Seal, truncate, rewrite and re-sync after a failed fsync.
+
+        Retrying an fsync on the descriptor it failed on can falsely
+        succeed (fsyncgate), so repair never does: the descriptor is
+        abandoned and closed, the segment is truncated back to the
+        durable boundary, the retained in-doubt frames are rewritten
+        through a fresh descriptor, and a new fsync covers them.  On
+        success the log is exactly as durable as if the original sync
+        had worked; on any failure a
+        :class:`~repro.errors.WalSyncError` names the poisoned window.
+        """
+        path = self._segment_path
+        pending = list(self._pending)
+        first = pending[0][0] if pending else self._last_seq
+        last = self._last_seq
+        self._writer.abandon()
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+        try:
+            if path is None:
+                raise RecoveryError("no active segment to repair")
+            base = self._segment_size - sum(
+                len(frame) for _, frame in pending
+            )
+            handle = self._open(path, "r+b")
+            try:
+                handle.truncate(base)
+            finally:
+                handle.close()
+            self._handle = self._open(path, "ab")
+            for _, frame in pending:
+                self._handle.write(frame)
+            self._handle.flush()
+            self._writer.attach(self._handle)
+            self._writer.sync()
+        except (WalSyncError, OSError, RecoveryError) as repair_exc:
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+            raise WalSyncError(
+                f"WAL fsync failed ({exc}) and the seal/rewrite repair "
+                f"also failed: {repair_exc}; seqs {first}..{last} are "
+                "not power-loss durable",
+                first_seq=first,
+                last_seq=last,
+            ) from exc
+        self._drop_durable_pending()
 
     def position(self, seq: int) -> None:
         """Advance the append position to ``seq`` without writing.
@@ -426,16 +679,33 @@ class WriteAheadLog:
         """
         if self._handle is None:
             return
-        self._handle.flush()
-        self._writer.sync()
+        try:
+            self._handle.flush()
+            self._writer.sync()
+        except (WalSyncError, OSError) as exc:
+            self._repair_sync_failure(exc)
+        self._drop_durable_pending()
 
     def close(self) -> None:
         """Sync and close the open segment; tear down the writer."""
         if self._handle is not None:
-            self._handle.flush()
-            self._writer.detach()
-            self._handle.close()
-            self._handle = None
+            try:
+                self._handle.flush()
+                self._writer.detach()
+            except (WalSyncError, OSError) as exc:
+                # Repair restores durability through a fresh handle;
+                # nothing is pending after it, so release without a
+                # second barrier.
+                self._repair_sync_failure(exc)
+                self._writer.abandon()
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
+        self._segment_path = None
+        self._pending.clear()
         self._writer.close()
 
     # ------------------------------------------------------------------
@@ -470,7 +740,7 @@ class WriteAheadLog:
             tail = next_first - 1
             if tail > upto_seq:
                 break
-            path.unlink()
+            self._unlink(path)
             removed += 1
         if removed:
             _fsync_dir(self._dir)

@@ -51,7 +51,7 @@ import threading
 import time
 from typing import IO, Callable
 
-from repro.errors import RecoveryError, ValidationError
+from repro.errors import ValidationError, WalSyncError
 
 __all__ = [
     "WalWriter",
@@ -177,6 +177,19 @@ class WalWriter:
         """
         raise NotImplementedError
 
+    def abandon(self) -> None:
+        """Drop the current handle WITHOUT a durability barrier.
+
+        The log's fsync-failure repair path calls this: after a failed
+        sync the descriptor is poisoned (retrying the fsync on it can
+        falsely succeed — the kernel may already have dropped the dirty
+        pages), so the writer must forget the handle and any
+        pending-sync bookkeeping while the log seals the segment and
+        rewrites the in-doubt frames through a fresh descriptor.
+        ``durable_seq`` is left untouched: nothing became durable.
+        """
+        raise NotImplementedError
+
     def close(self) -> None:
         """Tear down (stop threads, close duplicated descriptors)."""
         raise NotImplementedError
@@ -216,15 +229,28 @@ class _SingleThreadedWriter(WalWriter):
         self._handle = handle
 
     def _fsync_handle(self) -> None:
-        """Flush + sync the attached handle; publish durability."""
+        """Flush + sync the attached handle; publish durability.
+
+        A handle that exposes its own ``fsync`` method (the fault
+        harness's ``FaultyFile``) is synced through it so injected
+        failures and durability tracking are observed; plain file
+        objects get the writer's pinned syscall.
+        """
         if self._handle is None:
             return
-        self._handle.flush()
-        self._sync_fn(self._handle.fileno())
+        handle_fsync = getattr(self._handle, "fsync", None)
+        if handle_fsync is not None:
+            handle_fsync()
+        else:
+            self._handle.flush()
+            self._sync_fn(self._handle.fileno())
         self._durable_seq = self._tail_seq
 
     def detach(self) -> None:
         self.sync()
+        self._handle = None
+
+    def abandon(self) -> None:
         self._handle = None
 
     def close(self) -> None:
@@ -431,6 +457,7 @@ class AsyncWalWriter(WalWriter):
         self._wake = threading.Condition(self._lock)   # signals the thread
         self._advanced = threading.Condition(self._lock)  # signals waiters
         self._fd: int | None = None
+        self._handle_fsync: Callable[[], None] | None = None
         self._tail_seq = 0
         self._durable = 0
         self._stop = False
@@ -447,6 +474,11 @@ class AsyncWalWriter(WalWriter):
                     "detach the previous segment first"
                 )
             self._fd = os.dup(handle.fileno())
+            # A fault-injecting handle exposes its own fsync; route the
+            # sync thread through it so injected failures and durable
+            # tracking are observed.  Python buffered handles serialize
+            # flush/write internally, so this is thread-safe.
+            self._handle_fsync = getattr(handle, "fsync", None)
             self._wake.notify_all()
         if self._thread is None:
             self._thread = threading.Thread(
@@ -458,6 +490,7 @@ class AsyncWalWriter(WalWriter):
         self.sync()
         with self._lock:
             fd, self._fd = self._fd, None
+            self._handle_fsync = None
             self._wake.notify_all()
         if fd is not None:
             os.close(fd)
@@ -472,12 +505,37 @@ class AsyncWalWriter(WalWriter):
             thread.join(timeout=5.0)
         with self._lock:
             fd, self._fd = self._fd, None
+            self._handle_fsync = None
         if fd is not None:
             try:
                 os.close(fd)
             except OSError:  # pragma: no cover - already-closed race
                 pass
         self._thread = None
+
+    def abandon(self) -> None:
+        # The sync thread either died raising the error being repaired
+        # or must be stopped before its descriptor goes away; join it,
+        # drop the poisoned window's error (the caller holds it), and
+        # reset so a subsequent attach() restarts cleanly.
+        thread = self._thread
+        with self._lock:
+            self._stop = True
+            self._error = None
+            self._wake.notify_all()
+            self._advanced.notify_all()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+        with self._lock:
+            fd, self._fd = self._fd, None
+            self._handle_fsync = None
+            self._thread = None
+            self._stop = False
+        if fd is not None:
+            try:
+                os.close(fd)
+            except OSError:  # pragma: no cover - already-closed race
+                pass
 
     def __del__(self) -> None:  # pragma: no cover - gc-timing dependent
         # A crash-path teardown (SimulatedCrash unwound past close())
@@ -546,8 +604,10 @@ class AsyncWalWriter(WalWriter):
     def _raise_pending_locked(self) -> None:
         if self._error is not None:
             error, self._error = self._error, None
-            raise RecoveryError(
-                f"async WAL fsync thread failed: {error}"
+            raise WalSyncError(
+                f"async WAL fsync thread failed: {error}",
+                first_seq=self._durable + 1,
+                last_seq=self._tail_seq,
             ) from error
 
     # -- sync thread ---------------------------------------------------
@@ -562,8 +622,12 @@ class AsyncWalWriter(WalWriter):
                     return
                 target = self._tail_seq
                 fd = self._fd
+                handle_fsync = self._handle_fsync
             try:
-                _fdatasync(fd)
+                if handle_fsync is not None:
+                    handle_fsync()
+                else:
+                    _fdatasync(fd)
             except OSError as exc:
                 with self._lock:
                     self._error = exc

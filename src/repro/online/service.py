@@ -336,6 +336,11 @@ class OnlineService:
         summary["shed"] = self._shed
         summary["heartbeats"] = self._heartbeats
         summary["drain_truncated"] = self._drain_truncated
+        summary.update(self._extra_summary())
         self._emit({"kind": "summary", "summary": summary})
         self._sink.flush()
         return result
+
+    def _extra_summary(self) -> dict[str, Any]:
+        """Summary fields contributed by subclasses (durable counters)."""
+        return {}

@@ -8,7 +8,12 @@ import pytest
 
 from repro.core.admission import QoSTarget
 from repro.core.ebb import EBB
-from repro.errors import RecoveryError, ReproError, ValidationError
+from repro.errors import (
+    RecoveryError,
+    ReproError,
+    UnrecoverableRangeError,
+    ValidationError,
+)
 from repro.online.admission import AdmissionController
 from repro.online.durability import (
     DurableOnlineService,
@@ -172,6 +177,59 @@ class TestWalFraming:
             9,
         ]
         wal.close()
+
+    def test_orphaned_tmp_files_swept_on_recover(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.recover()
+        wal.append(1, "line 1")
+        wal.close()
+        # A crash mid-snapshot (or mid-anything) can strand *.tmp
+        # files; recovery removes them instead of letting them pile up.
+        (tmp_path / "snapshot-0000000000000001.json.tmp").write_bytes(
+            b"partial"
+        )
+        (tmp_path / "stray.tmp").write_bytes(b"junk")
+        fresh = WriteAheadLog(tmp_path)
+        entries = fresh.recover()
+        assert [e.seq for e in entries] == [1]
+        assert list(tmp_path.glob("*.tmp")) == []
+        fresh.close()
+
+    def test_zero_length_trailing_segment_is_clean_tail(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_events=2)
+        wal.recover()
+        for seq in range(1, 5):
+            wal.append(seq, f"line {seq}")
+        wal.close()
+        # A crash between creating a fresh segment and writing its
+        # first frame leaves a zero-byte trailing file: a torn tail,
+        # not corruption.
+        (tmp_path / f"wal-{5:016d}.log").write_bytes(b"")
+        fresh = WriteAheadLog(tmp_path)
+        entries = fresh.recover()
+        assert [e.seq for e in entries] == [1, 2, 3, 4]
+        # The empty tail is gone; appends continue contiguously.
+        fresh.append(5, "line 5")
+        fresh.close()
+        assert [
+            e.seq for e in WriteAheadLog(tmp_path).recover()
+        ] == [1, 2, 3, 4, 5]
+
+    def test_zero_length_nonfinal_segment_names_lost_range(
+        self, tmp_path
+    ):
+        wal = WriteAheadLog(tmp_path, segment_events=2)
+        wal.recover()
+        for seq in range(1, 7):
+            wal.append(seq, f"line {seq}")
+        wal.close()
+        middle = sorted(tmp_path.glob("wal-*.log"))[1]
+        middle.write_bytes(b"")
+        with pytest.raises(
+            UnrecoverableRangeError, match="3..4"
+        ) as excinfo:
+            WriteAheadLog(tmp_path).recover()
+        assert excinfo.value.ranges == ((3, 4),)
 
     def test_position_never_moves_backwards(self, tmp_path):
         wal = WriteAheadLog(tmp_path)

@@ -13,6 +13,7 @@ Two layers of coverage:
 
 import json
 import logging
+import os
 import threading
 import time
 
@@ -120,16 +121,26 @@ class TestPolicyGrammar:
             "sometimes",
             "",
             "group:",
+            "budget:",
             "always:5ms",
             "never:1ms",
+            "batch:5ms",
             "budget:-1ms",
+            "group:-2ms",
             "budget:0",
             "budget:xms",
+            "group:5min",
+            "budget:2h",
             "async:5ms",
         ],
     )
     def test_invalid_specs_raise(self, spec):
         with pytest.raises(ValidationError):
+            parse_fsync_policy(spec)
+
+    @pytest.mark.parametrize("spec", [None, 5, 0.005, ["always"]])
+    def test_non_string_specs_raise(self, spec):
+        with pytest.raises(ValidationError, match="must be a string"):
             parse_fsync_policy(spec)
 
     def test_factory_policies(self):
@@ -329,6 +340,47 @@ class TestAsyncWriter:
     def test_rejects_nonpositive_bound(self):
         with pytest.raises(ValidationError):
             AsyncWalWriter(max_unsynced=0)
+
+    def test_close_after_writer_thread_death(self, counting, monkeypatch):
+        def broken(fd):
+            raise OSError(5, "injected I/O error")
+
+        monkeypatch.setattr(writers_module, "_fdatasync", broken)
+        w = AsyncWalWriter()
+        w.attach(counting.handle)
+        w.on_append(1)
+        # The fsync thread dies storing the error; wait for it.
+        assert w._thread is not None
+        w._thread.join(timeout=5.0)
+        assert not w._thread.is_alive()
+        # close() must neither hang nor raise: the stashed error
+        # belongs to on_append/sync callers, teardown just releases
+        # the dup'd descriptor and the dead thread.
+        w.close()
+        assert w._thread is None
+
+    def test_abandon_after_thread_death_allows_reattach(
+        self, counting, monkeypatch, tmp_path
+    ):
+        def broken(fd):
+            raise OSError(5, "injected I/O error")
+
+        monkeypatch.setattr(writers_module, "_fdatasync", broken)
+        w = AsyncWalWriter()
+        w.attach(counting.handle)
+        w.on_append(1)
+        assert w._thread is not None
+        w._thread.join(timeout=5.0)
+        w.abandon()
+        monkeypatch.setattr(writers_module, "_fdatasync", os.fdatasync)
+        with open(tmp_path / "wal-reborn.log", "ab") as handle:
+            w.attach(handle)
+            try:
+                w.on_append(2)
+                w.sync()
+                assert w.durable_seq == 2
+            finally:
+                w.close()
 
     def test_attach_twice_rejected(self, counting, tmp_path):
         w = AsyncWalWriter()
